@@ -1,0 +1,74 @@
+"""Benchmarks: the individual compiler components on a mid-sized procedure.
+
+These micro-benchmarks track the cost of the pieces the paper's complexity
+analysis talks about — PST construction (linear-time cycle equivalence),
+shrink-wrapping's data-flow solution, the hierarchical traversal, and the
+register allocator that feeds them.
+"""
+
+import pytest
+
+from repro.analysis.pst import build_pst
+from repro.analysis.sese import find_maximal_regions
+from repro.regalloc.allocator import allocate_registers
+from repro.spill.hierarchical import place_hierarchical
+from repro.spill.shrink_wrap import place_shrink_wrap
+from repro.target.parisc import parisc_target
+from repro.workloads.generator import GeneratorConfig, generate_procedure
+
+
+def _procedure(num_segments):
+    config = GeneratorConfig(
+        name=f"component_{num_segments}",
+        seed=1234,
+        num_segments=num_segments,
+        locals_per_call_region=2,
+        invocations=1000,
+    )
+    return generate_procedure(config)
+
+
+MEDIUM = _procedure(12)
+LARGE = _procedure(30)
+MACHINE = parisc_target()
+MEDIUM_ALLOC = allocate_registers(MEDIUM.function, MACHINE, MEDIUM.profile)
+LARGE_ALLOC = allocate_registers(LARGE.function, MACHINE, LARGE.profile)
+
+
+@pytest.mark.parametrize("allocation", [MEDIUM_ALLOC, LARGE_ALLOC], ids=["medium", "large"])
+def test_build_program_structure_tree(benchmark, allocation):
+    pst = benchmark(build_pst, allocation.function)
+    assert pst.region_count() >= 1
+
+
+@pytest.mark.parametrize("allocation", [MEDIUM_ALLOC, LARGE_ALLOC], ids=["medium", "large"])
+def test_maximal_sese_regions(benchmark, allocation):
+    regions = benchmark(find_maximal_regions, allocation.function)
+    assert isinstance(regions, list)
+
+
+@pytest.mark.parametrize(
+    ("allocation", "procedure"),
+    [(MEDIUM_ALLOC, MEDIUM), (LARGE_ALLOC, LARGE)],
+    ids=["medium", "large"],
+)
+def test_shrink_wrapping_pass(benchmark, allocation, procedure):
+    placement = benchmark(place_shrink_wrap, allocation.function, allocation.usage)
+    assert placement.technique == "shrink_wrap"
+
+
+@pytest.mark.parametrize(
+    ("allocation", "procedure"),
+    [(MEDIUM_ALLOC, MEDIUM), (LARGE_ALLOC, LARGE)],
+    ids=["medium", "large"],
+)
+def test_hierarchical_pass(benchmark, allocation, procedure):
+    result = benchmark(
+        place_hierarchical, allocation.function, allocation.usage, procedure.profile
+    )
+    assert result.placement.num_locations() >= 0
+
+
+def test_register_allocation(benchmark):
+    allocation = benchmark(allocate_registers, LARGE.function, MACHINE, LARGE.profile)
+    assert allocation.function.instruction_count() > 0

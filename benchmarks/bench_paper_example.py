@@ -1,0 +1,56 @@
+"""Benchmark: the paper's worked example (Figures 2-4).
+
+Measures the cost of each placement technique on the reconstructed sixteen
+block example and checks that the headline numbers of the walk-through hold
+(entry/exit 200, shrink-wrapping 250, hierarchical 190 under the
+execution-count model and 200 under the jump-edge model).
+"""
+
+import pytest
+
+from repro.spill import (
+    place_entry_exit,
+    place_hierarchical,
+    place_shrink_wrap,
+    placement_dynamic_overhead,
+)
+from repro.workloads import paper_example
+
+EXAMPLE = paper_example()
+
+
+def _overhead(placement):
+    return placement_dynamic_overhead(EXAMPLE.function, EXAMPLE.profile, placement)
+
+
+def test_entry_exit_placement(benchmark):
+    placement = benchmark(place_entry_exit, EXAMPLE.function, EXAMPLE.usage)
+    assert _overhead(placement).total == 200
+
+
+def test_chow_shrink_wrapping(benchmark):
+    placement = benchmark(place_shrink_wrap, EXAMPLE.function, EXAMPLE.usage)
+    assert _overhead(placement).total == 250
+
+
+def test_hierarchical_execution_count_model(benchmark):
+    result = benchmark(
+        place_hierarchical,
+        EXAMPLE.function,
+        EXAMPLE.usage,
+        EXAMPLE.profile,
+        cost_model="execution_count",
+    )
+    overhead = _overhead(result.placement)
+    assert overhead.save_count + overhead.restore_count == 190
+
+
+def test_hierarchical_jump_edge_model(benchmark):
+    result = benchmark(
+        place_hierarchical,
+        EXAMPLE.function,
+        EXAMPLE.usage,
+        EXAMPLE.profile,
+        cost_model="jump_edge",
+    )
+    assert _overhead(result.placement).total == 200

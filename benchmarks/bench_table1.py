@@ -1,0 +1,42 @@
+"""Benchmark: regenerate Table 1 (overhead ratios relative to entry/exit placement).
+
+Prints the measured Optimized/Baseline and Shrinkwrap/Baseline ratios next to
+the paper's numbers and asserts the qualitative shape the paper reports:
+
+* the hierarchical placement never exceeds the baseline and achieves a double
+  digit average reduction,
+* shrink-wrapping barely improves on the baseline on average and is *worse*
+  than the baseline on the gzip-, bzip2- and twolf-like workloads,
+* the largest hierarchical wins are on the gcc- and crafty-like workloads.
+"""
+
+from repro.evaluation.table1 import average_row, render_table1, table1
+
+
+def test_table1_regeneration(benchmark, suite_measurement):
+    rows = benchmark.pedantic(table1, args=(suite_measurement,), rounds=1, iterations=1)
+    print()
+    print(render_table1(rows))
+
+    by_name = {row.benchmark: row for row in rows}
+    average = average_row(rows)
+
+    for row in rows:
+        assert row.optimized_ratio <= 1.0 + 1e-9
+        assert row.optimized_ratio <= row.shrinkwrap_ratio + 1e-9
+
+    # Average reduction in the double digits (paper: 15%), shrink-wrapping
+    # close to the baseline (paper: <1% reduction).
+    assert average.optimized_ratio < 0.95
+    assert 0.9 < average.shrinkwrap_ratio < 1.1
+
+    # Crossovers: shrink-wrapping loses to entry/exit on these workloads.
+    for name in ("gzip", "bzip2", "twolf"):
+        assert by_name[name].shrinkwrap_ratio > 1.0
+
+    # The two biggest hierarchical wins are the gcc- and crafty-like workloads.
+    ordered = sorted(rows, key=lambda r: r.optimized_ratio)
+    assert {ordered[0].benchmark, ordered[1].benchmark} == {"gcc", "crafty"}
+
+    # mcf has essentially no callee-saved overhead to optimize.
+    assert by_name["mcf"].optimized_ratio > 0.99

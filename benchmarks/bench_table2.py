@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Table 2 (incremental compile time of the two passes).
+
+The paper reports the extra compile time added by shrink-wrapping and by the
+hierarchical algorithm relative to entry/exit placement, and their ratio
+(average 5.44x — the hierarchical pass runs shrink-wrapping internally and
+then builds and traverses the PST).  Absolute seconds differ wildly between
+the paper's C implementation and this Python one; the reproducible claims are
+that both increments are small relative to register allocation and that the
+hierarchical pass costs a small multiple of shrink-wrapping.
+"""
+
+from repro.evaluation.table2 import average_row, render_table2, table2
+
+
+def test_table2_regeneration(benchmark, suite_measurement):
+    rows = benchmark.pedantic(table2, args=(suite_measurement,), rounds=1, iterations=1)
+    print()
+    print(render_table2(rows))
+
+    average = average_row(rows)
+    # The hierarchical pass is strictly more work than shrink-wrapping alone.
+    assert average.optimized_seconds > average.shrinkwrap_seconds > 0.0
+    # ... but by a bounded factor (the paper measures ~5.4x; anything in the
+    # same order of magnitude counts as reproducing the shape).
+    assert 1.0 < average.ratio < 50.0
+
+    # Every per-benchmark increment is non-negative.
+    for row in rows:
+        assert row.shrinkwrap_seconds >= 0.0
+        assert row.optimized_seconds >= 0.0
+
+
+def test_placement_passes_are_cheap_relative_to_regalloc(suite_measurement):
+    """Sanity check on the timing breakdown used by Table 2."""
+
+    total_regalloc = sum(b.pass_seconds.get("regalloc", 0.0) for b in suite_measurement.benchmarks)
+    total_optimized = sum(b.pass_seconds.get("optimized", 0.0) for b in suite_measurement.benchmarks)
+    assert total_regalloc > 0.0
+    assert total_optimized > 0.0

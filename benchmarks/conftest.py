@@ -1,0 +1,40 @@
+"""Shared configuration for the benchmark harnesses.
+
+Every benchmark regenerates one of the paper's evaluation artifacts (Figure 5,
+Table 1, Table 2) or an ablation.  The suite-level harnesses run the synthetic
+SPEC-like suite at a reduced ``SCALE`` so that a full ``pytest benchmarks/
+--benchmark-only`` pass stays in the tens of seconds; pass ``--suite-scale``
+to change it.
+"""
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--suite-scale",
+        action="store",
+        default="0.25",
+        help="procedure-count multiplier for suite-level benchmarks (default 0.25)",
+    )
+
+
+@pytest.fixture(scope="session")
+def suite_scale(request):
+    return float(request.config.getoption("--suite-scale"))
+
+
+@pytest.fixture(scope="session")
+def suite_measurement(suite_scale):
+    """One shared run of the whole synthetic suite (jump-edge cost model)."""
+
+    from repro.evaluation.runner import run_suite
+
+    return run_suite(scale=suite_scale)

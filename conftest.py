@@ -1,0 +1,14 @@
+"""Pytest bootstrap.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (useful in offline environments where ``pip install -e .`` cannot
+build an editable wheel).  When the package *is* installed, the installed
+copy and this path point at the same files, so the insertion is harmless.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Using the library as a compiler backend: textual IR, pass manager, insertion.
+
+This example shows the workflow a downstream user would follow to add the
+hierarchical spill placement pass to their own mini-backend:
+
+1. parse a module from the textual IR form,
+2. normalize it (single exit, unreachable-block removal) through the
+   :class:`~repro.pipeline.passes.PassManager`,
+3. register-allocate each function for a *small* RISC target (to force
+   callee-saved pressure),
+4. place and materialize callee-saved spill code with the hierarchical
+   algorithm,
+5. execute the final code in the interpreter with the callee-saved
+   convention check enabled.
+
+Run with::
+
+    python examples/custom_pass_pipeline.py
+"""
+
+from repro.ir.parser import parse_module
+from repro.ir.passes import ensure_single_exit, remove_unreachable_blocks
+from repro.ir.printer import print_function
+from repro.pipeline.passes import PassManager
+from repro.profiling.interpreter import Interpreter, run_with_convention_check
+from repro.profiling.synthetic import profile_from_branch_probabilities
+from repro.regalloc import allocate_registers
+from repro.spill import apply_placement, place_hierarchical, verify_placement
+from repro.target import riscish_target
+
+MODULE_TEXT = """
+// A caller that conditionally processes its argument through two helpers.
+func process(v0) {
+entry:
+  li v1, #0
+  cmplt v2, v0, v1
+  br v2, @negative
+positive:
+  call @scale(v0) -> (v3)
+  add v4, v3, v0
+  call @offset(v4) -> (v5)
+  add v6, v5, v3
+  ret v6
+negative:
+  sub v7, v1, v0
+  ret v7
+}
+
+func scale(v0) {
+entry:
+  mul v1, v0, #3
+  ret v1
+}
+
+func offset(v0) {
+entry:
+  add v1, v0, #7
+  ret v1
+}
+"""
+
+
+def main() -> None:
+    module = parse_module(MODULE_TEXT)
+
+    normalizer = PassManager(verify_between_passes=True)
+    normalizer.add_pass("remove-unreachable", remove_unreachable_blocks)
+    normalizer.add_pass("single-exit", ensure_single_exit)
+    normalizer.run_on_module(module)
+    print("normalization passes:", ", ".join(normalizer.pass_names))
+
+    machine = riscish_target()
+    interpreter_module = module.clone()
+
+    for function in module.functions:
+        profile = profile_from_branch_probabilities(
+            function, invocations=500, probabilities=None
+        )
+        allocation = allocate_registers(function, machine, profile)
+        allocated = allocation.function
+        if allocation.usage.used_registers():
+            result = place_hierarchical(allocated, allocation.usage, profile)
+            verify_placement(allocated, allocation.usage, result.placement)
+            apply_placement(allocated, result.placement)
+        # Swap the rewritten body into the module used for execution.
+        interpreter_module._functions[function.name] = allocated  # noqa: SLF001 - example code
+
+        print(f"\n=== {function.name}: after allocation and spill insertion ===")
+        print(print_function(allocated))
+
+    final = interpreter_module.function("process")
+    result = run_with_convention_check(final, machine, module=interpreter_module, args=[5])
+    print(f"\nprocess(5) -> {result.return_values}, executed {result.steps} instructions, "
+          "callee-saved convention preserved ✔")
+    plain = Interpreter(module=parse_module(MODULE_TEXT)).run(
+        parse_module(MODULE_TEXT).function("process"), args=[5]
+    )
+    print(f"reference (unallocated) result: {plain.return_values}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Walk through the paper's figures on the reconstructed examples.
+
+* **Figure 1** — the motivating diamond where shrink-wrapping only beats
+  entry/exit placement when the allocated blocks are cold; run with both a
+  cold and a hot profile to see the crossover that motivates profile-guided
+  placement.
+* **Figures 2-4** — the sixteen-block worked example (blocks ``A`` … ``P``).
+  The script prints the maximal SESE regions, the initial save/restore sets,
+  every decision of the hierarchical algorithm under both cost models, and
+  the resulting dynamic overheads (entry/exit 200, shrink-wrapping 250,
+  hierarchical 190 / 200) exactly as the paper walks through them.
+* A DOT rendition of the example CFG and its program structure tree is
+  written next to this script for visual inspection.
+
+Run with::
+
+    python examples/paper_figures.py
+"""
+
+import os
+
+from repro.analysis.pst import build_pst
+from repro.ir.dot import cfg_to_dot, pst_to_dot
+from repro.spill import (
+    ExecutionCountCostModel,
+    JumpEdgeCostModel,
+    place_entry_exit,
+    place_hierarchical,
+    place_shrink_wrap,
+    placement_dynamic_overhead,
+)
+from repro.workloads import figure1_function, paper_example
+
+
+def show_figure1() -> None:
+    print("=" * 72)
+    print("Figure 1: shrink-wrapping vs. entry/exit depends on the profile")
+    print("=" * 72)
+    for hot, label in ((False, "cold allocation (blocks rarely executed)"),
+                       (True, "hot allocation (blocks executed on most invocations)")):
+        function, profile, usage = figure1_function(hot_allocation=hot)
+        baseline = placement_dynamic_overhead(
+            function, profile, place_entry_exit(function, usage)
+        ).total
+        shrinkwrap = placement_dynamic_overhead(
+            function, profile, place_shrink_wrap(function, usage)
+        ).total
+        optimized = placement_dynamic_overhead(
+            function, profile,
+            place_hierarchical(function, usage, profile).placement,
+        ).total
+        winner = "shrink-wrapping" if shrinkwrap < baseline else "entry/exit"
+        print(f"\n  {label}")
+        print(f"    entry/exit  : {baseline:6.0f}")
+        print(f"    shrink-wrap : {shrinkwrap:6.0f}   (cheaper: {winner})")
+        print(f"    hierarchical: {optimized:6.0f}   (never worse than either)")
+    print()
+
+
+def show_paper_example() -> None:
+    print("=" * 72)
+    print("Figures 2-4: the worked example (blocks A..P)")
+    print("=" * 72)
+    example = paper_example()
+    function, profile, usage = example.function, example.profile, example.usage
+
+    pst = build_pst(function)
+    print("\nMaximal SESE regions (the program structure tree):")
+    for region in pst.topological_order():
+        entry = "->".join(region.entry_edge)
+        exit_ = "->".join(region.exit_edge)
+        boundary = profile.edge_count(region.entry_edge) + profile.edge_count(region.exit_edge)
+        print(f"  {region.describe():60s} boundary cost {boundary:g}")
+
+    baseline = place_entry_exit(function, usage)
+    shrinkwrap = place_shrink_wrap(function, usage)
+    print(f"\nentry/exit placement overhead      : "
+          f"{placement_dynamic_overhead(function, profile, baseline).total:g}   (paper: 200)")
+    print(f"Chow shrink-wrapping overhead      : "
+          f"{placement_dynamic_overhead(function, profile, shrinkwrap).total:g}   (paper: 250)")
+
+    for model, expectation in ((ExecutionCountCostModel(), "paper: 190 save/restore cycles"),
+                               (JumpEdgeCostModel(), "paper: 200, i.e. entry/exit")):
+        result = place_hierarchical(function, usage, profile, cost_model=model)
+        overhead = placement_dynamic_overhead(function, profile, result.placement)
+        print(f"\nhierarchical algorithm, {model.name} cost model ({expectation}):")
+        print("  initial (modified shrink-wrapping) save/restore sets:")
+        for srset in result.initial_placement.sets_for(example.register):
+            print(f"    {srset}")
+        print("  PST traversal decisions:")
+        for decision in result.decisions:
+            print(f"    {decision}")
+        print(f"  save/restore overhead {overhead.save_count + overhead.restore_count:g}, "
+              f"jump-block overhead {overhead.jump_count:g}")
+
+    directory = os.path.dirname(os.path.abspath(__file__))
+    cfg_path = os.path.join(directory, "paper_example_cfg.dot")
+    pst_path = os.path.join(directory, "paper_example_pst.dot")
+    with open(cfg_path, "w", encoding="utf-8") as handle:
+        handle.write(cfg_to_dot(function, edge_counts={k: int(v) for k, v in profile.edge_counts.items()},
+                                highlight_blocks=example.occupied_blocks,
+                                title="paper example (Figure 2)"))
+    with open(pst_path, "w", encoding="utf-8") as handle:
+        handle.write(pst_to_dot(pst, title="paper example PST"))
+    print(f"\nDOT files written: {cfg_path}, {pst_path}")
+
+
+def main() -> None:
+    show_figure1()
+    show_paper_example()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim so that ``pip install -e .`` works without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only enables the
+legacy editable-install path (``--no-use-pep517``) in offline environments
+where ``wheel``/``bdist_wheel`` are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""Reproduction of *Post Register Allocation Spill Code Optimization* (CGO 2006).
+
+The package implements the paper's hierarchical, profile-guided callee-saved
+spill code placement algorithm together with everything it needs to be
+evaluated end to end: a small three-address IR with an explicit CFG, a
+Chaitin/Briggs graph-coloring register allocator, Chow's shrink-wrapping and
+the entry/exit baseline, the program structure tree of maximal SESE regions,
+an IR interpreter and profiling support, a synthetic SPEC CPU2000-integer-like
+workload suite, and experiment harnesses that regenerate the paper's
+Figure 5, Table 1 and Table 2.
+
+Typical use::
+
+    from repro.workloads import paper_example
+    from repro.spill import place_hierarchical, placement_dynamic_overhead
+
+    example = paper_example()
+    result = place_hierarchical(example.function, example.usage, example.profile)
+    overhead = placement_dynamic_overhead(example.function, example.profile, result.placement)
+
+See ``README.md`` for the architecture overview, ``DESIGN.md`` for the system
+inventory and per-experiment index, and ``EXPERIMENTS.md`` for the measured
+numbers next to the paper's.
+"""
+
+__version__ = "1.0.0"
+
+#: The paper this repository reproduces.
+PAPER = (
+    "Christopher Lupo and Kent D. Wilken, "
+    "'Post Register Allocation Spill Code Optimization', CGO 2006"
+)
+
+__all__ = ["PAPER", "__version__"]

@@ -1,0 +1,160 @@
+"""A tiny directed-graph abstraction shared by the analyses.
+
+Analyses operate either on a :class:`~repro.ir.function.Function`'s CFG or on
+derived graphs (for example the edge-split graph used to compute edge
+dominance).  :class:`DiGraph` is the common denominator: ordered nodes,
+adjacency in both directions, and a handful of traversal helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+Node = Hashable
+
+
+class DiGraph:
+    """A simple directed graph with stable node ordering."""
+
+    def __init__(self) -> None:
+        self._succs: Dict[Node, List[Node]] = {}
+        self._preds: Dict[Node, List[Node]] = {}
+        self._order: List[Node] = []
+
+    # -- construction -------------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        if node not in self._succs:
+            self._succs[node] = []
+            self._preds[node] = []
+            self._order.append(node)
+
+    def add_edge(self, src: Node, dst: Node) -> None:
+        self.add_node(src)
+        self.add_node(dst)
+        if dst not in self._succs[src]:
+            self._succs[src].append(dst)
+            self._preds[dst].append(src)
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[Node]:
+        return list(self._order)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._succs
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def successors(self, node: Node) -> List[Node]:
+        return list(self._succs[node])
+
+    def predecessors(self, node: Node) -> List[Node]:
+        return list(self._preds[node])
+
+    def edges(self) -> List[Tuple[Node, Node]]:
+        return [(src, dst) for src in self._order for dst in self._succs[src]]
+
+    def num_edges(self) -> int:
+        return sum(len(s) for s in self._succs.values())
+
+    # -- traversals ---------------------------------------------------------------
+
+    def reverse_postorder(self, entry: Node) -> List[Node]:
+        """Nodes reachable from ``entry`` in reverse post-order (RPO)."""
+
+        return list(reversed(self.postorder(entry)))
+
+    def postorder(self, entry: Node) -> List[Node]:
+        """Iterative DFS post-order starting at ``entry``."""
+
+        visited: Set[Node] = set()
+        order: List[Node] = []
+        stack: List[Tuple[Node, int]] = [(entry, 0)]
+        visited.add(entry)
+        while stack:
+            node, index = stack[-1]
+            succs = self._succs[node]
+            if index < len(succs):
+                stack[-1] = (node, index + 1)
+                child = succs[index]
+                if child not in visited:
+                    visited.add(child)
+                    stack.append((child, 0))
+            else:
+                stack.pop()
+                order.append(node)
+        return order
+
+    def reachable_from(self, entry: Node) -> Set[Node]:
+        seen: Set[Node] = set()
+        stack = [entry]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(s for s in self._succs[node] if s not in seen)
+        return seen
+
+    def reversed(self) -> "DiGraph":
+        """A new graph with every edge direction flipped."""
+
+        rev = DiGraph()
+        for node in self._order:
+            rev.add_node(node)
+        for src, dst in self.edges():
+            rev.add_edge(dst, src)
+        return rev
+
+
+def function_cfg(function) -> Tuple[DiGraph, Node, Node]:
+    """Build the CFG :class:`DiGraph` of a function.
+
+    Returns ``(graph, entry, exit)`` where ``exit`` is the unique exit block
+    label (the function must be in single-exit form).
+    """
+
+    graph = DiGraph()
+    for label in function.block_labels:
+        graph.add_node(label)
+    for edge in function.edges():
+        graph.add_edge(edge.src, edge.dst)
+    return graph, function.entry.label, function.exit.label
+
+
+def edge_split_graph(function) -> Tuple[DiGraph, Node, Node, Dict[Tuple[str, str], Node]]:
+    """Build a graph where every CFG edge is represented by a synthetic node.
+
+    Each CFG edge ``(u, v)`` becomes a node ``("edge", u, v)`` spliced between
+    ``u`` and ``v``.  Dominance relations between these synthetic nodes give
+    *edge dominance*, which SESE-region computation needs.  The virtual
+    procedure entry and exit edges are included so they can delimit the root
+    region.
+
+    Returns ``(graph, entry_edge_node, exit_edge_node, edge_node_map)`` where
+    ``edge_node_map`` maps each real CFG edge key to its synthetic node.
+    """
+
+    graph = DiGraph()
+    entry_node = ("edge", "__entry__", function.entry.label)
+    exit_node = ("edge", function.exit.label, "__exit__")
+    edge_nodes: Dict[Tuple[str, str], Node] = {}
+
+    for label in function.block_labels:
+        graph.add_node(("block", label))
+
+    graph.add_node(entry_node)
+    graph.add_edge(entry_node, ("block", function.entry.label))
+    graph.add_node(exit_node)
+    graph.add_edge(("block", function.exit.label), exit_node)
+
+    for edge in function.edges():
+        node = ("edge", edge.src, edge.dst)
+        edge_nodes[edge.key] = node
+        graph.add_edge(("block", edge.src), node)
+        graph.add_edge(node, ("block", edge.dst))
+
+    return graph, entry_node, exit_node, edge_nodes

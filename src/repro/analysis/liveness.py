@@ -1,0 +1,104 @@
+"""Live-variable analysis over registers.
+
+Liveness drives interference-graph construction in the register allocator and
+callee-saved occupancy computation after allocation.  The analysis is
+block-level (live-in / live-out sets) with helpers to refine within a block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.dataflow import DataflowProblem, Direction, Meet, solve_dataflow
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.values import Register
+
+
+@dataclass
+class LivenessInfo:
+    """Result of live-variable analysis."""
+
+    live_in: Dict[str, Set[Register]]
+    live_out: Dict[str, Set[Register]]
+    uses: Dict[str, Set[Register]]
+    defs: Dict[str, Set[Register]]
+
+    def live_through(self, label: str) -> Set[Register]:
+        """Registers live across the whole block (in and out, not redefined)."""
+
+        return (self.live_in[label] & self.live_out[label]) - self.defs[label]
+
+    def live_anywhere_in(self, label: str) -> Set[Register]:
+        """Registers live at some point inside the block."""
+
+        return self.live_in[label] | self.live_out[label] | self.defs[label] | self.uses[label]
+
+
+def block_upward_exposed_uses(instructions: List[Instruction]) -> Tuple[Set[Register], Set[Register]]:
+    """Return ``(upward_exposed_uses, defs)`` for a straight-line sequence."""
+
+    exposed: Set[Register] = set()
+    defined: Set[Register] = set()
+    for inst in instructions:
+        for reg in inst.registers_read():
+            if reg not in defined:
+                exposed.add(reg)
+        defined.update(inst.registers_written())
+    return exposed, defined
+
+
+def compute_liveness(function: Function, call_clobbers: Dict[str, Set[Register]] = None) -> LivenessInfo:
+    """Compute block-level liveness.
+
+    ``call_clobbers`` optionally maps block labels to registers additionally
+    *defined* (clobbered) within the block — used when reasoning about
+    physical registers around calls.
+    """
+
+    uses: Dict[str, Set[Register]] = {}
+    defs: Dict[str, Set[Register]] = {}
+    for block in function.blocks:
+        exposed, defined = block_upward_exposed_uses(block.instructions)
+        if call_clobbers and block.label in call_clobbers:
+            defined = defined | call_clobbers[block.label]
+        uses[block.label] = exposed
+        defs[block.label] = defined
+
+    # Function parameters are live at entry; return values are used at exits.
+    boundary: Set[Register] = set()
+    problem = DataflowProblem(
+        direction=Direction.BACKWARD,
+        meet=Meet.UNION,
+        gen=uses,
+        kill=defs,
+        boundary=boundary,
+    )
+    result = solve_dataflow(function, problem)
+    return LivenessInfo(
+        live_in=result.block_in,
+        live_out=result.block_out,
+        uses=uses,
+        defs=defs,
+    )
+
+
+def live_at_each_instruction(
+    function: Function, liveness: LivenessInfo, label: str
+) -> List[Set[Register]]:
+    """Registers live *after* each instruction of block ``label``.
+
+    Index ``i`` of the returned list is the live set immediately after
+    instruction ``i``; walking backwards from the block's live-out set.
+    """
+
+    block = function.block(label)
+    live = set(liveness.live_out[label])
+    after: List[Set[Register]] = [set() for _ in block.instructions]
+    for i in range(len(block.instructions) - 1, -1, -1):
+        after[i] = set(live)
+        inst = block.instructions[i]
+        live -= set(inst.registers_written())
+        live |= set(inst.registers_read())
+    return after

@@ -1,0 +1,130 @@
+"""Natural loop detection and the loop nesting forest.
+
+Chow's original shrink-wrapping avoids placing save/restore code inside loops
+by propagating artificial data flow through loop bodies; the reproduction of
+that behaviour (:mod:`repro.spill.shrink_wrap`) needs to know which blocks
+belong to which natural loops.  The workload generator also uses loop
+information to report workload statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.dominance import DominatorTree, compute_dominators
+from repro.ir.function import Function
+
+
+@dataclass
+class Loop:
+    """A natural loop: a back edge ``latch -> header`` plus its body."""
+
+    header: str
+    latches: Set[str] = field(default_factory=set)
+    body: Set[str] = field(default_factory=set)
+    parent: Optional["Loop"] = None
+    children: List["Loop"] = field(default_factory=list)
+
+    @property
+    def depth(self) -> int:
+        depth = 1
+        node = self.parent
+        while node is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    def contains_block(self, label: str) -> bool:
+        return label in self.body
+
+    def contains_loop(self, other: "Loop") -> bool:
+        return other.body <= self.body and other is not self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Loop header={self.header} blocks={len(self.body)} depth={self.depth}>"
+
+
+@dataclass
+class LoopForest:
+    """All natural loops of a function, organised by nesting."""
+
+    loops: List[Loop]
+    loop_of_header: Dict[str, Loop]
+
+    @property
+    def top_level(self) -> List[Loop]:
+        return [loop for loop in self.loops if loop.parent is None]
+
+    def innermost_loop_of(self, label: str) -> Optional[Loop]:
+        """The innermost loop containing ``label`` (``None`` when outside loops)."""
+
+        best: Optional[Loop] = None
+        for loop in self.loops:
+            if label in loop.body and (best is None or len(loop.body) < len(best.body)):
+                best = loop
+        return best
+
+    def loop_depth(self, label: str) -> int:
+        loop = self.innermost_loop_of(label)
+        return loop.depth if loop is not None else 0
+
+    def blocks_in_loops(self) -> Set[str]:
+        blocks: Set[str] = set()
+        for loop in self.loops:
+            blocks |= loop.body
+        return blocks
+
+    def max_depth(self) -> int:
+        return max((loop.depth for loop in self.loops), default=0)
+
+
+def _natural_loop_body(function: Function, header: str, latch: str) -> Set[str]:
+    """Blocks of the natural loop with the given back edge."""
+
+    body = {header, latch}
+    stack = [latch]
+    preds: Dict[str, List[str]] = {}
+    for edge in function.edges():
+        preds.setdefault(edge.dst, []).append(edge.src)
+    while stack:
+        label = stack.pop()
+        if label == header:
+            continue
+        for pred in preds.get(label, []):
+            if pred not in body:
+                body.add(pred)
+                stack.append(pred)
+    return body
+
+
+def compute_loop_forest(function: Function, dom: Optional[DominatorTree] = None) -> LoopForest:
+    """Find all natural loops (one per header, merging shared-header back edges)."""
+
+    dom = dom or compute_dominators(function)
+    back_edges: List[Tuple[str, str]] = []
+    for edge in function.edges():
+        if edge.src in dom and edge.dst in dom and dom.dominates(edge.dst, edge.src):
+            back_edges.append((edge.src, edge.dst))
+
+    loops_by_header: Dict[str, Loop] = {}
+    for latch, header in back_edges:
+        loop = loops_by_header.setdefault(header, Loop(header=header))
+        loop.latches.add(latch)
+        loop.body |= _natural_loop_body(function, header, latch)
+
+    loops = list(loops_by_header.values())
+
+    # Establish nesting: the parent of a loop is the smallest strictly larger
+    # loop containing it.
+    for loop in loops:
+        candidates = [
+            other
+            for other in loops
+            if other is not loop and loop.body <= other.body and loop.header in other.body
+        ]
+        if candidates:
+            loop.parent = min(candidates, key=lambda l: len(l.body))
+            loop.parent.children.append(loop)
+
+    return LoopForest(loops=loops, loop_of_header=loops_by_header)

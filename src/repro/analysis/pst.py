@@ -1,0 +1,172 @@
+"""The program structure tree (PST).
+
+The PST is the hierarchical representation of a procedure's SESE regions:
+the root is the whole procedure, interior nodes are SESE regions, and nesting
+follows region containment.  The hierarchical spill-placement algorithm walks
+the PST in topological (children before parents) order, asking at every
+region whether the save/restore sets it contains should be hoisted to the
+region boundaries.
+
+Following the paper, the PST is built from *maximal* SESE regions by default;
+canonical regions are available for the ablation study.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from repro.analysis.sese import SESERegion, find_canonical_regions, find_maximal_regions
+from repro.ir.function import ENTRY_SENTINEL, EXIT_SENTINEL, Function
+
+EdgeKey = Tuple[str, str]
+
+
+@dataclass
+class Region:
+    """A node of the program structure tree."""
+
+    identifier: int
+    entry_edge: EdgeKey
+    exit_edge: EdgeKey
+    blocks: FrozenSet[str]
+    is_root: bool = False
+    parent: Optional["Region"] = None
+    children: List["Region"] = field(default_factory=list)
+
+    def contains_block(self, label: str) -> bool:
+        return label in self.blocks
+
+    def contains_region(self, other: "Region") -> bool:
+        return other is not self and other.blocks <= self.blocks
+
+    @property
+    def depth(self) -> int:
+        depth = 0
+        node = self.parent
+        while node is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    def describe(self) -> str:
+        kind = "procedure" if self.is_root else "region"
+        entry = "->".join(self.entry_edge)
+        exit_ = "->".join(self.exit_edge)
+        return f"{kind} {self.identifier}: [{entry} ... {exit_}] {len(self.blocks)} blocks"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Region {self.identifier} blocks={sorted(self.blocks)}>"
+
+
+class ProgramStructureTree:
+    """The PST of one function."""
+
+    def __init__(self, function: Function, root: Region, regions: List[Region]):
+        self.function = function
+        self.root = root
+        self._regions = regions  # includes the root, ordered by construction
+
+    # -- queries ------------------------------------------------------------------
+
+    def regions(self) -> List[Region]:
+        """All regions including the root."""
+
+        return list(self._regions)
+
+    def interior_regions(self) -> List[Region]:
+        """All regions except the root."""
+
+        return [r for r in self._regions if not r.is_root]
+
+    def region_count(self) -> int:
+        return len(self._regions)
+
+    def smallest_region_containing(self, label: str) -> Region:
+        """The innermost region whose block set contains ``label``."""
+
+        best = self.root
+        for region in self._regions:
+            if label in region.blocks and len(region.blocks) < len(best.blocks):
+                best = region
+        return best
+
+    def topological_order(self) -> List[Region]:
+        """Regions ordered children-before-parents (the traversal the paper uses).
+
+        Every region appears after all of its descendants, so when the
+        hierarchical placement algorithm reaches a region, all smaller
+        regions nested inside it have already been analysed.
+        """
+
+        order: List[Region] = []
+
+        def visit(region: Region) -> None:
+            for child in sorted(region.children, key=lambda r: (len(r.blocks), r.entry_edge)):
+                visit(child)
+            order.append(region)
+
+        visit(self.root)
+        return order
+
+    def depth(self) -> int:
+        return max((region.depth for region in self._regions), default=0)
+
+    def __iter__(self) -> Iterator[Region]:
+        return iter(self._regions)
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+
+def build_pst(function: Function, maximal: bool = True) -> ProgramStructureTree:
+    """Build the program structure tree of ``function``.
+
+    Parameters
+    ----------
+    maximal:
+        Use maximal SESE regions (the paper's choice).  When false, canonical
+        regions are used instead; this exists for the ablation benchmark.
+    """
+
+    sese_regions = find_maximal_regions(function) if maximal else find_canonical_regions(function)
+    ids = itertools.count(1)
+
+    root = Region(
+        identifier=0,
+        entry_edge=(ENTRY_SENTINEL, function.entry.label),
+        exit_edge=(function.exit.label, EXIT_SENTINEL),
+        blocks=frozenset(function.block_labels),
+        is_root=True,
+    )
+
+    regions = [
+        Region(
+            identifier=next(ids),
+            entry_edge=r.entry_edge,
+            exit_edge=r.exit_edge,
+            blocks=r.blocks,
+        )
+        for r in sese_regions
+    ]
+
+    # Drop any region that coincides with the whole procedure: the root
+    # already represents it and its boundaries are the procedure entry/exit.
+    regions = [r for r in regions if r.blocks != root.blocks]
+
+    # Establish nesting: the parent of a region is the smallest region whose
+    # block set strictly contains it; the root catches everything else.
+    by_size = sorted(regions, key=lambda r: len(r.blocks))
+    for region in by_size:
+        candidates = [
+            other
+            for other in by_size
+            if other is not region and region.blocks < other.blocks
+        ]
+        parent = min(candidates, key=lambda r: len(r.blocks)) if candidates else root
+        region.parent = parent
+        parent.children.append(region)
+
+    all_regions = [root] + by_size
+    return ProgramStructureTree(function, root, all_regions)

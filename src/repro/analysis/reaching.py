@@ -1,0 +1,72 @@
+"""Reaching-definitions analysis.
+
+Definitions are identified by ``(block_label, instruction_index, register)``.
+The analysis feeds du-web construction (:mod:`repro.analysis.webs`), which the
+paper reuses — with saves treated as web beginnings and restores as web
+terminations — to group save/restore locations into save/restore sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.dataflow import DataflowProblem, Direction, Meet, solve_dataflow
+from repro.ir.function import Function
+from repro.ir.values import Register
+
+#: A definition site: (block label, instruction index within block, register).
+Definition = Tuple[str, int, Register]
+
+
+@dataclass
+class ReachingDefinitions:
+    """Reaching definitions at block boundaries plus per-block definition lists."""
+
+    reach_in: Dict[str, Set[Definition]]
+    reach_out: Dict[str, Set[Definition]]
+    definitions: Dict[Register, Set[Definition]]
+
+    def defs_of(self, register: Register) -> Set[Definition]:
+        return self.definitions.get(register, set())
+
+
+def compute_reaching_definitions(function: Function) -> ReachingDefinitions:
+    """Standard forward union reaching-definitions analysis."""
+
+    all_defs: Dict[Register, Set[Definition]] = {}
+    gen: Dict[str, Set[Definition]] = {}
+    kill_regs: Dict[str, Set[Register]] = {}
+
+    for block in function.blocks:
+        block_gen: Dict[Register, Definition] = {}
+        for index, inst in enumerate(block.instructions):
+            for reg in inst.registers_written():
+                definition = (block.label, index, reg)
+                all_defs.setdefault(reg, set()).add(definition)
+                block_gen[reg] = definition  # later defs shadow earlier ones
+        gen[block.label] = set(block_gen.values())
+        kill_regs[block.label] = set(block_gen.keys())
+
+    # The kill set of a block is every definition of a register it redefines,
+    # except the one it generates itself.
+    kill: Dict[str, Set[Definition]] = {}
+    for label, regs in kill_regs.items():
+        killed: Set[Definition] = set()
+        for reg in regs:
+            killed |= all_defs[reg]
+        kill[label] = killed - gen[label]
+
+    problem = DataflowProblem(
+        direction=Direction.FORWARD,
+        meet=Meet.UNION,
+        gen=gen,
+        kill=kill,
+        boundary=set(),
+    )
+    result = solve_dataflow(function, problem)
+    return ReachingDefinitions(
+        reach_in=result.block_in,
+        reach_out=result.block_out,
+        definitions=all_defs,
+    )

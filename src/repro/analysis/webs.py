@@ -1,0 +1,102 @@
+"""Du-chain webs.
+
+A *web* is a maximal set of definitions and uses of one register connected by
+def-use chains; webs are the unit the register allocator colours and the model
+the paper borrows for grouping save/restore locations into save/restore sets
+("Save instructions represent the beginning of a web rather than definitions,
+and restore instructions represent the termination of a web rather than
+last-uses").
+
+This module computes conventional webs over IR registers; the spill package
+builds its save/restore sets with analogous reachability logic specialised to
+placement locations on edges (:mod:`repro.spill.sets`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.reaching import Definition, compute_reaching_definitions
+from repro.ir.function import Function
+from repro.ir.values import Register
+
+#: A use site: (block label, instruction index within block, register).
+Use = Tuple[str, int, Register]
+
+
+@dataclass
+class Web:
+    """A maximal connected set of definitions and uses of one register."""
+
+    register: Register
+    definitions: Set[Definition] = field(default_factory=set)
+    uses: Set[Use] = field(default_factory=set)
+
+    def size(self) -> int:
+        return len(self.definitions) + len(self.uses)
+
+    def blocks(self) -> Set[str]:
+        return {d[0] for d in self.definitions} | {u[0] for u in self.uses}
+
+
+class _UnionFind:
+    """Minimal union-find used to merge definitions into webs."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[Definition, Definition] = {}
+
+    def find(self, item: Definition) -> Definition:
+        parent = self._parent.setdefault(item, item)
+        if parent != item:
+            parent = self.find(parent)
+            self._parent[item] = parent
+        return parent
+
+    def union(self, a: Definition, b: Definition) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+
+def compute_webs(function: Function) -> List[Web]:
+    """Group the definitions and uses of every register into webs."""
+
+    reaching = compute_reaching_definitions(function)
+    union = _UnionFind()
+    use_to_defs: Dict[Use, Set[Definition]] = {}
+
+    for block in function.blocks:
+        label = block.label
+        current: Dict[Register, Set[Definition]] = {}
+        # Start from the definitions reaching the block entry.
+        for definition in reaching.reach_in[label]:
+            current.setdefault(definition[2], set()).add(definition)
+        for index, inst in enumerate(block.instructions):
+            for reg in inst.registers_read():
+                defs = current.get(reg, set())
+                if defs:
+                    use_site: Use = (label, index, reg)
+                    use_to_defs[use_site] = set(defs)
+                    # All definitions reaching a common use belong to one web.
+                    first = next(iter(defs))
+                    for other in defs:
+                        union.union(first, other)
+            for reg in inst.registers_written():
+                current[reg] = {(label, index, reg)}
+
+    webs: Dict[Definition, Web] = {}
+    all_definitions: Set[Definition] = set()
+    for defs in reaching.definitions.values():
+        all_definitions |= defs
+
+    for definition in all_definitions:
+        root = union.find(definition)
+        web = webs.setdefault(root, Web(register=definition[2]))
+        web.definitions.add(definition)
+
+    for use_site, defs in use_to_defs.items():
+        root = union.find(next(iter(defs)))
+        webs[root].uses.add(use_site)
+
+    return sorted(webs.values(), key=lambda w: (w.register.name, sorted(w.blocks())))

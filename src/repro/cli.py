@@ -1,0 +1,161 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-spill figure5   [--scale S] [--cost-model MODEL]
+    repro-spill table1    [--scale S] [--cost-model MODEL]
+    repro-spill table2    [--scale S]
+    repro-spill ablation  {cost-model,regions} [--scale S]
+    repro-spill example   [--cost-model MODEL]   # the paper's worked example
+    repro-spill place     FILE [--technique T]   # place spill code for a textual IR file
+
+(Also reachable as ``python -m repro ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.evaluation.ablations import (
+    cost_model_ablation,
+    region_granularity_ablation,
+    render_ablation,
+)
+from repro.evaluation.figure5 import figure5, render_figure5
+from repro.evaluation.runner import run_suite
+from repro.evaluation.table1 import render_table1, table1
+from repro.evaluation.table2 import render_table2, table2
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="multiplier on the number of procedures per benchmark (default 1.0)",
+    )
+
+
+def _add_cost_model(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cost-model",
+        choices=("jump_edge", "execution_count"),
+        default="jump_edge",
+        help="cost model for the hierarchical algorithm (default: jump_edge, as in the paper)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-spill",
+        description="Post register allocation spill code optimization (CGO 2006) reproduction",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    fig5 = subparsers.add_parser("figure5", help="regenerate the paper's Figure 5")
+    _add_scale(fig5)
+    _add_cost_model(fig5)
+    fig5.add_argument("--no-chart", action="store_true", help="omit the ASCII bar chart")
+
+    tab1 = subparsers.add_parser("table1", help="regenerate the paper's Table 1")
+    _add_scale(tab1)
+    _add_cost_model(tab1)
+
+    tab2 = subparsers.add_parser("table2", help="regenerate the paper's Table 2")
+    _add_scale(tab2)
+
+    ablation = subparsers.add_parser("ablation", help="run an ablation study")
+    ablation.add_argument("study", choices=("cost-model", "regions"))
+    _add_scale(ablation)
+
+    subparsers.add_parser("example", help="walk through the paper's Figure 2/3 example")
+
+    place = subparsers.add_parser(
+        "place", help="run the placement pipeline on a textual IR file"
+    )
+    place.add_argument("file", help="path to a textual IR module")
+    _add_cost_model(place)
+    return parser
+
+
+def _command_example() -> int:
+    from repro.spill import (
+        place_entry_exit,
+        place_hierarchical,
+        place_shrink_wrap,
+        placement_dynamic_overhead,
+    )
+    from repro.workloads import paper_example
+
+    example = paper_example()
+    function, profile, usage = example.function, example.profile, example.usage
+    print("Paper worked example (Figures 2-4), dynamic overhead per technique:")
+    baseline = place_entry_exit(function, usage)
+    shrinkwrap = place_shrink_wrap(function, usage)
+    print(f"  entry/exit placement : {placement_dynamic_overhead(function, profile, baseline).total:g}")
+    print(f"  Chow shrink-wrapping : {placement_dynamic_overhead(function, profile, shrinkwrap).total:g}")
+    for model in ("execution_count", "jump_edge"):
+        result = place_hierarchical(function, usage, profile, cost_model=model)
+        overhead = placement_dynamic_overhead(function, profile, result.placement)
+        print(f"  hierarchical ({model:>15s}): save/restore {overhead.save_count + overhead.restore_count:g}, "
+              f"jump blocks {overhead.jump_count:g}")
+        for decision in result.decisions:
+            print(f"      {decision}")
+    return 0
+
+
+def _command_place(path: str, cost_model: str) -> int:
+    from repro.ir.parser import parse_module
+    from repro.ir.passes import ensure_single_exit
+    from repro.pipeline.compiler import compile_procedure
+    from repro.profiling.synthetic import uniform_profile
+
+    with open(path, "r", encoding="utf-8") as handle:
+        module = parse_module(handle.read())
+    for function in module.functions:
+        ensure_single_exit(function)
+        profile = uniform_profile(function, invocations=1000.0)
+        compiled = compile_procedure((function, profile), cost_model=cost_model)
+        print(f"function {function.name}: {compiled.allocation.describe()}")
+        for technique in ("baseline", "shrinkwrap", "optimized"):
+            overhead = compiled.callee_saved_overhead(technique)
+            print(f"  {technique:10s} callee-saved overhead: {overhead:g}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "figure5":
+        measurement = run_suite(scale=args.scale, cost_model=args.cost_model)
+        print(render_figure5(figure5(measurement), chart=not args.no_chart))
+        return 0
+    if args.command == "table1":
+        measurement = run_suite(scale=args.scale, cost_model=args.cost_model)
+        print(render_table1(table1(measurement)))
+        return 0
+    if args.command == "table2":
+        measurement = run_suite(scale=args.scale)
+        print(render_table2(table2(measurement)))
+        return 0
+    if args.command == "ablation":
+        if args.study == "cost-model":
+            rows = cost_model_ablation(scale=args.scale)
+            print(render_ablation(rows, "jump-edge", "execution-count",
+                                  "Ablation: cost model (materialized overhead)"))
+        else:
+            rows = region_granularity_ablation(scale=args.scale)
+            print(render_ablation(rows, "maximal", "canonical",
+                                  "Ablation: SESE region granularity"))
+        return 0
+    if args.command == "example":
+        return _command_example()
+    if args.command == "place":
+        return _command_place(args.file, args.cost_model)
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,80 @@
+"""Ablation studies motivated by the paper's design discussion.
+
+Two choices in Section 4 are worth isolating experimentally even though the
+paper does not tabulate them:
+
+* **Cost model** — the execution-count model is optimal but may leave spill
+  code on jump edges (extra jump instructions when materialized); the
+  jump-edge model folds that cost into the placement decision.  The ablation
+  compares the *materialized* overhead (including jump blocks) of both.
+* **Region granularity** — the algorithm is defined over *maximal* SESE
+  regions; running it over canonical (smallest) regions checks how much the
+  maximal-region formulation matters in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.evaluation.reporting import format_table
+from repro.evaluation.runner import SuiteMeasurement, run_suite
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """Overhead of two configurations of the hierarchical algorithm."""
+
+    benchmark: str
+    variant_a: float
+    variant_b: float
+
+    @property
+    def ratio(self) -> float:
+        if self.variant_a <= 0.0:
+            return 1.0
+        return self.variant_b / self.variant_a
+
+
+def _rows(
+    first: SuiteMeasurement, second: SuiteMeasurement, technique: str = "optimized"
+) -> List[AblationRow]:
+    rows = []
+    for a, b in zip(first.benchmarks, second.benchmarks):
+        rows.append(
+            AblationRow(
+                benchmark=a.name,
+                variant_a=a.total_overhead(technique),
+                variant_b=b.total_overhead(technique),
+            )
+        )
+    return rows
+
+
+def cost_model_ablation(scale: float = 1.0) -> List[AblationRow]:
+    """Jump-edge model (A) versus execution-count model (B), materialized cost."""
+
+    jump_edge = run_suite(scale=scale, cost_model="jump_edge")
+    execution = run_suite(scale=scale, cost_model="execution_count")
+    return _rows(jump_edge, execution)
+
+
+def region_granularity_ablation(scale: float = 1.0) -> List[AblationRow]:
+    """Maximal SESE regions (A) versus canonical SESE regions (B)."""
+
+    maximal = run_suite(scale=scale, maximal_regions=True)
+    canonical = run_suite(scale=scale, maximal_regions=False)
+    return _rows(maximal, canonical)
+
+
+def render_ablation(
+    rows: Sequence[AblationRow], variant_a: str, variant_b: str, title: str
+) -> str:
+    body = [
+        (row.benchmark, row.variant_a, row.variant_b, f"{row.ratio:.3f}") for row in rows
+    ]
+    return format_table(
+        headers=["benchmark", variant_a, variant_b, "B/A"],
+        rows=body,
+        title=title,
+    )

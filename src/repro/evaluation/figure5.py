@@ -1,0 +1,67 @@
+"""Figure 5: total dynamic spill code overhead per benchmark and technique.
+
+The paper's Figure 5 is a grouped bar chart with one group per SPEC CPU2000
+integer benchmark and one bar per placement technique (Optimized, Shrinkwrap,
+Baseline); the totals include the register allocator's spill code, which is
+identical across the three techniques.  This module produces the same series
+from the synthetic suite and renders them as a text table plus an ASCII bar
+chart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.evaluation.reporting import format_table, horizontal_bar_chart
+from repro.evaluation.runner import SuiteMeasurement, run_suite
+from repro.pipeline.compiler import TECHNIQUES
+
+
+@dataclass(frozen=True)
+class Figure5Row:
+    """One benchmark's totals (one group of bars in the figure)."""
+
+    benchmark: str
+    optimized: float
+    shrinkwrap: float
+    baseline: float
+
+    def series(self) -> Sequence[float]:
+        return (self.optimized, self.shrinkwrap, self.baseline)
+
+
+def figure5(measurement: Optional[SuiteMeasurement] = None, scale: float = 1.0) -> List[Figure5Row]:
+    """Compute the Figure 5 series, running the suite if needed."""
+
+    measurement = measurement or run_suite(scale=scale)
+    rows: List[Figure5Row] = []
+    for benchmark in measurement.benchmarks:
+        rows.append(
+            Figure5Row(
+                benchmark=benchmark.name,
+                optimized=benchmark.total_overhead("optimized"),
+                shrinkwrap=benchmark.total_overhead("shrinkwrap"),
+                baseline=benchmark.total_overhead("baseline"),
+            )
+        )
+    return rows
+
+
+def render_figure5(rows: Sequence[Figure5Row], chart: bool = True) -> str:
+    """Render Figure 5 as a table and (optionally) an ASCII bar chart."""
+
+    table = format_table(
+        headers=["benchmark", "Optimized", "Shrinkwrap", "Baseline"],
+        rows=[(r.benchmark, r.optimized, r.shrinkwrap, r.baseline) for r in rows],
+        title="Figure 5: total dynamic spill code overhead (profile-weighted instructions)",
+    )
+    if not chart:
+        return table
+    bars = horizontal_bar_chart(
+        labels=[r.benchmark for r in rows],
+        series=[list(r.series()) for r in rows],
+        series_names=["Optimized", "Shrinkwrap", "Baseline"],
+        title="Figure 5 (bar-chart view)",
+    )
+    return table + "\n\n" + bars

@@ -1,0 +1,76 @@
+"""Plain-text rendering helpers shared by the experiment reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a fixed-width text table (right-aligned numeric cells)."""
+
+    materialized: List[List[str]] = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+                         for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_percent(value: float) -> str:
+    """Format a ratio the way the paper's Table 1 does (``84.8%``)."""
+
+    return f"{100.0 * value:.1f}%"
+
+
+def horizontal_bar_chart(
+    labels: Sequence[str],
+    series: Sequence[Sequence[float]],
+    series_names: Sequence[str],
+    width: int = 50,
+    title: Optional[str] = None,
+) -> str:
+    """A rough ASCII rendition of the paper's Figure 5 grouped bar chart."""
+
+    maximum = max((value for group in series for value in group), default=1.0) or 1.0
+    glyphs = "#=+*o"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    label_width = max((len(l) for l in labels), default=5)
+    for index, label in enumerate(labels):
+        for series_index, name in enumerate(series_names):
+            value = series[index][series_index]
+            bar = glyphs[series_index % len(glyphs)] * max(
+                0, int(round(width * value / maximum))
+            )
+            prefix = label if series_index == 0 else ""
+            lines.append(
+                f"{prefix:<{label_width}}  {name:<10} |{bar} {value:,.0f}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()

@@ -1,0 +1,141 @@
+"""Compiling the synthetic suite and aggregating per-benchmark measurements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.pipeline.compiler import TECHNIQUES, CompiledProcedure, compile_procedure
+from repro.spill.cost_models import CostModel
+from repro.target.machine import MachineDescription
+from repro.target.parisc import parisc_target
+from repro.workloads.spec_like import SyntheticBenchmark, build_suite
+
+
+@dataclass
+class BenchmarkMeasurement:
+    """Aggregated overheads and timings for one benchmark."""
+
+    name: str
+    #: Callee-saved dynamic overhead (saves + restores + spill jumps) per technique.
+    callee_saved_overhead: Dict[str, float] = field(default_factory=dict)
+    #: Allocator spill overhead (identical across techniques).
+    allocator_overhead: float = 0.0
+    #: Accumulated pass wall-clock seconds keyed by pass name.
+    pass_seconds: Dict[str, float] = field(default_factory=dict)
+    num_procedures: int = 0
+    num_blocks: int = 0
+    num_instructions: int = 0
+    procedures: List[CompiledProcedure] = field(default_factory=list)
+    paper_optimized_ratio: Optional[float] = None
+    paper_shrinkwrap_ratio: Optional[float] = None
+
+    def total_overhead(self, technique: str) -> float:
+        """Figure 5's quantity: allocator spill code plus callee-saved code."""
+
+        return self.allocator_overhead + self.callee_saved_overhead.get(technique, 0.0)
+
+    def ratio_to_baseline(self, technique: str) -> float:
+        """Table 1's quantity: technique overhead relative to entry/exit placement."""
+
+        baseline = self.total_overhead("baseline")
+        if baseline <= 0.0:
+            return 1.0
+        return self.total_overhead(technique) / baseline
+
+    def incremental_seconds(self, technique: str) -> float:
+        """Table 2's quantity: pass time beyond the entry/exit placement pass."""
+
+        return max(
+            self.pass_seconds.get(technique, 0.0) - self.pass_seconds.get("baseline", 0.0),
+            0.0,
+        )
+
+
+@dataclass
+class SuiteMeasurement:
+    """Measurements for every benchmark of a suite run."""
+
+    benchmarks: List[BenchmarkMeasurement] = field(default_factory=list)
+    cost_model: str = "jump_edge"
+
+    def benchmark(self, name: str) -> BenchmarkMeasurement:
+        for measurement in self.benchmarks:
+            if measurement.name == name:
+                return measurement
+        raise KeyError(f"no benchmark named {name!r} in this suite run")
+
+    def names(self) -> List[str]:
+        return [m.name for m in self.benchmarks]
+
+    def average_ratio(self, technique: str) -> float:
+        ratios = [m.ratio_to_baseline(technique) for m in self.benchmarks]
+        return sum(ratios) / len(ratios) if ratios else 1.0
+
+
+def run_benchmark(
+    benchmark: SyntheticBenchmark,
+    machine: Optional[MachineDescription] = None,
+    cost_model: Union[CostModel, str] = "jump_edge",
+    techniques: Sequence[str] = TECHNIQUES,
+    verify: bool = True,
+    maximal_regions: bool = True,
+    keep_procedures: bool = False,
+) -> BenchmarkMeasurement:
+    """Compile every procedure of one benchmark and aggregate the measurements."""
+
+    machine = machine or parisc_target()
+    measurement = BenchmarkMeasurement(
+        name=benchmark.name,
+        callee_saved_overhead={technique: 0.0 for technique in techniques},
+        paper_optimized_ratio=benchmark.spec.paper_optimized_ratio,
+        paper_shrinkwrap_ratio=benchmark.spec.paper_shrinkwrap_ratio,
+    )
+    for procedure in benchmark.procedures:
+        compiled = compile_procedure(
+            procedure,
+            machine=machine,
+            cost_model=cost_model,
+            techniques=techniques,
+            verify=verify,
+            maximal_regions=maximal_regions,
+        )
+        measurement.num_procedures += 1
+        measurement.num_blocks += len(compiled.allocation.function)
+        measurement.num_instructions += compiled.allocation.function.instruction_count()
+        measurement.allocator_overhead += compiled.allocator_overhead
+        for technique in techniques:
+            measurement.callee_saved_overhead[technique] += compiled.callee_saved_overhead(
+                technique
+            )
+        for name, seconds in compiled.pass_seconds.items():
+            measurement.pass_seconds[name] = measurement.pass_seconds.get(name, 0.0) + seconds
+        if keep_procedures:
+            measurement.procedures.append(compiled)
+    return measurement
+
+
+def run_suite(
+    names: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    machine: Optional[MachineDescription] = None,
+    cost_model: Union[CostModel, str] = "jump_edge",
+    verify: bool = True,
+    maximal_regions: bool = True,
+) -> SuiteMeasurement:
+    """Generate and measure the whole SPEC-like suite (or a named subset)."""
+
+    suite = build_suite(names=names, scale=scale)
+    model_name = cost_model if isinstance(cost_model, str) else cost_model.name
+    measurement = SuiteMeasurement(cost_model=model_name)
+    for benchmark in suite:
+        measurement.benchmarks.append(
+            run_benchmark(
+                benchmark,
+                machine=machine,
+                cost_model=cost_model,
+                verify=verify,
+                maximal_regions=maximal_regions,
+            )
+        )
+    return measurement

@@ -1,0 +1,92 @@
+"""Table 1: dynamic spill overhead ratios relative to entry/exit placement.
+
+For each benchmark the paper reports ``Optimized/Baseline`` and
+``Shrinkwrap/Baseline`` (in percent) plus the suite average; the headline
+result is the 15% average reduction of the hierarchical algorithm versus the
+less-than-1% reduction of shrink-wrapping.  The renderer shows the measured
+ratios side by side with the paper's reference numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.evaluation.reporting import format_percent, format_table
+from repro.evaluation.runner import SuiteMeasurement, run_suite
+
+#: Paper's reported averages (Table 1, last row).
+PAPER_AVERAGE_OPTIMIZED = 0.848
+PAPER_AVERAGE_SHRINKWRAP = 0.993
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One benchmark's ratios, with the paper's numbers for reference."""
+
+    benchmark: str
+    optimized_ratio: float
+    shrinkwrap_ratio: float
+    paper_optimized_ratio: Optional[float] = None
+    paper_shrinkwrap_ratio: Optional[float] = None
+
+
+def table1(measurement: Optional[SuiteMeasurement] = None, scale: float = 1.0) -> List[Table1Row]:
+    """Compute the Table 1 rows, running the suite if needed."""
+
+    measurement = measurement or run_suite(scale=scale)
+    rows: List[Table1Row] = []
+    for benchmark in measurement.benchmarks:
+        rows.append(
+            Table1Row(
+                benchmark=benchmark.name,
+                optimized_ratio=benchmark.ratio_to_baseline("optimized"),
+                shrinkwrap_ratio=benchmark.ratio_to_baseline("shrinkwrap"),
+                paper_optimized_ratio=benchmark.paper_optimized_ratio,
+                paper_shrinkwrap_ratio=benchmark.paper_shrinkwrap_ratio,
+            )
+        )
+    return rows
+
+
+def average_row(rows: Sequence[Table1Row]) -> Table1Row:
+    """The suite-average row (arithmetic mean of per-benchmark ratios)."""
+
+    if not rows:
+        return Table1Row("Average", 1.0, 1.0, PAPER_AVERAGE_OPTIMIZED, PAPER_AVERAGE_SHRINKWRAP)
+    return Table1Row(
+        benchmark="Average",
+        optimized_ratio=sum(r.optimized_ratio for r in rows) / len(rows),
+        shrinkwrap_ratio=sum(r.shrinkwrap_ratio for r in rows) / len(rows),
+        paper_optimized_ratio=PAPER_AVERAGE_OPTIMIZED,
+        paper_shrinkwrap_ratio=PAPER_AVERAGE_SHRINKWRAP,
+    )
+
+
+def render_table1(rows: Sequence[Table1Row]) -> str:
+    """Render Table 1 (measured and paper percentages side by side)."""
+
+    def paper(value: Optional[float]) -> str:
+        return format_percent(value) if value is not None else "-"
+
+    body = [
+        (
+            row.benchmark,
+            format_percent(row.optimized_ratio),
+            paper(row.paper_optimized_ratio),
+            format_percent(row.shrinkwrap_ratio),
+            paper(row.paper_shrinkwrap_ratio),
+        )
+        for row in list(rows) + [average_row(rows)]
+    ]
+    return format_table(
+        headers=[
+            "benchmark",
+            "Optimized/Baseline",
+            "(paper)",
+            "Shrinkwrap/Baseline",
+            "(paper)",
+        ],
+        rows=body,
+        title="Table 1: dynamic spill code overhead relative to entry/exit placement",
+    )

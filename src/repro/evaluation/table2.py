@@ -1,0 +1,91 @@
+"""Table 2: incremental compile time of the two profile-independent passes.
+
+The paper measures, per benchmark, the extra compilation time that
+shrink-wrapping and the hierarchical ("optimized") placement add on top of
+entry/exit placement, and reports their ratio; the hierarchical algorithm
+costs about 5.4x the shrink-wrapping increment on average because it runs
+shrink-wrapping internally and then builds and traverses the PST.
+
+Here the increments are the wall-clock times of the corresponding passes in
+this implementation (Python, so absolute seconds are not comparable to the
+paper's HP C3000 numbers — the ratio is the reproducible quantity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.evaluation.reporting import format_table
+from repro.evaluation.runner import SuiteMeasurement, run_suite
+
+#: Paper's reported average ratio (Table 2, last row).
+PAPER_AVERAGE_RATIO = 5.44
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One benchmark's incremental pass times (seconds) and their ratio."""
+
+    benchmark: str
+    shrinkwrap_seconds: float
+    optimized_seconds: float
+
+    @property
+    def ratio(self) -> float:
+        if self.shrinkwrap_seconds <= 0.0:
+            return float("nan")
+        return self.optimized_seconds / self.shrinkwrap_seconds
+
+
+def table2(measurement: Optional[SuiteMeasurement] = None, scale: float = 1.0) -> List[Table2Row]:
+    """Compute the Table 2 rows, running the suite if needed."""
+
+    measurement = measurement or run_suite(scale=scale)
+    rows: List[Table2Row] = []
+    for benchmark in measurement.benchmarks:
+        rows.append(
+            Table2Row(
+                benchmark=benchmark.name,
+                shrinkwrap_seconds=benchmark.incremental_seconds("shrinkwrap"),
+                optimized_seconds=benchmark.incremental_seconds("optimized"),
+            )
+        )
+    return rows
+
+
+def average_row(rows: Sequence[Table2Row]) -> Table2Row:
+    if not rows:
+        return Table2Row("Average", 0.0, 0.0)
+    return Table2Row(
+        benchmark="Average",
+        shrinkwrap_seconds=sum(r.shrinkwrap_seconds for r in rows) / len(rows),
+        optimized_seconds=sum(r.optimized_seconds for r in rows) / len(rows),
+    )
+
+
+def render_table2(rows: Sequence[Table2Row]) -> str:
+    body = []
+    for row in list(rows) + [average_row(rows)]:
+        ratio = row.ratio
+        body.append(
+            (
+                row.benchmark,
+                f"{row.shrinkwrap_seconds:.4f}",
+                f"{row.optimized_seconds:.4f}",
+                f"{ratio:.2f}" if ratio == ratio else "-",
+            )
+        )
+    return format_table(
+        headers=[
+            "benchmark",
+            "incremental shrink-wrap (s)",
+            "incremental optimized (s)",
+            "ratio",
+        ],
+        rows=body,
+        title=(
+            "Table 2: incremental compile time vs. entry/exit placement "
+            f"(paper's average ratio: {PAPER_AVERAGE_RATIO})"
+        ),
+    )

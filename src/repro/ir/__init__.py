@@ -1,0 +1,68 @@
+"""Toy three-address compiler IR used as the substrate for spill placement.
+
+The IR models exactly what the spill-placement algorithms need from a real
+compiler backend after register allocation:
+
+* a control flow graph of basic blocks with *fall-through* and *jump* edges,
+* instructions with explicit register defs/uses, including calls, loads and
+  stores,
+* virtual registers (pre-allocation) and physical registers (post-allocation),
+* a canonical single-entry / single-exit procedure shape.
+
+Public entry points:
+
+* :class:`~repro.ir.function.Function` and :class:`~repro.ir.module.Module`
+  are the top-level containers.
+* :class:`~repro.ir.builder.FunctionBuilder` constructs functions
+  programmatically.
+* :func:`~repro.ir.parser.parse_module` / :func:`~repro.ir.printer.print_module`
+  round-trip the textual form.
+* :func:`~repro.ir.verifier.verify_function` checks structural invariants.
+"""
+
+from repro.ir.basic_block import BasicBlock
+from repro.ir.builder import FunctionBuilder
+from repro.ir.cfg import EdgeKind, Edge
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Instruction,
+    Opcode,
+    OPCODE_INFO,
+)
+from repro.ir.module import Module
+from repro.ir.parser import parse_function, parse_module
+from repro.ir.printer import print_function, print_module
+from repro.ir.values import (
+    Immediate,
+    Label,
+    PhysicalRegister,
+    Register,
+    StackSlot,
+    VirtualRegister,
+)
+from repro.ir.verifier import IRVerificationError, verify_function, verify_module
+
+__all__ = [
+    "BasicBlock",
+    "Edge",
+    "EdgeKind",
+    "Function",
+    "FunctionBuilder",
+    "IRVerificationError",
+    "Immediate",
+    "Instruction",
+    "Label",
+    "Module",
+    "OPCODE_INFO",
+    "Opcode",
+    "PhysicalRegister",
+    "Register",
+    "StackSlot",
+    "VirtualRegister",
+    "parse_function",
+    "parse_module",
+    "print_function",
+    "print_module",
+    "verify_function",
+    "verify_module",
+]

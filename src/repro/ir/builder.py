@@ -1,0 +1,167 @@
+"""Programmatic construction of IR functions.
+
+:class:`FunctionBuilder` keeps track of a *current block* and provides
+one-line emitters for every opcode, fresh virtual-register allocation and
+explicit control over edge kinds (fall-through vs. jump).  It is used by the
+hand-written example programs, the synthetic workload generator and most
+tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.ir import instructions as ins
+from repro.ir.basic_block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.values import (
+    Immediate,
+    Label,
+    Operand,
+    Register,
+    StackSlot,
+    VirtualRegister,
+    vreg,
+)
+
+OperandLike = Union[Register, int, Immediate, StackSlot]
+
+
+def _as_operand(value: OperandLike) -> Operand:
+    """Coerce a Python int into an :class:`Immediate`."""
+
+    if isinstance(value, int):
+        return Immediate(value)
+    return value
+
+
+class FunctionBuilder:
+    """Builds a :class:`~repro.ir.function.Function` block by block."""
+
+    def __init__(self, name: str, params: Sequence[Register] = ()):
+        self.function = Function(name, params)
+        self._current: Optional[BasicBlock] = None
+        self._vreg_counter = 0
+
+    # -- registers ---------------------------------------------------------------
+
+    def new_vreg(self) -> VirtualRegister:
+        """Return a fresh virtual register unique within this builder."""
+
+        reg = vreg(self._vreg_counter)
+        self._vreg_counter += 1
+        return reg
+
+    def new_vregs(self, count: int) -> List[VirtualRegister]:
+        return [self.new_vreg() for _ in range(count)]
+
+    # -- blocks ------------------------------------------------------------------
+
+    def block(self, label: str, after: Optional[str] = None) -> BasicBlock:
+        """Create a block and make it current."""
+
+        block = self.function.add_block(BasicBlock(label), after=after)
+        self._current = block
+        return block
+
+    def switch_to(self, label: str) -> BasicBlock:
+        """Make an existing block current."""
+
+        self._current = self.function.block(label)
+        return self._current
+
+    @property
+    def current(self) -> BasicBlock:
+        if self._current is None:
+            raise ValueError("no current block; call block() first")
+        return self._current
+
+    # -- generic emission ---------------------------------------------------------
+
+    def emit(self, inst: Instruction) -> Instruction:
+        self.current.instructions.append(inst)
+        return inst
+
+    # -- computation --------------------------------------------------------------
+
+    def binary(self, opcode: Opcode, lhs: OperandLike, rhs: OperandLike,
+               dst: Optional[Register] = None) -> Register:
+        dst = dst or self.new_vreg()
+        self.emit(ins.binary(opcode, dst, _as_operand(lhs), _as_operand(rhs)))
+        return dst
+
+    def add(self, lhs: OperandLike, rhs: OperandLike, dst: Optional[Register] = None) -> Register:
+        return self.binary(Opcode.ADD, lhs, rhs, dst)
+
+    def sub(self, lhs: OperandLike, rhs: OperandLike, dst: Optional[Register] = None) -> Register:
+        return self.binary(Opcode.SUB, lhs, rhs, dst)
+
+    def mul(self, lhs: OperandLike, rhs: OperandLike, dst: Optional[Register] = None) -> Register:
+        return self.binary(Opcode.MUL, lhs, rhs, dst)
+
+    def div(self, lhs: OperandLike, rhs: OperandLike, dst: Optional[Register] = None) -> Register:
+        return self.binary(Opcode.DIV, lhs, rhs, dst)
+
+    def cmp_lt(self, lhs: OperandLike, rhs: OperandLike, dst: Optional[Register] = None) -> Register:
+        return self.binary(Opcode.CMP_LT, lhs, rhs, dst)
+
+    def cmp_eq(self, lhs: OperandLike, rhs: OperandLike, dst: Optional[Register] = None) -> Register:
+        return self.binary(Opcode.CMP_EQ, lhs, rhs, dst)
+
+    def cmp_ge(self, lhs: OperandLike, rhs: OperandLike, dst: Optional[Register] = None) -> Register:
+        return self.binary(Opcode.CMP_GE, lhs, rhs, dst)
+
+    def move(self, src: OperandLike, dst: Optional[Register] = None) -> Register:
+        dst = dst or self.new_vreg()
+        self.emit(ins.move(dst, _as_operand(src)))
+        return dst
+
+    def const(self, value: int, dst: Optional[Register] = None) -> Register:
+        dst = dst or self.new_vreg()
+        self.emit(ins.load_immediate(dst, value))
+        return dst
+
+    def nop(self, count: int = 1) -> None:
+        for _ in range(count):
+            self.emit(ins.nop())
+
+    # -- memory -------------------------------------------------------------------
+
+    def load(self, slot: StackSlot, dst: Optional[Register] = None,
+             purpose: str = "program") -> Register:
+        dst = dst or self.new_vreg()
+        self.emit(ins.load(dst, slot, purpose))
+        return dst
+
+    def store(self, src: Register, slot: StackSlot, purpose: str = "program") -> None:
+        self.emit(ins.store(src, slot, purpose))
+
+    def stack_slot(self, purpose: str = "program") -> StackSlot:
+        return self.function.allocate_stack_slot(purpose)
+
+    # -- calls and control flow -----------------------------------------------------
+
+    def call(self, callee: str, args: Sequence[Register] = (),
+             returns_value: bool = False) -> Optional[Register]:
+        ret = [self.new_vreg()] if returns_value else []
+        self.emit(ins.call(callee, args, ret))
+        return ret[0] if ret else None
+
+    def branch(self, condition: Register, taken_label: str) -> None:
+        """Emit a conditional branch; fall-through goes to the next layout block."""
+
+        self.emit(ins.branch(condition, Label(taken_label)))
+
+    def jump(self, target_label: str) -> None:
+        self.emit(ins.jump(Label(target_label)))
+
+    def ret(self, values: Sequence[Register] = ()) -> None:
+        self.emit(ins.ret(values))
+
+    # -- finishing ------------------------------------------------------------------
+
+    def build(self) -> Function:
+        """Return the constructed function."""
+
+        return self.function

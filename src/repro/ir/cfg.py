@@ -1,0 +1,60 @@
+"""Control-flow-graph edges.
+
+Edges are first-class objects because the spill placement algorithms place
+save/restore *locations on edges* and need to know, per edge, whether it is a
+*fall-through* edge or a *jump* edge (the target of an explicit control
+transfer).  The paper's jump-edge cost model charges an extra jump instruction
+when spill code must be materialized in a new block on a critical jump edge.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.ir.basic_block import BasicBlock
+
+
+class EdgeKind(enum.Enum):
+    """Classification of CFG edges."""
+
+    #: Implicit edge to the next block in layout order.
+    FALLTHROUGH = "fallthrough"
+    #: Edge created by an explicit jump or taken branch.
+    JUMP = "jump"
+    #: Synthetic edge used by analyses (virtual entry/exit edges).
+    VIRTUAL = "virtual"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed CFG edge between two basic blocks (identified by label)."""
+
+    src: str
+    dst: str
+    kind: EdgeKind = EdgeKind.FALLTHROUGH
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """The ``(src, dst)`` pair; at most one edge exists per pair."""
+
+        return (self.src, self.dst)
+
+    def is_jump_edge(self) -> bool:
+        return self.kind is EdgeKind.JUMP
+
+    def is_fallthrough(self) -> bool:
+        return self.kind is EdgeKind.FALLTHROUGH
+
+    def is_virtual(self) -> bool:
+        return self.kind is EdgeKind.VIRTUAL
+
+    def __str__(self) -> str:
+        arrow = {
+            EdgeKind.FALLTHROUGH: "->",
+            EdgeKind.JUMP: "=>",
+            EdgeKind.VIRTUAL: "~>",
+        }[self.kind]
+        return f"{self.src} {arrow} {self.dst}"

@@ -1,0 +1,76 @@
+"""Graphviz (DOT) export for CFGs and program structure trees.
+
+The exporters only produce text; they never shell out to ``dot``.  They are
+used by the examples to visualize the paper's worked example and by users who
+want to inspect generated workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.ir.cfg import EdgeKind
+from repro.ir.function import Function
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def cfg_to_dot(
+    function: Function,
+    edge_counts: Optional[Dict[Tuple[str, str], int]] = None,
+    highlight_blocks: Iterable[str] = (),
+    show_instructions: bool = False,
+    title: Optional[str] = None,
+) -> str:
+    """Render the function's CFG as a DOT digraph.
+
+    Parameters
+    ----------
+    edge_counts:
+        Optional profile counts keyed by ``(src, dst)``; rendered as edge
+        labels (this is how the paper annotates Figure 2).
+    highlight_blocks:
+        Block labels drawn shaded, mirroring the paper's figures where shaded
+        blocks indicate callee-saved register occupancy.
+    show_instructions:
+        When true, each node lists its instructions; otherwise only the label.
+    """
+
+    highlighted: Set[str] = set(highlight_blocks)
+    lines = [f'digraph "{_escape(title or function.name)}" {{']
+    lines.append("  node [shape=box, fontname=monospace];")
+    for block in function.blocks:
+        if show_instructions:
+            body = "\\l".join(_escape(str(inst)) for inst in block.instructions)
+            label = f"{block.label}:\\l{body}\\l"
+        else:
+            label = block.label
+        style = ' style=filled fillcolor="gray80"' if block.label in highlighted else ""
+        lines.append(f'  "{block.label}" [label="{label}"{style}];')
+    for edge in function.edges():
+        attrs = []
+        if edge.kind is EdgeKind.JUMP:
+            attrs.append("style=dashed")
+        if edge_counts is not None and edge.key in edge_counts:
+            attrs.append(f'label="{edge_counts[edge.key]}"')
+        attr_text = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f'  "{edge.src}" -> "{edge.dst}"{attr_text};')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def pst_to_dot(pst, title: str = "program structure tree") -> str:
+    """Render a :class:`repro.analysis.pst.ProgramStructureTree` as DOT."""
+
+    lines = [f'digraph "{_escape(title)}" {{']
+    lines.append("  node [shape=ellipse, fontname=monospace];")
+    for region in pst.regions():
+        label = _escape(region.describe())
+        lines.append(f'  "{region.identifier}" [label="{label}"];')
+    for region in pst.regions():
+        for child in region.children:
+            lines.append(f'  "{region.identifier}" -> "{child.identifier}";')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Modules: named collections of functions (one "translation unit")."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.ir.function import Function
+
+
+class Module:
+    """A collection of functions that may call each other by name."""
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self._functions: Dict[str, Function] = {}
+
+    def add_function(self, function: Function) -> Function:
+        if function.name in self._functions:
+            raise ValueError(f"duplicate function {function.name!r}")
+        self._functions[function.name] = function
+        return function
+
+    def function(self, name: str) -> Function:
+        return self._functions[name]
+
+    def has_function(self, name: str) -> bool:
+        return name in self._functions
+
+    def get(self, name: str) -> Optional[Function]:
+        return self._functions.get(name)
+
+    @property
+    def functions(self) -> List[Function]:
+        return list(self._functions.values())
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self.functions)
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    def instruction_count(self) -> int:
+        return sum(f.instruction_count() for f in self.functions)
+
+    def clone(self, name: Optional[str] = None) -> "Module":
+        copy = Module(name or self.name)
+        for function in self.functions:
+            copy.add_function(function.clone())
+        return copy
+
+    def external_callees(self) -> List[str]:
+        """Names called by functions in the module but not defined in it."""
+
+        external = set()
+        for function in self.functions:
+            for inst in function.calls():
+                callee = inst.target.name
+                if callee not in self._functions:
+                    external.add(callee)
+        return sorted(external)
+
+    def __str__(self) -> str:
+        from repro.ir.printer import print_module
+
+        return print_module(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Module {self.name} ({len(self)} functions)>"

@@ -1,0 +1,106 @@
+"""Operand values for the toy IR.
+
+Operands are small immutable objects: registers (virtual or physical),
+immediates, stack slots, and labels.  Registers are interned by name so that
+identity comparisons behave like value comparisons throughout the code base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+class Value:
+    """Base class for every IR operand."""
+
+    __slots__ = ()
+
+    def is_register(self) -> bool:
+        return isinstance(self, Register)
+
+
+@dataclass(frozen=True)
+class Register(Value):
+    """Base class for virtual and physical registers.
+
+    Registers compare and hash by name, so two references to ``v3`` denote
+    the same register regardless of where they were created.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("register name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class VirtualRegister(Register):
+    """An unallocated, unbounded register (``v0``, ``v1``, ...)."""
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class PhysicalRegister(Register):
+    """A machine register (``r0`` ... ``rN``) named by the target."""
+
+    index: int = -1
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Immediate(Value):
+    """A literal integer operand."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return f"#{self.value}"
+
+
+@dataclass(frozen=True)
+class StackSlot(Value):
+    """A stack location used by spill code and callee-saved save areas.
+
+    ``purpose`` distinguishes allocator spill slots from callee-saved save
+    slots so that the overhead accounting can classify the memory traffic.
+    """
+
+    index: int
+    purpose: str = "spill"
+
+    def __str__(self) -> str:
+        return f"[sp+{self.index}]"
+
+
+@dataclass(frozen=True)
+class Label(Value):
+    """A basic-block label operand used by control-flow instructions."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"@{self.name}"
+
+
+Operand = Union[Register, Immediate, StackSlot, Label]
+
+
+def vreg(index: int) -> VirtualRegister:
+    """Return the canonical virtual register ``v<index>``."""
+
+    return VirtualRegister(f"v{index}")
+
+
+def preg(index: int, prefix: str = "r") -> PhysicalRegister:
+    """Return the canonical physical register ``<prefix><index>``."""
+
+    return PhysicalRegister(f"{prefix}{index}", index)

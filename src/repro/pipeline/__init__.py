@@ -1,0 +1,28 @@
+"""End-to-end compilation pipeline: register allocation, spill placement, insertion.
+
+* :mod:`repro.pipeline.passes` — a minimal function-pass manager with timing.
+* :mod:`repro.pipeline.compiler` — the driver that takes a function plus a
+  profile through register allocation and all three callee-saved placement
+  techniques, producing the overhead numbers the evaluation reports.
+* :mod:`repro.pipeline.timing` — small wall-clock timing helpers.
+"""
+
+from repro.pipeline.compiler import (
+    CompiledProcedure,
+    PlacementOutcome,
+    TECHNIQUES,
+    compile_procedure,
+)
+from repro.pipeline.passes import FunctionPass, PassManager, PassRecord
+from repro.pipeline.timing import Stopwatch
+
+__all__ = [
+    "CompiledProcedure",
+    "FunctionPass",
+    "PassManager",
+    "PassRecord",
+    "PlacementOutcome",
+    "Stopwatch",
+    "TECHNIQUES",
+    "compile_procedure",
+]

@@ -1,0 +1,145 @@
+"""The evaluation pipeline: allocate registers, place spill code three ways.
+
+This is the programmatic equivalent of the paper's experimental setup: every
+procedure is register-allocated exactly once (Chaitin/Briggs graph colouring)
+and the resulting allocation — including the allocator's own spill code and
+the callee-saved occupancy — is shared by all three placement techniques, so
+the only difference between the measured variants is where the callee-saved
+save/restore instructions go.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.ir.function import Function
+from repro.profiling.profile_data import EdgeProfile
+from repro.regalloc.allocator import AllocationResult, allocate_registers
+from repro.spill.cost_models import CostModel
+from repro.spill.entry_exit import place_entry_exit
+from repro.spill.hierarchical import place_hierarchical
+from repro.spill.model import CalleeSavedUsage, SpillPlacement
+from repro.spill.overhead import (
+    PlacementOverhead,
+    allocator_spill_overhead,
+    placement_dynamic_overhead,
+)
+from repro.spill.shrink_wrap import place_shrink_wrap
+from repro.spill.verifier import verify_placement
+from repro.pipeline.timing import Stopwatch
+from repro.target.machine import MachineDescription
+from repro.target.parisc import parisc_target
+from repro.workloads.generator import GeneratedProcedure
+
+#: Technique identifiers in the order the paper reports them.
+TECHNIQUES = ("baseline", "shrinkwrap", "optimized")
+
+
+@dataclass
+class PlacementOutcome:
+    """One technique's placement and its dynamic overhead for one procedure."""
+
+    technique: str
+    placement: SpillPlacement
+    overhead: PlacementOverhead
+
+    @property
+    def callee_saved_overhead(self) -> float:
+        return self.overhead.total
+
+
+@dataclass
+class CompiledProcedure:
+    """Everything measured for one procedure."""
+
+    name: str
+    allocation: AllocationResult
+    profile: EdgeProfile
+    usage: CalleeSavedUsage
+    outcomes: Dict[str, PlacementOutcome] = field(default_factory=dict)
+    allocator_overhead: float = 0.0
+    pass_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def total_overhead(self, technique: str) -> float:
+        """Allocator spill overhead plus the technique's callee-saved overhead."""
+
+        return self.allocator_overhead + self.outcomes[technique].callee_saved_overhead
+
+    def callee_saved_overhead(self, technique: str) -> float:
+        return self.outcomes[technique].callee_saved_overhead
+
+
+def compile_procedure(
+    procedure: Union[GeneratedProcedure, Tuple[Function, EdgeProfile]],
+    machine: Optional[MachineDescription] = None,
+    cost_model: Union[CostModel, str] = "jump_edge",
+    techniques: Sequence[str] = TECHNIQUES,
+    verify: bool = True,
+    maximal_regions: bool = True,
+) -> CompiledProcedure:
+    """Run the full pipeline on one procedure.
+
+    Parameters
+    ----------
+    procedure:
+        Either a :class:`~repro.workloads.generator.GeneratedProcedure` or a
+        ``(function, profile)`` pair.  The function still uses virtual
+        registers; it is register-allocated here.
+    machine:
+        Target machine; defaults to the paper's PA-RISC-like description.
+    cost_model:
+        Cost model for the hierarchical technique (paper: jump edge).
+    verify:
+        Check every produced placement against the callee-saved convention.
+    maximal_regions:
+        Passed to the hierarchical algorithm (``False`` only for ablations).
+    """
+
+    if isinstance(procedure, GeneratedProcedure):
+        function, profile = procedure.function, procedure.profile
+    else:
+        function, profile = procedure
+    machine = machine or parisc_target()
+
+    stopwatch = Stopwatch()
+    with stopwatch.measure("regalloc"):
+        allocation = allocate_registers(function, machine, profile)
+    allocated = allocation.function
+    usage = allocation.usage
+
+    result = CompiledProcedure(
+        name=function.name,
+        allocation=allocation,
+        profile=profile,
+        usage=usage,
+        allocator_overhead=allocator_spill_overhead(allocated, profile),
+    )
+
+    for technique in techniques:
+        with stopwatch.measure(technique):
+            if technique == "baseline":
+                placement = place_entry_exit(allocated, usage)
+            elif technique == "shrinkwrap":
+                placement = place_shrink_wrap(
+                    allocated, usage, allow_jump_edges=False, avoid_loops=True
+                )
+            elif technique == "optimized":
+                placement = place_hierarchical(
+                    allocated,
+                    usage,
+                    profile,
+                    cost_model=cost_model,
+                    maximal_regions=maximal_regions,
+                ).placement
+            else:
+                raise ValueError(f"unknown technique {technique!r}")
+        if verify:
+            verify_placement(allocated, usage, placement)
+        overhead = placement_dynamic_overhead(allocated, profile, placement)
+        result.outcomes[technique] = PlacementOutcome(
+            technique=technique, placement=placement, overhead=overhead
+        )
+
+    result.pass_seconds = dict(stopwatch.durations)
+    return result

@@ -1,0 +1,71 @@
+"""A minimal function-pass manager.
+
+The evaluation pipeline calls the allocator and placement techniques
+directly, but user code (see ``examples/custom_pass_pipeline.py``) often
+wants a declarative "run these passes in order over these functions" driver
+with per-pass timing and verification — this module provides that.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.verifier import verify_function
+
+#: A function pass takes a function and may mutate it; the return value is
+#: ignored (passes communicate through the function or their own state).
+FunctionPass = Callable[[Function], object]
+
+
+@dataclass
+class PassRecord:
+    """Timing and outcome of one pass over one function."""
+
+    pass_name: str
+    function_name: str
+    seconds: float
+
+
+@dataclass
+class PassManager:
+    """Runs a sequence of named function passes over functions or modules."""
+
+    verify_between_passes: bool = False
+    records: List[PassRecord] = field(default_factory=list)
+    _passes: List[tuple] = field(default_factory=list)
+
+    def add_pass(self, name: str, function_pass: FunctionPass) -> "PassManager":
+        self._passes.append((name, function_pass))
+        return self
+
+    @property
+    def pass_names(self) -> List[str]:
+        return [name for name, _ in self._passes]
+
+    def run_on_function(self, function: Function) -> List[PassRecord]:
+        new_records: List[PassRecord] = []
+        for name, function_pass in self._passes:
+            start = time.perf_counter()
+            function_pass(function)
+            elapsed = time.perf_counter() - start
+            record = PassRecord(pass_name=name, function_name=function.name, seconds=elapsed)
+            new_records.append(record)
+            self.records.append(record)
+            if self.verify_between_passes:
+                verify_function(function)
+        return new_records
+
+    def run_on_module(self, module: Module) -> List[PassRecord]:
+        records: List[PassRecord] = []
+        for function in module.functions:
+            records.extend(self.run_on_function(function))
+        return records
+
+    def total_seconds(self, pass_name: Optional[str] = None) -> float:
+        return sum(
+            r.seconds for r in self.records if pass_name is None or r.pass_name == pass_name
+        )

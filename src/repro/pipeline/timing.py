@@ -1,0 +1,36 @@
+"""Wall-clock timing helpers used by the compile pipeline and Table 2."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+from contextlib import contextmanager
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock durations."""
+
+    durations: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        """Context manager adding the elapsed time to ``name``."""
+
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.durations[name] = self.durations.get(name, 0.0) + elapsed
+
+    def get(self, name: str) -> float:
+        return self.durations.get(name, 0.0)
+
+    def merge(self, other: "Stopwatch") -> None:
+        for name, value in other.durations.items():
+            self.durations[name] = self.durations.get(name, 0.0) + value
+
+    def total(self) -> float:
+        return sum(self.durations.values())

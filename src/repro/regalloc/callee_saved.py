@@ -1,0 +1,42 @@
+"""Callee-saved occupancy: which blocks each callee-saved register is live in.
+
+After the virtual-to-physical rewrite, a callee-saved register is *occupied*
+in every block where it holds a program value — where it is defined, used, or
+live across the block.  This occupancy map (the shaded blocks of the paper's
+figures) is the input shared by all three placement techniques.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from repro.analysis.liveness import compute_liveness
+from repro.ir.function import Function
+from repro.ir.values import PhysicalRegister
+from repro.spill.model import CalleeSavedUsage
+from repro.target.machine import MachineDescription
+
+
+def compute_callee_saved_usage(
+    function: Function, machine: MachineDescription
+) -> CalleeSavedUsage:
+    """Blocks occupied by each callee-saved register of ``machine``."""
+
+    callee_saved: Set[PhysicalRegister] = set(machine.callee_saved)
+    liveness = compute_liveness(function)
+    occupancy: Dict[PhysicalRegister, Set[str]] = {}
+
+    for block in function.blocks:
+        label = block.label
+        present: Set[PhysicalRegister] = set()
+        for register in liveness.live_in[label] | liveness.live_out[label]:
+            if register in callee_saved:
+                present.add(register)  # live through or across the block
+        for inst in block.instructions:
+            for register in inst.registers():
+                if register in callee_saved:
+                    present.add(register)
+        for register in present:
+            occupancy.setdefault(register, set()).add(label)
+
+    return CalleeSavedUsage.from_blocks(occupancy)

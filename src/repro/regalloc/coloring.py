@@ -1,0 +1,156 @@
+"""Graph colouring in the Chaitin/Briggs style.
+
+The colouring works on the interference graph with *register classes*: a live
+range that crosses a call may only receive a callee-saved register (a
+caller-saved register would be clobbered by the callee), every other range
+prefers caller-saved registers so that callee-saved registers — and their
+save/restore obligation — are only used when they pay for themselves.  This
+mirrors the behaviour the paper relies on: callee-saved registers are
+allocated to variables that span call sites.
+
+The algorithm is the classic simplify/select with Briggs' optimistic
+colouring: nodes are pushed on a stack in order of increasing "difficulty"
+(low degree first, then cheapest spill cost), popped in reverse order and
+coloured if possible.  Nodes that cannot be coloured become spill candidates
+and are returned to the driver, which inserts spill code and repeats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.ir.values import PhysicalRegister, Register
+from repro.regalloc.interference import InterferenceGraph
+from repro.regalloc.live_ranges import LiveRangeInfo
+from repro.target.machine import MachineDescription
+
+
+@dataclass
+class ColoringResult:
+    """Outcome of one colouring attempt."""
+
+    assignment: Dict[Register, PhysicalRegister] = field(default_factory=dict)
+    spilled: List[Register] = field(default_factory=list)
+
+    @property
+    def is_complete(self) -> bool:
+        return not self.spilled
+
+    def callee_saved_assigned(self, machine: MachineDescription) -> Set[PhysicalRegister]:
+        return {
+            phys for phys in self.assignment.values() if machine.is_callee_saved(phys)
+        }
+
+
+def _allowed_registers(
+    register: Register,
+    ranges: LiveRangeInfo,
+    machine: MachineDescription,
+) -> Tuple[PhysicalRegister, ...]:
+    """The physical registers a virtual register may be assigned, in preference order."""
+
+    live_range = ranges.ranges.get(register)
+    crosses_call = live_range.crosses_call if live_range is not None else False
+    used_by_return = live_range.used_by_return if live_range is not None else False
+    is_parameter = live_range.is_parameter if live_range is not None else False
+    if is_parameter and not crosses_call:
+        # Incoming arguments live in caller-saved registers.
+        return machine.caller_saved
+    if is_parameter and crosses_call:
+        # Should not happen once parameters are isolated at the entry; spill
+        # defensively rather than hand an argument a callee-saved register.
+        return ()
+    if crosses_call and used_by_return:
+        # The value must survive a call (needs a callee-saved register) *and*
+        # be returned (needs a caller-saved register): no single register
+        # satisfies both, so the range is always spilled and its short reload
+        # before the return gets a caller-saved register.
+        return ()
+    if crosses_call:
+        # A caller-saved register would be clobbered by the call; only
+        # callee-saved registers can hold the value across it.
+        return machine.callee_saved
+    if used_by_return:
+        # Returned values travel in caller-saved registers; a callee-saved
+        # register would have to be restored before the return, clobbering
+        # the value being returned.
+        return machine.caller_saved
+    # Prefer caller-saved registers (no save/restore obligation); fall back to
+    # callee-saved registers under pressure.
+    return machine.caller_saved + machine.callee_saved
+
+
+def color_graph(
+    graph: InterferenceGraph,
+    ranges: LiveRangeInfo,
+    machine: MachineDescription,
+) -> ColoringResult:
+    """Colour the interference graph; uncolourable nodes become spill candidates."""
+
+    result = ColoringResult()
+    nodes = sorted(graph.nodes, key=lambda r: r.name)
+    if not nodes:
+        return result
+
+    allowed: Dict[Register, Tuple[PhysicalRegister, ...]] = {
+        node: _allowed_registers(node, ranges, machine) for node in nodes
+    }
+    degrees: Dict[Register, int] = {node: graph.degree(node) for node in nodes}
+    removed: Set[Register] = set()
+    stack: List[Register] = []
+
+    def spill_metric(node: Register) -> float:
+        live_range = ranges.ranges.get(node)
+        cost = live_range.spill_cost if live_range is not None else 0.0
+        degree = max(degrees[node], 1)
+        return cost / degree
+
+    # Simplify: repeatedly remove a node with degree < k (its register-class
+    # size); when none exists, remove the cheapest node optimistically.
+    work = set(nodes)
+    while work:
+        candidate = None
+        for node in sorted(work, key=lambda r: (degrees[r], r.name)):
+            if degrees[node] < len(allowed[node]):
+                candidate = node
+                break
+        if candidate is None:
+            candidate = min(sorted(work, key=lambda r: r.name), key=spill_metric)
+        work.remove(candidate)
+        removed.add(candidate)
+        stack.append(candidate)
+        for neighbour in graph.neighbours(candidate):
+            if neighbour not in removed:
+                degrees[neighbour] -= 1
+
+    # Select: pop nodes and colour them (Briggs' optimistic colouring).
+    while stack:
+        node = stack.pop()
+        taken = {
+            result.assignment[n]
+            for n in graph.neighbours(node)
+            if n in result.assignment
+        }
+        chosen: Optional[PhysicalRegister] = None
+        # Move-related hint: try to reuse a partner's colour first.
+        for partner in graph.move_partners(node):
+            partner_colour = result.assignment.get(partner)
+            if (
+                partner_colour is not None
+                and partner_colour not in taken
+                and partner_colour in allowed[node]
+            ):
+                chosen = partner_colour
+                break
+        if chosen is None:
+            for candidate in allowed[node]:
+                if candidate not in taken:
+                    chosen = candidate
+                    break
+        if chosen is None:
+            result.spilled.append(node)
+        else:
+            result.assignment[node] = chosen
+
+    return result

@@ -1,0 +1,101 @@
+"""Interference graphs over virtual registers.
+
+Two virtual registers interfere when one is defined at a point where the
+other is live (the classic Chaitin construction); move instructions get the
+usual exemption so that copy-related registers may share a colour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.analysis.liveness import LivenessInfo, live_at_each_instruction
+from repro.ir.function import Function
+from repro.ir.instructions import Opcode
+from repro.ir.values import Register, VirtualRegister
+
+
+@dataclass
+class InterferenceGraph:
+    """An undirected graph over virtual registers."""
+
+    nodes: Set[Register] = field(default_factory=set)
+    _adjacency: Dict[Register, Set[Register]] = field(default_factory=dict)
+    #: Pairs related by moves (candidates for coalescing / same-colour hints).
+    move_pairs: Set[Tuple[Register, Register]] = field(default_factory=set)
+
+    def add_node(self, register: Register) -> None:
+        self.nodes.add(register)
+        self._adjacency.setdefault(register, set())
+
+    def add_edge(self, a: Register, b: Register) -> None:
+        if a == b:
+            return
+        self.add_node(a)
+        self.add_node(b)
+        self._adjacency[a].add(b)
+        self._adjacency[b].add(a)
+
+    def interferes(self, a: Register, b: Register) -> bool:
+        return b in self._adjacency.get(a, set())
+
+    def neighbours(self, register: Register) -> Set[Register]:
+        return set(self._adjacency.get(register, set()))
+
+    def degree(self, register: Register) -> int:
+        return len(self._adjacency.get(register, set()))
+
+    def num_edges(self) -> int:
+        return sum(len(adj) for adj in self._adjacency.values()) // 2
+
+    def move_partners(self, register: Register) -> Set[Register]:
+        partners: Set[Register] = set()
+        for a, b in self.move_pairs:
+            if a == register:
+                partners.add(b)
+            elif b == register:
+                partners.add(a)
+        return partners
+
+
+def build_interference_graph(
+    function: Function, liveness: LivenessInfo
+) -> InterferenceGraph:
+    """Chaitin-style interference graph over the virtual registers of ``function``."""
+
+    graph = InterferenceGraph()
+
+    for param in function.params:
+        if isinstance(param, VirtualRegister):
+            graph.add_node(param)
+    for inst in function.instructions():
+        for reg in inst.registers():
+            if isinstance(reg, VirtualRegister):
+                graph.add_node(reg)
+
+    for block in function.blocks:
+        live_after = live_at_each_instruction(function, liveness, block.label)
+        for index, inst in enumerate(block.instructions):
+            written = [r for r in inst.registers_written() if isinstance(r, VirtualRegister)]
+            if not written:
+                continue
+            live = {r for r in live_after[index] if isinstance(r, VirtualRegister)}
+            move_source = None
+            if inst.opcode is Opcode.MOV and inst.uses and isinstance(inst.uses[0], VirtualRegister):
+                move_source = inst.uses[0]
+            for dst in written:
+                for other in live:
+                    if other == dst:
+                        continue
+                    if move_source is not None and other == move_source:
+                        # A move's source and destination do not interfere
+                        # through the move itself.
+                        graph.move_pairs.add((dst, move_source))
+                        continue
+                    graph.add_edge(dst, other)
+                # Multiple results of one instruction interfere with each other.
+                for sibling in written:
+                    if sibling != dst:
+                        graph.add_edge(dst, sibling)
+    return graph

@@ -1,0 +1,143 @@
+"""Live ranges of virtual registers.
+
+A live range aggregates everything the allocator needs to know about one
+virtual register: where it is live, whether it is live across a call (in
+which case a caller-saved register would be clobbered, so the range needs a
+callee-saved register or a stack slot), how often it is referenced, and its
+spill cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.liveness import LivenessInfo, compute_liveness, live_at_each_instruction
+from repro.analysis.loops import compute_loop_forest
+from repro.ir.function import Function
+from repro.ir.values import Register, VirtualRegister
+from repro.profiling.profile_data import EdgeProfile
+
+
+@dataclass
+class LiveRange:
+    """Aggregate information about one virtual register."""
+
+    register: Register
+    blocks: Set[str] = field(default_factory=set)
+    definitions: int = 0
+    uses: int = 0
+    crosses_call: bool = False
+    #: The register is an incoming parameter; arguments arrive in caller-saved
+    #: registers, so such ranges never get a callee-saved register directly.
+    is_parameter: bool = False
+    #: The value is returned by a ``ret`` instruction; the calling convention
+    #: returns values in caller-saved registers, so such ranges must not be
+    #: given a callee-saved register (its restore would clobber the result).
+    used_by_return: bool = False
+    spill_cost: float = 0.0
+
+    @property
+    def references(self) -> int:
+        return self.definitions + self.uses
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LiveRange {self.register} blocks={len(self.blocks)} refs={self.references} "
+            f"crosses_call={self.crosses_call} cost={self.spill_cost:.1f}>"
+        )
+
+
+@dataclass
+class LiveRangeInfo:
+    """Live ranges for every virtual register plus the liveness solution."""
+
+    ranges: Dict[Register, LiveRange]
+    liveness: LivenessInfo
+
+    def range_of(self, register: Register) -> LiveRange:
+        return self.ranges[register]
+
+    def registers(self) -> List[Register]:
+        return sorted(self.ranges.keys(), key=lambda r: r.name)
+
+    def call_crossing_registers(self) -> List[Register]:
+        return [r for r in self.registers() if self.ranges[r].crosses_call]
+
+
+def _block_weight(
+    function: Function,
+    label: str,
+    profile: Optional[EdgeProfile],
+    loop_depth: Dict[str, int],
+) -> float:
+    """Spill-cost weight of one block: profile count, or 10^loop-depth."""
+
+    if profile is not None:
+        return max(profile.block_count(function, label), 0.0)
+    return float(10 ** loop_depth.get(label, 0))
+
+
+def compute_live_ranges(
+    function: Function, profile: Optional[EdgeProfile] = None
+) -> LiveRangeInfo:
+    """Build live ranges for all virtual registers of ``function``."""
+
+    liveness = compute_liveness(function)
+    loops = compute_loop_forest(function)
+    loop_depth = {label: loops.loop_depth(label) for label in function.block_labels}
+
+    ranges: Dict[Register, LiveRange] = {}
+
+    def range_for(register: Register) -> LiveRange:
+        return ranges.setdefault(register, LiveRange(register=register))
+
+    for param in function.params:
+        if isinstance(param, VirtualRegister):
+            live_range = range_for(param)
+            live_range.definitions += 1
+            live_range.is_parameter = True
+            live_range.blocks.add(function.entry.label)
+
+    for block in function.blocks:
+        label = block.label
+        weight = _block_weight(function, label, profile, loop_depth)
+        live_after = live_at_each_instruction(function, liveness, label)
+
+        # Track block membership: anything live-in, live-out, defined or used.
+        present: Set[Register] = set()
+        present |= liveness.live_in[label] | liveness.live_out[label]
+        for index, inst in enumerate(block.instructions):
+            for reg in inst.registers_written():
+                if isinstance(reg, VirtualRegister):
+                    live_range = range_for(reg)
+                    live_range.definitions += 1
+                    live_range.spill_cost += weight
+                    present.add(reg)
+            for reg in inst.registers_read():
+                if isinstance(reg, VirtualRegister):
+                    live_range = range_for(reg)
+                    live_range.uses += 1
+                    live_range.spill_cost += weight
+                    present.add(reg)
+            if inst.is_call():
+                for reg in live_after[index]:
+                    if isinstance(reg, VirtualRegister) and reg not in inst.registers_written():
+                        range_for(reg).crosses_call = True
+            if inst.is_return():
+                for reg in inst.registers_read():
+                    if isinstance(reg, VirtualRegister):
+                        range_for(reg).used_by_return = True
+
+        for reg in present:
+            if isinstance(reg, VirtualRegister):
+                range_for(reg).blocks.add(label)
+
+    # Registers that are live through a block (not referenced there) still
+    # occupy it; add those blocks from the liveness solution.
+    for label in function.block_labels:
+        for reg in liveness.live_in[label] | liveness.live_out[label]:
+            if isinstance(reg, VirtualRegister):
+                range_for(reg).blocks.add(label)
+
+    return LiveRangeInfo(ranges=ranges, liveness=liveness)

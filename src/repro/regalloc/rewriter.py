@@ -1,0 +1,104 @@
+"""Spill-code insertion and the final virtual-to-physical rewrite."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.ir import instructions as ins
+from repro.ir.function import Function
+from repro.ir.values import PhysicalRegister, Register, StackSlot, VirtualRegister
+
+
+def isolate_parameters(function: Function) -> Dict[Register, Register]:
+    """Copy incoming parameters into fresh virtual registers at the entry.
+
+    Arguments arrive in caller-saved registers; a parameter whose live range
+    crosses a call therefore cannot simply *be* a callee-saved register — the
+    value has to be moved into one after the prologue.  Splitting every
+    parameter at the entry block gives the colouring that freedom (the move
+    coalesces away when the parameter does not need it).
+
+    Returns the mapping from the original parameter register to its clone.
+    """
+
+    from repro.ir.instructions import move
+
+    mapping: Dict[Register, Register] = {}
+    for index, param in enumerate(function.params):
+        if not isinstance(param, VirtualRegister):
+            continue
+        clone = VirtualRegister(f"{param.name}.arg")
+        mapping[param] = clone
+    if not mapping:
+        return mapping
+
+    for block in function.blocks:
+        block.instructions = [inst.replace_registers(mapping) for inst in block.instructions]
+    entry = function.entry
+    for offset, (param, clone) in enumerate(mapping.items()):
+        entry.instructions.insert(offset, move(clone, param))
+    return mapping
+
+
+def insert_spill_code(function: Function, spilled: Iterable[Register]) -> Dict[Register, StackSlot]:
+    """Spill the given virtual registers to stack slots.
+
+    Every use is preceded by a reload into a fresh short-lived virtual
+    register and every definition is followed by a store, the classic
+    "spill everywhere" strategy of Chaitin-style allocators.  The inserted
+    loads/stores carry the ``spill`` purpose so the overhead accounting can
+    attribute them to the register allocator.
+    """
+
+    spilled = [r for r in spilled]
+    if not spilled:
+        return {}
+    slots: Dict[Register, StackSlot] = {
+        register: function.allocate_stack_slot("spill") for register in spilled
+    }
+    spill_set: Set[Register] = set(spilled)
+    counter = 0
+
+    for block in function.blocks:
+        new_instructions = []
+        for inst in block.instructions:
+            reads = [r for r in inst.registers_read() if r in spill_set]
+            writes = [r for r in inst.registers_written() if r in spill_set]
+            mapping: Dict[Register, Register] = {}
+            for register in dict.fromkeys(reads + writes):
+                counter += 1
+                mapping[register] = VirtualRegister(f"{register.name}.s{counter}")
+            for register in dict.fromkeys(reads):
+                new_instructions.append(
+                    ins.load(mapping[register], slots[register], purpose="spill")
+                )
+            new_instructions.append(inst.replace_registers(mapping) if mapping else inst)
+            for register in dict.fromkeys(writes):
+                new_instructions.append(
+                    ins.store(mapping[register], slots[register], purpose="spill")
+                )
+        block.instructions = new_instructions
+    return slots
+
+
+def apply_assignment(function: Function, assignment: Dict[Register, PhysicalRegister]) -> None:
+    """Replace every assigned virtual register with its physical register."""
+
+    for block in function.blocks:
+        block.instructions = [
+            inst.replace_registers(assignment) if any(
+                isinstance(r, VirtualRegister) and r in assignment for r in inst.registers()
+            ) else inst
+            for inst in block.instructions
+        ]
+
+
+def unassigned_virtual_registers(function: Function) -> Set[VirtualRegister]:
+    """Virtual registers still present after the rewrite (should be empty)."""
+
+    return {
+        r
+        for inst in function.instructions()
+        for r in inst.registers()
+        if isinstance(r, VirtualRegister)
+    }

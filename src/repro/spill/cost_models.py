@@ -1,0 +1,166 @@
+"""Cost models for spill locations.
+
+The paper defines two cost models:
+
+* **Execution count cost model** — every save/restore instruction costs the
+  dynamic execution count of the CFG edge it is placed on.  The hierarchical
+  algorithm is optimal under this model, but the resulting code may require
+  spill instructions on jump edges that cannot be materialized without an
+  extra jump.
+* **Jump edge cost model** — like the execution-count model, but a location
+  that must be materialized in a new *jump block* on a jump edge additionally
+  pays the cost of the inserted jump instruction (the edge's execution
+  count).  For the initial shrink-wrapping placement this jump cost is
+  divided among all callee-saved registers with spill code on that edge; new
+  sets created during the PST traversal pay the full jump cost.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.ir.cfg import EdgeKind
+from repro.ir.function import ENTRY_SENTINEL, EXIT_SENTINEL, Function
+from repro.profiling.profile_data import EdgeProfile
+from repro.spill.model import EdgeKey, SaveRestoreSet, SpillLocation
+
+
+def requires_jump_block(function: Function, edge: EdgeKey) -> bool:
+    """Does placing spill code on ``edge`` require inserting a jump block?
+
+    A location on an edge can be absorbed into an existing block when:
+
+    * the edge is the virtual procedure entry/exit edge (code goes at the top
+      of the entry block / before the return), or
+    * the destination block has a single predecessor and is not the entry
+      block (code goes at the top of the destination), or
+    * the source block has a single successor (code goes at the bottom of the
+      source, before its terminator), or
+    * the edge is a fall-through edge (a new block spliced into the layout
+      needs no jump instruction).
+
+    Only a *critical jump edge* — source with several successors, destination
+    with several predecessors, transfer by an explicit jump — needs a new
+    block terminated by a new jump instruction, which is the extra dynamic
+    cost the jump-edge model charges.
+    """
+
+    src, dst = edge
+    if src == ENTRY_SENTINEL or dst == EXIT_SENTINEL:
+        return False
+    if dst != function.entry.label and len(function.predecessors(dst)) == 1:
+        return False
+    if len(function.successors(src)) == 1:
+        return False
+    kind = function.edge(src, dst).kind
+    return kind is EdgeKind.JUMP
+
+
+class CostModel(abc.ABC):
+    """Common interface of the two cost models."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def location_cost(
+        self,
+        function: Function,
+        profile: EdgeProfile,
+        location: SpillLocation,
+        jump_sharing: Optional[Mapping[EdgeKey, int]] = None,
+    ) -> float:
+        """Dynamic cost of one save/restore location.
+
+        ``jump_sharing`` maps edges to the number of callee-saved registers
+        sharing a jump block there; it only applies to locations of *initial*
+        save/restore sets.
+        """
+
+    def set_cost(
+        self,
+        function: Function,
+        profile: EdgeProfile,
+        srset: SaveRestoreSet,
+        jump_sharing: Optional[Mapping[EdgeKey, int]] = None,
+    ) -> float:
+        """Total cost of a save/restore set."""
+
+        sharing = jump_sharing if srset.initial else None
+        return sum(
+            self.location_cost(function, profile, location, sharing)
+            for location in srset.locations
+        )
+
+    def boundary_cost(
+        self,
+        function: Function,
+        profile: EdgeProfile,
+        entry_edge: EdgeKey,
+        exit_edge: EdgeKey,
+    ) -> float:
+        """Cost of saving at ``entry_edge`` and restoring at ``exit_edge``.
+
+        New sets always pay the full jump cost, hence no sharing map.
+        """
+
+        from repro.spill.model import SpillKind
+        from repro.ir.values import PhysicalRegister
+
+        placeholder = PhysicalRegister("__cost__", -1)
+        save = SpillLocation(placeholder, SpillKind.SAVE, entry_edge)
+        restore = SpillLocation(placeholder, SpillKind.RESTORE, exit_edge)
+        return self.location_cost(function, profile, save) + self.location_cost(
+            function, profile, restore
+        )
+
+
+class ExecutionCountCostModel(CostModel):
+    """Cost = execution count of the edge carrying the location."""
+
+    name = "execution_count"
+
+    def location_cost(
+        self,
+        function: Function,
+        profile: EdgeProfile,
+        location: SpillLocation,
+        jump_sharing: Optional[Mapping[EdgeKey, int]] = None,
+    ) -> float:
+        return profile.edge_count(location.edge)
+
+
+class JumpEdgeCostModel(CostModel):
+    """Execution-count cost plus the cost of jump instructions in jump blocks."""
+
+    name = "jump_edge"
+
+    def location_cost(
+        self,
+        function: Function,
+        profile: EdgeProfile,
+        location: SpillLocation,
+        jump_sharing: Optional[Mapping[EdgeKey, int]] = None,
+    ) -> float:
+        count = profile.edge_count(location.edge)
+        if not requires_jump_block(function, location.edge):
+            return count
+        sharing = 1
+        if jump_sharing is not None:
+            sharing = max(1, jump_sharing.get(location.edge, 1))
+        return count + count / sharing
+
+
+def make_cost_model(name: str) -> CostModel:
+    """Factory used by the CLI and benchmark harnesses."""
+
+    models = {
+        ExecutionCountCostModel.name: ExecutionCountCostModel,
+        JumpEdgeCostModel.name: JumpEdgeCostModel,
+    }
+    try:
+        return models[name]()
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown cost model {name!r}; expected one of {sorted(models)}"
+        ) from exc

@@ -1,0 +1,34 @@
+"""The entry/exit baseline placement.
+
+Every callee-saved register that is occupied anywhere in the procedure is
+saved in the entry block and restored in the (unique) exit block.  This is
+the always-valid, lowest-static-overhead placement the paper compares
+against; its dynamic cost is two instructions per used register per
+invocation.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import ENTRY_SENTINEL, EXIT_SENTINEL, Function
+from repro.spill.model import (
+    CalleeSavedUsage,
+    SaveRestoreSet,
+    SpillKind,
+    SpillLocation,
+    SpillPlacement,
+)
+
+
+def place_entry_exit(function: Function, usage: CalleeSavedUsage) -> SpillPlacement:
+    """Save at procedure entry and restore at procedure exit."""
+
+    placement = SpillPlacement(function.name, "entry_exit")
+    entry_edge = (ENTRY_SENTINEL, function.entry.label)
+    exit_edge = (function.exit.label, EXIT_SENTINEL)
+    for register in usage.used_registers():
+        save = SpillLocation(register, SpillKind.SAVE, entry_edge)
+        restore = SpillLocation(register, SpillKind.RESTORE, exit_edge)
+        placement.add_set(
+            SaveRestoreSet.from_locations(register, [save, restore], initial=True)
+        )
+    return placement

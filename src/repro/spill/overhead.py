@@ -1,0 +1,96 @@
+"""Analytic dynamic-overhead accounting for spill placements.
+
+The paper's Figure 5 and Table 1 report the *dynamic spill code overhead*: the
+profile-weighted count of every compiler-inserted load/store (allocator spill
+code, identical across techniques) plus every callee-saved save/restore
+instruction and every jump instruction needed to materialize spill code in a
+jump block.
+
+This module computes the callee-saved part of that overhead directly from a
+placement and an edge profile, without rewriting the function; the
+interpreter-based measurement in :mod:`repro.profiling.overhead` provides the
+end-to-end cross-check used by the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.ir.function import Function
+from repro.profiling.profile_data import EdgeProfile
+from repro.spill.cost_models import requires_jump_block
+from repro.spill.model import EdgeKey, SpillPlacement
+
+
+@dataclass(frozen=True)
+class PlacementOverhead:
+    """Breakdown of the dynamic overhead of one placement."""
+
+    save_count: float
+    restore_count: float
+    jump_count: float
+    num_jump_blocks: int
+
+    @property
+    def total(self) -> float:
+        return self.save_count + self.restore_count + self.jump_count
+
+    def __str__(self) -> str:
+        return (
+            f"saves={self.save_count:g} restores={self.restore_count:g} "
+            f"jumps={self.jump_count:g} (total {self.total:g})"
+        )
+
+
+def placement_dynamic_overhead(
+    function: Function, profile: EdgeProfile, placement: SpillPlacement
+) -> PlacementOverhead:
+    """Dynamic overhead of the callee-saved save/restore code of ``placement``.
+
+    Every location costs the execution count of its edge.  Edges that require
+    a jump block and carry at least one location additionally cost one jump
+    instruction per execution — charged once per edge, because registers
+    placed on the same edge share the jump block.
+    """
+
+    save_count = 0.0
+    restore_count = 0.0
+    for location in placement.locations():
+        count = profile.edge_count(location.edge)
+        if location.is_save():
+            save_count += count
+        else:
+            restore_count += count
+
+    jump_count = 0.0
+    num_jump_blocks = 0
+    for edge in placement.edges_with_locations():
+        if requires_jump_block(function, edge):
+            num_jump_blocks += 1
+            jump_count += profile.edge_count(edge)
+
+    return PlacementOverhead(
+        save_count=save_count,
+        restore_count=restore_count,
+        jump_count=jump_count,
+        num_jump_blocks=num_jump_blocks,
+    )
+
+
+def allocator_spill_overhead(function: Function, profile: EdgeProfile) -> float:
+    """Profile-weighted count of allocator-inserted spill loads/stores.
+
+    This component is identical for all three placement techniques (the
+    register allocation is fixed before placement runs); it is included in
+    Figure 5's totals.
+    """
+
+    total = 0.0
+    block_counts = profile.block_counts(function)
+    for block in function.blocks:
+        count = block_counts[block.label]
+        for inst in block.instructions:
+            if inst.is_memory() and inst.purpose == "spill":
+                total += count
+    return total

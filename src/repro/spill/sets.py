@@ -1,0 +1,102 @@
+"""Grouping save/restore locations into save/restore sets.
+
+The paper groups save and restore locations with the same data-flow
+machinery used for variable webs: a save begins a "web", restores terminate
+it, and locations that are reachable from each other without crossing other
+locations of the same register belong to the same set.  Sets are the unit the
+hierarchical algorithm moves around: either a whole set stays where it is, or
+the whole set is replaced by a save/restore pair at a region boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.ir.function import ENTRY_SENTINEL, EXIT_SENTINEL, Function
+from repro.ir.values import PhysicalRegister
+from repro.spill.model import EdgeKey, SaveRestoreSet, SpillKind, SpillLocation
+
+
+class _LocationUnionFind:
+    def __init__(self, locations: Iterable[SpillLocation]):
+        self._parent: Dict[SpillLocation, SpillLocation] = {l: l for l in locations}
+
+    def find(self, item: SpillLocation) -> SpillLocation:
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: SpillLocation, b: SpillLocation) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+    def groups(self) -> List[List[SpillLocation]]:
+        by_root: Dict[SpillLocation, List[SpillLocation]] = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), []).append(item)
+        return list(by_root.values())
+
+
+def build_save_restore_sets(
+    function: Function,
+    register: PhysicalRegister,
+    locations: Iterable[SpillLocation],
+    initial: bool = True,
+) -> List[SaveRestoreSet]:
+    """Partition the locations of one register into save/restore sets.
+
+    Two locations belong to the same set when the restore is reachable from
+    the save along CFG paths that cross no other location of the same
+    register, i.e. when they delimit the same saved region.  Restores shared
+    by several saves merge those saves into one set.
+    """
+
+    locations = [l for l in locations if l.register == register]
+    if not locations:
+        return []
+
+    by_edge: Dict[EdgeKey, List[SpillLocation]] = {}
+    for location in locations:
+        by_edge.setdefault(location.edge, []).append(location)
+
+    union = _LocationUnionFind(locations)
+    exit_label = function.exit.label
+    exit_edge: EdgeKey = (exit_label, EXIT_SENTINEL)
+
+    for save in locations:
+        if not save.is_save():
+            continue
+        start_block = save.edge[1] if save.edge[0] != ENTRY_SENTINEL else function.entry.label
+        if save.edge[0] == ENTRY_SENTINEL:
+            start_block = function.entry.label
+        # Breadth-first traversal through the saved region delimited by this save.
+        visited: Set[str] = set()
+        frontier: List[str] = [start_block]
+        while frontier:
+            label = frontier.pop()
+            if label in visited:
+                continue
+            visited.add(label)
+            out_edges: List[EdgeKey] = [e.key for e in function.block_out_edges(label)]
+            if label == exit_label:
+                out_edges.append(exit_edge)
+            for key in out_edges:
+                blocking = by_edge.get(key, [])
+                if blocking:
+                    for other in blocking:
+                        union.union(save, other)
+                    # The saved region ends at the first location on this path.
+                    continue
+                if key[1] != EXIT_SENTINEL and key[1] not in visited:
+                    frontier.append(key[1])
+
+    groups = union.groups()
+    sets = [
+        SaveRestoreSet.from_locations(register, group, initial=initial) for group in groups
+    ]
+    sets.sort(key=lambda s: sorted(l.edge for l in s.locations))
+    return sets

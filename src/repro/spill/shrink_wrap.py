@@ -1,0 +1,244 @@
+"""Chow's shrink-wrapping and the modified variant used by the hierarchical pass.
+
+For one callee-saved register with occupancy ``USED(b)`` per block, the
+placement is derived from two boolean data-flow problems:
+
+* *availability* (forward): ``AVIN(b)`` — on every path from the procedure
+  entry to the start of ``b`` the register has been occupied;
+  ``AVOUT(b) = AVIN(b) or USED(b)``.
+* *anticipation* (backward): ``ANTOUT(b)`` — on every path from the end of
+  ``b`` to the procedure exit the register will be occupied;
+  ``ANTIN(b) = USED(b) or ANTOUT(b)``.
+
+Saves and restores are placed on CFG edges (including the virtual procedure
+entry/exit edges):
+
+* save on ``(u, v)``    iff  ``ANTIN(v) and not AVOUT(u) and not ANTIN(u)``
+* restore on ``(u, v)`` iff  ``AVOUT(u) and not ANTIN(v) and not AVOUT(v)``
+
+These are the earliest/latest points where the "must be saved" state changes,
+and they yield a placement in which the saved/unsaved state of the register
+is a well-defined function of the program point (verified by
+:mod:`repro.spill.verifier`).
+
+Chow's original technique adds two restrictions, both reproduced here:
+
+* **loop avoidance** — artificial occupancy is propagated through every loop
+  that contains an occupied block, so saves/restores never land inside loops;
+* **no spill code on jump edges** — whenever a save or restore would fall on
+  a jump edge, artificial occupancy is propagated along that edge (the source
+  block for saves, the destination block for restores) and the analysis is
+  repeated until no spill code sits on a jump edge.
+
+The *modified* shrink-wrapping used as the starting point of the hierarchical
+algorithm (paper, Section 4) applies neither restriction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.loops import LoopForest, compute_loop_forest
+from repro.ir.cfg import EdgeKind
+from repro.ir.function import ENTRY_SENTINEL, EXIT_SENTINEL, Function
+from repro.ir.values import PhysicalRegister
+from repro.spill.model import (
+    CalleeSavedUsage,
+    EdgeKey,
+    SaveRestoreSet,
+    SpillKind,
+    SpillLocation,
+    SpillPlacement,
+)
+from repro.spill.sets import build_save_restore_sets
+
+
+@dataclass(frozen=True)
+class AnticipationAvailability:
+    """Block-level solutions of the two boolean data-flow problems."""
+
+    ant_in: Dict[str, bool]
+    ant_out: Dict[str, bool]
+    av_in: Dict[str, bool]
+    av_out: Dict[str, bool]
+
+
+def compute_anticipation_availability(
+    function: Function, used_blocks: FrozenSet[str]
+) -> AnticipationAvailability:
+    """Solve the anticipation and availability problems for one register."""
+
+    labels = function.block_labels
+    succs = {label: function.successors(label) for label in labels}
+    preds: Dict[str, List[str]] = {label: [] for label in labels}
+    for src, dsts in succs.items():
+        for dst in dsts:
+            preds[dst].append(src)
+    used = {label: label in used_blocks for label in labels}
+    entry = function.entry.label
+    exits = {b.label for b in function.exit_blocks()}
+
+    # Availability: forward, intersection meet.  The procedure entry has an
+    # implicit unoccupied path, so AVIN(entry) is always false.
+    av_in = {label: False for label in labels}
+    av_out = {label: used[label] for label in labels}
+    changed = True
+    while changed:
+        changed = False
+        for label in labels:
+            if label == entry:
+                new_in = False
+            else:
+                new_in = all(av_out[p] for p in preds[label]) if preds[label] else False
+            new_out = new_in or used[label]
+            if new_in != av_in[label] or new_out != av_out[label]:
+                av_in[label], av_out[label] = new_in, new_out
+                changed = True
+
+    # Anticipation: backward, intersection meet.  The procedure exit has an
+    # implicit path that leaves the procedure, so ANTOUT(exit) is always false.
+    ant_out = {label: False for label in labels}
+    ant_in = {label: used[label] for label in labels}
+    changed = True
+    while changed:
+        changed = False
+        for label in reversed(labels):
+            if label in exits:
+                new_out = False
+            else:
+                new_out = all(ant_in[s] for s in succs[label]) if succs[label] else False
+            new_in = new_out or used[label]
+            if new_out != ant_out[label] or new_in != ant_in[label]:
+                ant_out[label], ant_in[label] = new_out, new_in
+                changed = True
+
+    return AnticipationAvailability(ant_in=ant_in, ant_out=ant_out, av_in=av_in, av_out=av_out)
+
+
+def save_restore_edges(
+    function: Function, used_blocks: FrozenSet[str]
+) -> Tuple[Set[EdgeKey], Set[EdgeKey]]:
+    """Save and restore edges for one register, given its occupied blocks."""
+
+    if not used_blocks:
+        return set(), set()
+    flow = compute_anticipation_availability(function, used_blocks)
+    saves: Set[EdgeKey] = set()
+    restores: Set[EdgeKey] = set()
+
+    def consider(u: Optional[str], v: Optional[str], key: EdgeKey) -> None:
+        ant_in_v = flow.ant_in[v] if v is not None else False
+        av_out_v = flow.av_out[v] if v is not None else False
+        ant_in_u = flow.ant_in[u] if u is not None else False
+        av_out_u = flow.av_out[u] if u is not None else False
+        if ant_in_v and not av_out_u and not ant_in_u:
+            saves.add(key)
+        if av_out_u and not ant_in_v and not av_out_v:
+            restores.add(key)
+
+    consider(None, function.entry.label, (ENTRY_SENTINEL, function.entry.label))
+    for edge in function.edges():
+        consider(edge.src, edge.dst, edge.key)
+    consider(function.exit.label, None, (function.exit.label, EXIT_SENTINEL))
+    return saves, restores
+
+
+def _expand_through_loops(
+    function: Function, used_blocks: FrozenSet[str], loops: LoopForest
+) -> FrozenSet[str]:
+    """Mark every block of a loop occupied as soon as any of its blocks is.
+
+    This reproduces Chow's artificial data flow through loop bodies, which
+    keeps saves and restores out of loops.  Iterates to a fixed point so that
+    nested and sibling loops compose.
+    """
+
+    expanded = set(used_blocks)
+    changed = True
+    while changed:
+        changed = False
+        for loop in loops.loops:
+            if expanded & loop.body and not loop.body <= expanded:
+                expanded |= loop.body
+                changed = True
+    return frozenset(expanded)
+
+
+def shrink_wrap_edges(
+    function: Function,
+    used_blocks: FrozenSet[str],
+    allow_jump_edges: bool = True,
+    avoid_loops: bool = False,
+    max_iterations: Optional[int] = None,
+) -> Tuple[Set[EdgeKey], Set[EdgeKey]]:
+    """Shrink-wrapping save/restore edges for one register.
+
+    ``allow_jump_edges=True, avoid_loops=False`` gives the modified variant
+    used as the hierarchical algorithm's starting point;
+    ``allow_jump_edges=False, avoid_loops=True`` gives Chow's original
+    technique.
+    """
+
+    if not used_blocks:
+        return set(), set()
+
+    occupied = frozenset(used_blocks)
+    if avoid_loops:
+        occupied = _expand_through_loops(function, occupied, compute_loop_forest(function))
+
+    limit = max_iterations if max_iterations is not None else len(function) + 2
+    for _ in range(limit):
+        saves, restores = save_restore_edges(function, occupied)
+        if allow_jump_edges:
+            return saves, restores
+        # Chow forbids *inserting new blocks* on jump edges; a location on a
+        # jump edge whose destination has a single predecessor (or whose
+        # source has a single successor) can be absorbed into the existing
+        # block and is therefore not an offender.
+        from repro.spill.cost_models import requires_jump_block
+
+        offenders_src = {key[0] for key in saves if requires_jump_block(function, key)}
+        offenders_dst = {key[1] for key in restores if requires_jump_block(function, key)}
+        if not offenders_src and not offenders_dst:
+            return saves, restores
+        # Propagate artificial occupancy along the offending jump edges:
+        # the source block for saves, the destination block for restores.
+        occupied = frozenset(occupied | offenders_src | offenders_dst)
+        if avoid_loops:
+            occupied = _expand_through_loops(
+                function, occupied, compute_loop_forest(function)
+            )
+    # The expansion is monotone and bounded by the number of blocks, so the
+    # loop above always terminates; this return is the final fixed point.
+    return save_restore_edges(function, occupied)
+
+
+def place_shrink_wrap(
+    function: Function,
+    usage: CalleeSavedUsage,
+    allow_jump_edges: bool = False,
+    avoid_loops: bool = True,
+    technique_name: Optional[str] = None,
+) -> SpillPlacement:
+    """Shrink-wrapping placement for every used callee-saved register.
+
+    The defaults reproduce Chow's original technique; pass
+    ``allow_jump_edges=True, avoid_loops=False`` for the modified variant.
+    """
+
+    if technique_name is None:
+        technique_name = "shrink_wrap" if not allow_jump_edges else "modified_shrink_wrap"
+    placement = SpillPlacement(function.name, technique_name)
+    for register in usage.used_registers():
+        saves, restores = shrink_wrap_edges(
+            function,
+            usage.blocks_for(register),
+            allow_jump_edges=allow_jump_edges,
+            avoid_loops=avoid_loops,
+        )
+        locations = [SpillLocation(register, SpillKind.SAVE, key) for key in sorted(saves)]
+        locations += [SpillLocation(register, SpillKind.RESTORE, key) for key in sorted(restores)]
+        for srset in build_save_restore_sets(function, register, locations, initial=True):
+            placement.add_set(srset)
+    return placement

@@ -1,0 +1,167 @@
+"""Validity checking for callee-saved spill placements.
+
+A placement is valid for a register when, along every execution path:
+
+* the original callee-saved value is saved before the register is first
+  occupied by a program variable,
+* a restore only executes when the value is currently saved (otherwise it
+  would load garbage or clobber a live variable),
+* a save only executes when the original value is still in the register
+  (otherwise it would save a variable's value on top of the original), and
+* the original value is back in the register at the procedure exit.
+
+The check is a small abstract interpretation over the CFG with the state
+domain ``{ORIGINAL, SAVED}``; paths that disagree about the state at a merge
+point make the placement invalid (the state must be a function of the program
+point for straight-line save/restore code to be correct).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.function import ENTRY_SENTINEL, EXIT_SENTINEL, Function
+from repro.ir.values import PhysicalRegister
+from repro.spill.model import CalleeSavedUsage, EdgeKey, SpillKind, SpillLocation, SpillPlacement
+
+
+class PlacementError(ValueError):
+    """Raised when a spill placement violates the callee-saved convention."""
+
+    def __init__(self, errors: List[str]):
+        super().__init__("; ".join(errors))
+        self.errors = errors
+
+
+class _State(enum.Enum):
+    ORIGINAL = "original"   # the callee-saved value is (still) in the register
+    SAVED = "saved"         # the value is in the save slot; the register is free
+
+
+def _edge_locations(
+    placement: SpillPlacement, register: PhysicalRegister
+) -> Dict[EdgeKey, List[SpillLocation]]:
+    by_edge: Dict[EdgeKey, List[SpillLocation]] = {}
+    for location in placement.locations_for(register):
+        by_edge.setdefault(location.edge, []).append(location)
+    return by_edge
+
+
+def _apply_edge(
+    state: _State,
+    edge: EdgeKey,
+    locations: List[SpillLocation],
+    errors: List[str],
+    register: PhysicalRegister,
+) -> _State:
+    """Apply the save/restore locations sitting on one edge to the state."""
+
+    saves = [l for l in locations if l.is_save()]
+    restores = [l for l in locations if l.is_restore()]
+    if len(saves) > 1 or len(restores) > 1:
+        errors.append(f"{register.name}: duplicate locations on edge {edge}")
+    if saves and restores:
+        errors.append(f"{register.name}: both save and restore on edge {edge}")
+        return state
+    if saves:
+        if state is not _State.ORIGINAL:
+            errors.append(
+                f"{register.name}: save on edge {edge} reached with the value already saved"
+            )
+        return _State.SAVED
+    if restores:
+        if state is not _State.SAVED:
+            errors.append(
+                f"{register.name}: restore on edge {edge} reached without a prior save"
+            )
+        return _State.ORIGINAL
+    return state
+
+
+def collect_placement_errors(
+    function: Function,
+    usage: CalleeSavedUsage,
+    placement: SpillPlacement,
+) -> List[str]:
+    """Return every convention violation of ``placement`` (empty when valid)."""
+
+    errors: List[str] = []
+    entry = function.entry.label
+    exit_label = function.exit.label
+
+    for register in usage.used_registers():
+        by_edge = _edge_locations(placement, register)
+        occupied = usage.blocks_for(register)
+
+        # State at block entry, propagated to a fixed point; None = unknown yet.
+        state_at: Dict[str, Optional[_State]] = {
+            label: None for label in function.block_labels
+        }
+        entry_state = _apply_edge(
+            _State.ORIGINAL, (ENTRY_SENTINEL, entry), by_edge.get((ENTRY_SENTINEL, entry), []),
+            errors, register,
+        )
+        state_at[entry] = entry_state
+
+        worklist = [entry]
+        while worklist:
+            label = worklist.pop()
+            state = state_at[label]
+            if state is None:
+                continue
+            if label in occupied and state is not _State.SAVED:
+                errors.append(
+                    f"{register.name}: block {label!r} is occupied but the original "
+                    "value was never saved on some path"
+                )
+            for edge in function.block_out_edges(label):
+                next_state = _apply_edge(
+                    state, edge.key, by_edge.get(edge.key, []), errors, register
+                )
+                previous = state_at[edge.dst]
+                if previous is None:
+                    state_at[edge.dst] = next_state
+                    worklist.append(edge.dst)
+                elif previous is not next_state:
+                    errors.append(
+                        f"{register.name}: conflicting saved/unsaved state at block "
+                        f"{edge.dst!r} (paths disagree)"
+                    )
+
+        exit_state = state_at[exit_label]
+        if exit_state is not None:
+            final = _apply_edge(
+                exit_state,
+                (exit_label, EXIT_SENTINEL),
+                by_edge.get((exit_label, EXIT_SENTINEL), []),
+                errors,
+                register,
+            )
+            if final is not _State.ORIGINAL:
+                errors.append(
+                    f"{register.name}: procedure exit reached with the original value "
+                    "still in the save slot (missing restore)"
+                )
+
+        # Every location must sit on an edge that actually exists.
+        valid_edges = {e.key for e in function.edges()}
+        valid_edges.add((ENTRY_SENTINEL, entry))
+        valid_edges.add((exit_label, EXIT_SENTINEL))
+        for location in placement.locations_for(register):
+            if location.edge not in valid_edges:
+                errors.append(
+                    f"{register.name}: location {location} does not lie on a CFG edge"
+                )
+
+    return errors
+
+
+def verify_placement(
+    function: Function, usage: CalleeSavedUsage, placement: SpillPlacement
+) -> None:
+    """Raise :class:`PlacementError` when ``placement`` is invalid."""
+
+    errors = collect_placement_errors(function, usage, placement)
+    if errors:
+        raise PlacementError(errors)

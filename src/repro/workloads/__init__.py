@@ -1,0 +1,58 @@
+"""Workloads: hand-written example programs, a random procedure generator and
+the synthetic SPEC CPU2000-integer-like benchmark suite.
+
+* :mod:`repro.workloads.programs` — small hand-built functions, including the
+  paper's Figure 1 example and a faithful reconstruction of the Figure 2/3
+  worked example (blocks ``A`` … ``P`` with the paper's edge counts).
+* :mod:`repro.workloads.generator` — a parameterized generator of structured
+  procedures (sequences, diamonds, loops, guarded calls, early exits) with
+  branch probabilities, used to build arbitrarily large workloads.
+* :mod:`repro.workloads.spec_like` — one workload profile per SPEC CPU2000
+  integer benchmark, with generator parameters chosen to mirror each
+  program's qualitative characteristics (procedure sizes, loop depth, call
+  density, goto frequency, callee-saved pressure).
+"""
+
+from repro.workloads.generator import (
+    GeneratedProcedure,
+    GeneratorConfig,
+    SEGMENT_KINDS,
+    generate_procedure,
+    generate_procedures,
+)
+from repro.workloads.programs import (
+    PaperExample,
+    call_chain_function,
+    diamond_function,
+    figure1_function,
+    loop_function,
+    paper_example,
+)
+from repro.workloads.spec_like import (
+    BenchmarkSpec,
+    SPEC_BENCHMARKS,
+    SyntheticBenchmark,
+    build_benchmark,
+    build_suite,
+    spec_by_name,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "GeneratedProcedure",
+    "GeneratorConfig",
+    "PaperExample",
+    "SEGMENT_KINDS",
+    "SPEC_BENCHMARKS",
+    "SyntheticBenchmark",
+    "build_benchmark",
+    "build_suite",
+    "call_chain_function",
+    "diamond_function",
+    "figure1_function",
+    "generate_procedure",
+    "generate_procedures",
+    "loop_function",
+    "paper_example",
+    "spec_by_name",
+]

@@ -1,0 +1,362 @@
+"""Parameterized generation of synthetic procedures.
+
+The SPEC CPU2000 integer benchmarks cannot be shipped or executed here, so
+the evaluation runs on synthetic procedures whose *shape* is controlled by a
+:class:`GeneratorConfig`: how many of which kinds of code segments a
+procedure contains, how hot each segment is, how much straight-line ballast
+surrounds the interesting parts, and how many long-lived values cross calls.
+
+A procedure is a sequence of segments drawn (with a seeded RNG) from a small
+set of archetypes that map directly onto the control-flow situations the
+paper discusses:
+
+``compute``
+    straight-line arithmetic, no control flow;
+``diamond``
+    an if/then/else over ordinary computation;
+``guarded_call``
+    ``if (p) { v = call(); ... use v ... }`` — a single-entry single-exit
+    region that occupies a callee-saved register; its execution probability
+    decides whether shrink-wrapping beats entry/exit placement for it;
+``early_exit_call``
+    a guarded region with a conditional jump out of its middle — the
+    jump-edge situation (paper, Figure 2, blocks D/E/F) that Chow's technique
+    cannot exploit but the hierarchical algorithm can;
+``loop_call``
+    a counted loop whose body calls a helper — save/restore code must stay
+    out of the loop.
+
+Every branch emitted records its taken-probability, so a flow-conserving
+profile can be derived analytically with
+:func:`repro.profiling.synthetic.profile_from_branch_probabilities`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import Opcode
+from repro.ir.values import Register
+from repro.ir.verifier import verify_function
+from repro.profiling.profile_data import EdgeProfile
+from repro.profiling.synthetic import profile_from_branch_probabilities
+
+EdgeKey = Tuple[str, str]
+
+#: Segment archetypes understood by the generator.
+SEGMENT_KINDS = (
+    "compute",
+    "diamond",
+    "guarded_call",
+    "early_exit_call",
+    "loop_call",
+)
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs controlling the shape of one generated procedure.
+
+    The ``segment_weights`` decide the mix of archetypes; the probability
+    knobs decide how hot the guarded regions are, which in turn decides which
+    placement technique wins on the procedure.
+    """
+
+    name: str = "generated"
+    seed: int = 0
+    #: How many segments the procedure body contains.
+    num_segments: int = 6
+    #: Relative weights of the archetypes, keyed by :data:`SEGMENT_KINDS`.
+    segment_weights: Dict[str, float] = field(
+        default_factory=lambda: {
+            "compute": 2.0,
+            "diamond": 1.5,
+            "guarded_call": 2.0,
+            "early_exit_call": 1.0,
+            "loop_call": 0.5,
+        }
+    )
+    #: Probability that a guarded call region executes on a given invocation.
+    hot_region_probability: float = 0.9
+    #: Probability used for *cold* guarded regions (error paths and the like).
+    cold_region_probability: float = 0.05
+    #: Fraction of guarded regions that are cold.
+    cold_region_fraction: float = 0.3
+    #: Probability of leaving an early-exit region through the early exit.
+    early_exit_probability: float = 0.4
+    #: Expected trip count of generated loops.
+    loop_trip_count: float = 8.0
+    #: Straight-line instructions added per generated block.
+    block_ballast: int = 3
+    #: Long-lived values defined at entry and used at exit (they cross every
+    #: call and therefore demand callee-saved registers or spills).
+    num_accumulators: int = 2
+    #: Call-crossing locals created inside each guarded/early-exit call region.
+    #: They are simultaneously live across the region's second call, so each
+    #: one demands its own callee-saved register — the knob that controls how
+    #: many callee-saved registers a procedure's cold or hot paths occupy.
+    locals_per_call_region: int = 1
+    #: Extra short-lived temporaries per segment (register pressure).
+    temporaries_per_segment: int = 2
+    #: Procedure invocation count used for the profile.
+    invocations: float = 1000.0
+
+
+@dataclass
+class GeneratedProcedure:
+    """A generated function plus its analytically derived profile."""
+
+    function: Function
+    profile: EdgeProfile
+    config: GeneratorConfig
+    branch_probabilities: Dict[EdgeKey, float]
+    segments: List[str] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.function.name
+
+
+class _ProcedureEmitter:
+    """Stateful helper emitting one procedure segment by segment."""
+
+    def __init__(self, config: GeneratorConfig, rng: random.Random):
+        self.config = config
+        self.rng = rng
+        self.builder = FunctionBuilder(config.name)
+        self.probabilities: Dict[EdgeKey, float] = {}
+        self.segments: List[str] = []
+        self._label_index = 0
+        self.accumulators: List[Register] = []
+        self._call_index = 0
+
+    # -- small helpers ------------------------------------------------------------
+
+    def _label(self, stem: str) -> str:
+        self._label_index += 1
+        return f"{stem}{self._label_index}"
+
+    def _callee(self) -> str:
+        self._call_index += 1
+        return f"helper{self._call_index}"
+
+    def _ballast(self, extra_temporaries: int = 0) -> None:
+        builder = self.builder
+        temps = [builder.const(self.rng.randrange(1, 100)) for _ in range(extra_temporaries)]
+        sources: List[Register] = list(self.accumulators) + temps
+        for _ in range(self.config.block_ballast):
+            if len(sources) >= 2 and self.rng.random() < 0.8:
+                lhs, rhs = self.rng.sample(sources, 2)
+                opcode = self.rng.choice((Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.XOR))
+                builder.binary(opcode, lhs, rhs)
+            else:
+                builder.nop()
+
+    def _condition(self) -> Register:
+        builder = self.builder
+        if self.accumulators and self.rng.random() < 0.7:
+            source = self.rng.choice(self.accumulators)
+        else:
+            source = builder.const(self.rng.randrange(0, 50))
+        return builder.cmp_lt(source, self.rng.randrange(1, 100))
+
+    def _record(self, src_label: str, dst_label: str, probability: float) -> None:
+        self.probabilities[(src_label, dst_label)] = probability
+
+    def _bump_accumulator(self) -> None:
+        if self.accumulators:
+            accumulator = self.rng.choice(self.accumulators)
+            self.builder.add(accumulator, 1, accumulator)
+
+    # -- segments -----------------------------------------------------------------
+
+    def emit_prologue(self) -> None:
+        builder = self.builder
+        builder.block("entry")
+        for index in range(self.config.num_accumulators):
+            self.accumulators.append(builder.const(index + 1))
+        self._ballast()
+
+    def emit_epilogue(self) -> None:
+        builder = self.builder
+        # Use the accumulators so their live ranges span the whole body.
+        result: Optional[Register] = None
+        for accumulator in self.accumulators:
+            result = builder.add(accumulator, result if result is not None else 0)
+        builder.block(self._label("exit"))
+        builder.ret([result] if result is not None else [])
+
+    def emit_compute(self) -> None:
+        self._ballast(self.config.temporaries_per_segment)
+
+    def emit_diamond(self) -> None:
+        builder = self.builder
+        probability = self.rng.uniform(0.2, 0.8)
+        condition = self._condition()
+        then_label = self._label("then")
+        merge_label = self._label("merge")
+        current = builder.current.label
+        builder.branch(condition, then_label)
+        self._record(current, then_label, probability)
+
+        builder.block(self._label("else"))
+        self._ballast(1)
+        builder.jump(merge_label)
+
+        builder.block(then_label)
+        self._ballast(1)
+        self._bump_accumulator()
+
+        builder.block(merge_label)
+        self._ballast()
+
+    def _guard_probability(self) -> float:
+        if self.rng.random() < self.config.cold_region_fraction:
+            return self.config.cold_region_probability
+        return self.config.hot_region_probability
+
+    def _region_locals(self) -> List[Register]:
+        """Create the region's call-crossing locals (seeded from one call)."""
+
+        builder = self.builder
+        first = builder.call(self._callee(), returns_value=True)
+        locals_ = [first]
+        for offset in range(1, max(1, self.config.locals_per_call_region)):
+            locals_.append(builder.add(first, offset))
+        return locals_
+
+    def _use_region_locals(self, locals_: List[Register]) -> None:
+        builder = self.builder
+        for register in locals_:
+            builder.add(register, 1)
+
+    def emit_guarded_call(self) -> None:
+        """``if (p) { v = call(); ...; call(); use v }`` — one occupied region."""
+
+        builder = self.builder
+        execute_probability = self._guard_probability()
+        condition = self._condition()
+        merge_label = self._label("merge")
+        current = builder.current.label
+        # Taken branch skips the region, so taken probability = 1 - p(execute).
+        builder.branch(condition, merge_label)
+        self._record(current, merge_label, 1.0 - execute_probability)
+
+        builder.block(self._label("call_body"))
+        locals_ = self._region_locals()
+        self._ballast(1)
+        builder.call(self._callee(), args=[locals_[0]])
+        self._use_region_locals(locals_)
+        self._bump_accumulator()
+
+        builder.block(merge_label)
+        self._ballast()
+
+    def emit_early_exit_call(self) -> None:
+        """A guarded call region with a jump out of its middle (Figure 2's D/E/F)."""
+
+        builder = self.builder
+        execute_probability = self._guard_probability()
+        early_probability = self.config.early_exit_probability
+        condition = self._condition()
+        merge_label = self._label("merge")
+        current = builder.current.label
+        builder.branch(condition, merge_label)
+        self._record(current, merge_label, 1.0 - execute_probability)
+
+        builder.block(self._label("body_head"))
+        locals_ = self._region_locals()
+        self._ballast(1)
+        early_condition = builder.cmp_eq(locals_[0], 0)
+        head_label = builder.current.label
+        builder.branch(early_condition, merge_label)
+        self._record(head_label, merge_label, early_probability)
+
+        builder.block(self._label("body_tail"))
+        builder.call(self._callee(), args=[locals_[0]])
+        self._use_region_locals(locals_)
+        self._ballast(1)
+        self._bump_accumulator()
+
+        builder.block(merge_label)
+        self._ballast()
+
+    def emit_loop_call(self) -> None:
+        builder = self.builder
+        trips = max(self.config.loop_trip_count, 0.5)
+        exit_probability = 1.0 / (trips + 1.0)
+
+        header_label = self._label("header")
+        after_label = self._label("after")
+        counter = builder.const(0)
+        builder.block(header_label)
+        condition = builder.cmp_ge(counter, int(trips))
+        builder.branch(condition, after_label)
+        self._record(header_label, after_label, exit_probability)
+
+        builder.block(self._label("loop_body"))
+        value = builder.call(self._callee(), returns_value=True)
+        builder.add(counter, 1, counter)
+        builder.add(value, 1)
+        self._ballast(1)
+        builder.jump(header_label)
+
+        builder.block(after_label)
+        self._ballast()
+
+    # -- driver -------------------------------------------------------------------
+
+    def emit(self) -> GeneratedProcedure:
+        config = self.config
+        self.emit_prologue()
+        kinds = list(config.segment_weights.keys())
+        weights = [max(config.segment_weights[k], 0.0) for k in kinds]
+        emitters = {
+            "compute": self.emit_compute,
+            "diamond": self.emit_diamond,
+            "guarded_call": self.emit_guarded_call,
+            "early_exit_call": self.emit_early_exit_call,
+            "loop_call": self.emit_loop_call,
+        }
+        for _ in range(config.num_segments):
+            kind = self.rng.choices(kinds, weights=weights, k=1)[0]
+            self.segments.append(kind)
+            emitters[kind]()
+        self.emit_epilogue()
+
+        function = self.builder.build()
+        verify_function(function, require_single_exit=True)
+        profile = profile_from_branch_probabilities(
+            function, invocations=config.invocations, probabilities=self.probabilities
+        )
+        return GeneratedProcedure(
+            function=function,
+            profile=profile,
+            config=config,
+            branch_probabilities=dict(self.probabilities),
+            segments=list(self.segments),
+        )
+
+
+def generate_procedure(config: GeneratorConfig) -> GeneratedProcedure:
+    """Generate one procedure (deterministic for a given config and seed)."""
+
+    rng = random.Random(config.seed)
+    return _ProcedureEmitter(config, rng).emit()
+
+
+def generate_procedures(
+    base: GeneratorConfig, count: int, name_prefix: Optional[str] = None
+) -> List[GeneratedProcedure]:
+    """Generate ``count`` procedures varying only the seed (and name)."""
+
+    prefix = name_prefix or base.name
+    procedures = []
+    for index in range(count):
+        config = GeneratorConfig(**{**base.__dict__, "name": f"{prefix}_{index}", "seed": base.seed + index})
+        procedures.append(generate_procedure(config))
+    return procedures

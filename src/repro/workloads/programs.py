@@ -1,0 +1,266 @@
+"""Hand-written example programs.
+
+The most important function here is :func:`paper_example`, a reconstruction
+of the worked example of the paper's Figures 2-4: sixteen basic blocks
+``A`` … ``P``, profile counts on every edge, and a single callee-saved
+register occupied in blocks ``D``, ``E``, ``G``, ``K`` and ``N``.  The
+numbers were chosen so that every cost quoted in the paper's walk-through is
+reproduced exactly:
+
+* entry/exit placement overhead: 200
+* Chow's shrink-wrapping overhead: 250
+* modified shrink-wrapping sets: Set 1 = 80, Set 2 = Set 3 = Set 4 = 50
+* maximal-SESE-region boundaries: Region 1 = 100, Region 2 = 140,
+  Region 3 = 60, Region 4 (procedure) = 200
+* hierarchical placement: 190 under the execution-count model,
+  200 (= entry/exit) under the jump-edge model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.ir import instructions as ins
+from repro.ir.basic_block import BasicBlock
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+from repro.ir.values import Label, PhysicalRegister
+from repro.profiling.profile_data import EdgeProfile
+from repro.spill.model import CalleeSavedUsage
+from repro.target.parisc import parisc_target
+
+EdgeKey = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class PaperExample:
+    """The Figure 2/3 worked example: function, profile and callee-saved usage."""
+
+    function: Function
+    profile: EdgeProfile
+    usage: CalleeSavedUsage
+    register: PhysicalRegister
+
+    #: Blocks shaded in the paper's figure (callee-saved register occupied).
+    occupied_blocks: Tuple[str, ...] = ("D", "E", "G", "K", "N")
+
+
+def _ballast(builder: FunctionBuilder, count: int = 1) -> None:
+    """Emit a few ordinary instructions so blocks look like real code."""
+
+    builder.nop(count)
+
+
+def paper_example() -> PaperExample:
+    """Build the reconstruction of the paper's motivating example."""
+
+    target = parisc_target()
+    callee = target.callee_saved[0]
+
+    builder = FunctionBuilder("paper_example")
+    v_cond = builder.new_vreg()
+
+    # Layout order matters: fall-through edges go to the next block in layout.
+    builder.block("A")
+    builder.const(1, v_cond)
+    builder.branch(v_cond, "I")           # A -> I (jump, 30); falls through to B (70)
+
+    builder.block("B")
+    _ballast(builder)
+    builder.branch(v_cond, "H")           # B -> H (jump, 20); falls through to C (50)
+
+    builder.block("C")
+    _ballast(builder)
+    builder.branch(v_cond, "F")           # C -> F (jump, 10); falls through to D (40)
+
+    builder.block("D")                     # occupied
+    builder.call("helper_d")
+    builder.branch(v_cond, "F")           # D -> F (jump, 30); falls through to E (10)
+
+    builder.block("E")                     # occupied
+    builder.call("helper_e")
+
+    builder.block("F")                     # E falls through to F; C and D jump here
+    _ballast(builder)
+
+    builder.block("H")                     # F falls through to H; B jumps here
+    _ballast(builder)
+    builder.branch(v_cond, "J")           # H -> J (jump, 45); falls through to G (25)
+
+    builder.block("G")                     # occupied
+    builder.call("helper_g")
+
+    builder.block("J")                     # G falls through to J; H jumps here
+    _ballast(builder)
+    builder.jump("P")                     # J -> P (jump, 70)
+
+    builder.block("I")                     # A jumps here (30)
+    _ballast(builder)
+    builder.branch(v_cond, "L")           # I -> L (jump, 5); falls through to K (25)
+
+    builder.block("K")                     # occupied
+    builder.call("helper_k")
+
+    builder.block("M")                     # K falls through to M; L jumps here
+    _ballast(builder)
+    builder.branch(v_cond, "O")           # M -> O (jump, 5); falls through to N (25)
+
+    builder.block("N")                     # occupied
+    builder.call("helper_n")
+
+    builder.block("O")                     # N falls through to O; M jumps here
+    _ballast(builder)
+
+    builder.block("P")                     # O falls through to P; J jumps here
+    builder.ret()
+
+    builder.block("L")                     # placed last; reached only by jump from I
+    _ballast(builder)
+    builder.jump("M")                     # L -> M (jump, 5)
+
+    function = builder.build()
+
+    edge_counts: Dict[EdgeKey, float] = {
+        ("A", "B"): 70, ("A", "I"): 30,
+        ("B", "C"): 50, ("B", "H"): 20,
+        ("C", "D"): 40, ("C", "F"): 10,
+        ("D", "E"): 10, ("D", "F"): 30,
+        ("E", "F"): 10,
+        ("F", "H"): 50,
+        ("H", "G"): 25, ("H", "J"): 45,
+        ("G", "J"): 25,
+        ("J", "P"): 70,
+        ("I", "K"): 25, ("I", "L"): 5,
+        ("K", "M"): 25,
+        ("L", "M"): 5,
+        ("M", "N"): 25, ("M", "O"): 5,
+        ("N", "O"): 25,
+        ("O", "P"): 30,
+    }
+    profile = EdgeProfile.from_counts(function, edge_counts, invocations=100)
+    usage = CalleeSavedUsage.from_blocks({callee: ["D", "E", "G", "K", "N"]})
+    return PaperExample(function=function, profile=profile, usage=usage, register=callee)
+
+
+def figure1_function(hot_allocation: bool = False) -> Tuple[Function, EdgeProfile, CalleeSavedUsage]:
+    """The paper's Figure 1: a diamond whose arms occupy a callee-saved register.
+
+    With ``hot_allocation=False`` the two occupied blocks are cold (average
+    execution count below the entry count), so shrink-wrapping beats
+    entry/exit placement; with ``hot_allocation=True`` both arms are occupied
+    on almost every invocation and shrink-wrapping is *worse* than
+    entry/exit, which is exactly the scenario Chow's technique cannot detect
+    without profile data.
+    """
+
+    target = parisc_target()
+    callee = target.callee_saved[0]
+
+    builder = FunctionBuilder("figure1")
+    cond = builder.new_vreg()
+    builder.block("entry")
+    builder.const(0, cond)
+    builder.branch(cond, "use_left")
+
+    builder.block("skip_right")
+    builder.nop(2)
+    builder.jump("merge")
+
+    builder.block("use_left")
+    builder.call("left_helper")
+
+    builder.block("merge")
+    cond2 = builder.new_vreg()
+    builder.const(1, cond2)
+    builder.branch(cond2, "use_right")
+
+    builder.block("skip_exit")
+    builder.nop(2)
+    builder.jump("exit")
+
+    builder.block("use_right")
+    builder.call("right_helper")
+
+    builder.block("exit")
+    builder.ret()
+
+    function = builder.build()
+
+    taken = 90.0 if hot_allocation else 10.0
+    invocations = 100.0
+    edge_counts: Dict[EdgeKey, float] = {
+        ("entry", "use_left"): taken,
+        ("entry", "skip_right"): invocations - taken,
+        ("use_left", "merge"): taken,
+        ("skip_right", "merge"): invocations - taken,
+        ("merge", "use_right"): taken,
+        ("merge", "skip_exit"): invocations - taken,
+        ("use_right", "exit"): taken,
+        ("skip_exit", "exit"): invocations - taken,
+    }
+    profile = EdgeProfile.from_counts(function, edge_counts, invocations=invocations)
+    usage = CalleeSavedUsage.from_blocks({callee: ["use_left", "use_right"]})
+    return function, profile, usage
+
+
+def diamond_function() -> Function:
+    """A minimal if/else diamond used throughout the unit tests."""
+
+    builder = FunctionBuilder("diamond")
+    cond = builder.new_vreg()
+    builder.block("entry")
+    builder.const(5, cond)
+    builder.branch(cond, "then")
+    builder.block("else_")
+    builder.nop(2)
+    builder.jump("merge")
+    builder.block("then")
+    builder.nop(1)
+    builder.block("merge")
+    builder.ret()
+    return builder.build()
+
+
+def loop_function(trip_count_register: bool = True) -> Function:
+    """A counted loop with a call in the body (forces callee-saved pressure)."""
+
+    builder = FunctionBuilder("loop")
+    counter = builder.new_vreg()
+    limit = builder.new_vreg()
+    cond = builder.new_vreg()
+
+    builder.block("entry")
+    builder.const(0, counter)
+    builder.const(10, limit)
+
+    builder.block("header")
+    builder.binary(ins.Opcode.CMP_LT, counter, limit, cond)
+    builder.branch(cond, "body")
+
+    builder.block("after")
+    builder.jump("exit")
+
+    builder.block("body")
+    builder.call("callee")
+    builder.add(counter, 1, counter)
+    builder.jump("header")
+
+    builder.block("exit")
+    builder.ret()
+    return builder.build()
+
+
+def call_chain_function(num_calls: int = 3) -> Function:
+    """Straight-line code with several calls, separated by arithmetic."""
+
+    builder = FunctionBuilder("call_chain")
+    value = builder.new_vreg()
+    builder.block("entry")
+    builder.const(1, value)
+    for index in range(num_calls):
+        builder.add(value, index, value)
+        builder.call(f"callee{index}")
+    builder.block("exit")
+    builder.ret([value])
+    return builder.build()

@@ -1,0 +1,350 @@
+"""A synthetic stand-in for the SPEC CPU2000 integer benchmark suite.
+
+The paper evaluates on eleven SPEC CPU2000 integer programs (the C++ one,
+eon, is excluded).  Those programs and their training inputs are not
+available here, so each benchmark is replaced by a *workload profile*: a set
+of generator parameters chosen to reflect the qualitative properties that
+drive the paper's results —
+
+* how many procedures the program has and how large they are,
+* how often callee-saved registers are occupied in several *disjoint, hot*
+  regions (which makes shrink-wrapping more expensive than entry/exit
+  placement: gzip, bzip2, twolf),
+* how much unconditional-jump-heavy control flow there is whose jump edges
+  the hierarchical algorithm can exploit but shrink-wrapping cannot
+  (gcc, crafty),
+* how small and register-light the procedures are (mcf, whose callee-saved
+  overhead is negligible).
+
+The absolute dynamic counts are not expected to match the paper (our
+"programs" are synthetic); the *shape* of Figure 5 and Table 1 — who wins,
+roughly by how much, and on which benchmarks shrink-wrapping loses to the
+baseline — is what the suite reproduces.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.workloads.generator import (
+    GeneratedProcedure,
+    GeneratorConfig,
+    generate_procedure,
+)
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Generator parameters for one synthetic SPEC-like benchmark."""
+
+    name: str
+    #: Number of procedures to generate.
+    num_procedures: int
+    #: Mean number of segments per procedure (varied +/- 50% per procedure).
+    segments: int
+    #: Archetype mix (missing kinds default to zero weight).
+    segment_weights: Dict[str, float]
+    hot_region_probability: float = 0.9
+    cold_region_probability: float = 0.05
+    cold_region_fraction: float = 0.3
+    early_exit_probability: float = 0.4
+    loop_trip_count: float = 8.0
+    num_accumulators: int = 1
+    locals_per_call_region: int = 1
+    block_ballast: int = 3
+    temporaries_per_segment: int = 2
+    #: Fraction of procedures whose guarded regions are *all* cold (procedures
+    #: that only touch callee-saved registers on error/slow paths — the cases
+    #: where profile-guided placement wins big).
+    cold_procedure_fraction: float = 0.0
+    #: Fraction of those cold procedures that contain no early-exit jumps, so
+    #: that plain shrink-wrapping can exploit them as well (this is what makes
+    #: the Shrinkwrap/Baseline ratio dip below 1.0 on gcc-like programs).
+    pure_guarded_cold_fraction: float = 0.0
+    #: Procedure invocation counts are drawn log-uniformly from this range.
+    invocation_range: Tuple[float, float] = (100.0, 10_000.0)
+    seed: int = 1
+
+    #: Paper reference ratios (Table 1), used for reporting side by side.
+    paper_optimized_ratio: Optional[float] = None
+    paper_shrinkwrap_ratio: Optional[float] = None
+
+
+@dataclass
+class SyntheticBenchmark:
+    """A generated benchmark: a bag of procedures with profiles."""
+
+    spec: BenchmarkSpec
+    procedures: List[GeneratedProcedure] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def num_blocks(self) -> int:
+        return sum(len(p.function) for p in self.procedures)
+
+    def num_instructions(self) -> int:
+        return sum(p.function.instruction_count() for p in self.procedures)
+
+
+def _weights(**kinds: float) -> Dict[str, float]:
+    base = {
+        "compute": 0.0,
+        "diamond": 0.0,
+        "guarded_call": 0.0,
+        "early_exit_call": 0.0,
+        "loop_call": 0.0,
+    }
+    base.update(kinds)
+    return base
+
+
+#: The eleven benchmarks of the paper's Table 1, in the paper's order, with
+#: workload profiles tuned to their qualitative characteristics.
+SPEC_BENCHMARKS: Tuple[BenchmarkSpec, ...] = (
+    BenchmarkSpec(
+        name="gzip",
+        num_procedures=10,
+        segments=7,
+        segment_weights=_weights(compute=1.5, diamond=1.0, guarded_call=3.5,
+                                 early_exit_call=0.4, loop_call=0.6),
+        hot_region_probability=0.96,
+        cold_region_fraction=0.1,
+        cold_procedure_fraction=0.35,
+        num_accumulators=1,
+        locals_per_call_region=2,
+        seed=101,
+        paper_optimized_ratio=0.830,
+        paper_shrinkwrap_ratio=1.026,
+    ),
+    BenchmarkSpec(
+        name="vpr",
+        num_procedures=12,
+        segments=6,
+        segment_weights=_weights(compute=2.5, diamond=1.5, guarded_call=1.0,
+                                 early_exit_call=0.1, loop_call=1.0),
+        hot_region_probability=0.995,
+        cold_region_fraction=0.02,
+        cold_procedure_fraction=0.05,
+        num_accumulators=3,
+        seed=102,
+        paper_optimized_ratio=0.995,
+        paper_shrinkwrap_ratio=1.000,
+    ),
+    BenchmarkSpec(
+        name="gcc",
+        num_procedures=36,
+        segments=9,
+        segment_weights=_weights(compute=1.0, diamond=1.2, guarded_call=2.0,
+                                 early_exit_call=2.6, loop_call=0.3),
+        hot_region_probability=0.65,
+        cold_region_probability=0.03,
+        cold_region_fraction=0.35,
+        cold_procedure_fraction=0.55,
+        pure_guarded_cold_fraction=0.45,
+        early_exit_probability=0.5,
+        num_accumulators=0,
+        locals_per_call_region=3,
+        seed=103,
+        paper_optimized_ratio=0.596,
+        paper_shrinkwrap_ratio=0.939,
+    ),
+    BenchmarkSpec(
+        name="mcf",
+        num_procedures=8,
+        segments=3,
+        segment_weights=_weights(compute=3.0, diamond=1.5, guarded_call=0.15,
+                                 early_exit_call=0.0, loop_call=0.5),
+        hot_region_probability=0.9,
+        num_accumulators=0,
+        block_ballast=2,
+        temporaries_per_segment=1,
+        invocation_range=(50.0, 500.0),
+        seed=104,
+        paper_optimized_ratio=1.000,
+        paper_shrinkwrap_ratio=1.000,
+    ),
+    BenchmarkSpec(
+        name="crafty",
+        num_procedures=14,
+        segments=10,
+        segment_weights=_weights(compute=0.8, diamond=1.0, guarded_call=1.2,
+                                 early_exit_call=2.3, loop_call=0.2),
+        hot_region_probability=0.45,
+        cold_region_probability=0.02,
+        cold_region_fraction=0.45,
+        cold_procedure_fraction=0.7,
+        pure_guarded_cold_fraction=0.45,
+        early_exit_probability=0.55,
+        num_accumulators=0,
+        locals_per_call_region=3,
+        seed=105,
+        paper_optimized_ratio=0.440,
+        paper_shrinkwrap_ratio=0.933,
+    ),
+    BenchmarkSpec(
+        name="parser",
+        num_procedures=16,
+        segments=7,
+        segment_weights=_weights(compute=1.5, diamond=1.5, guarded_call=2.0,
+                                 early_exit_call=1.2, loop_call=0.6),
+        hot_region_probability=0.85,
+        cold_region_fraction=0.2,
+        cold_procedure_fraction=0.3,
+        num_accumulators=1,
+        locals_per_call_region=2,
+        seed=106,
+        paper_optimized_ratio=0.858,
+        paper_shrinkwrap_ratio=0.990,
+    ),
+    BenchmarkSpec(
+        name="perlbmk",
+        num_procedures=18,
+        segments=8,
+        segment_weights=_weights(compute=1.5, diamond=1.5, guarded_call=2.0,
+                                 early_exit_call=1.0, loop_call=0.5),
+        hot_region_probability=0.9,
+        cold_region_fraction=0.15,
+        cold_procedure_fraction=0.3,
+        num_accumulators=2,
+        locals_per_call_region=2,
+        seed=107,
+        paper_optimized_ratio=0.897,
+        paper_shrinkwrap_ratio=0.996,
+    ),
+    BenchmarkSpec(
+        name="gap",
+        num_procedures=16,
+        segments=8,
+        segment_weights=_weights(compute=1.5, diamond=1.2, guarded_call=1.6,
+                                 early_exit_call=1.2, loop_call=0.6),
+        hot_region_probability=0.88,
+        cold_region_fraction=0.25,
+        cold_procedure_fraction=0.3,
+        pure_guarded_cold_fraction=0.85,
+        num_accumulators=1,
+        locals_per_call_region=2,
+        seed=108,
+        paper_optimized_ratio=0.885,
+        paper_shrinkwrap_ratio=0.954,
+    ),
+    BenchmarkSpec(
+        name="vortex",
+        num_procedures=20,
+        segments=7,
+        segment_weights=_weights(compute=2.0, diamond=1.5, guarded_call=0.6,
+                                 early_exit_call=0.2, loop_call=0.8),
+        hot_region_probability=0.99,
+        cold_region_fraction=0.02,
+        cold_procedure_fraction=0.08,
+        num_accumulators=4,
+        seed=109,
+        paper_optimized_ratio=0.988,
+        paper_shrinkwrap_ratio=1.000,
+    ),
+    BenchmarkSpec(
+        name="bzip2",
+        num_procedures=10,
+        segments=7,
+        segment_weights=_weights(compute=2.2, diamond=1.2, guarded_call=1.0,
+                                 early_exit_call=0.25, loop_call=0.8),
+        hot_region_probability=0.95,
+        cold_region_fraction=0.1,
+        cold_procedure_fraction=0.28,
+        num_accumulators=2,
+        locals_per_call_region=2,
+        seed=110,
+        paper_optimized_ratio=0.902,
+        paper_shrinkwrap_ratio=1.005,
+    ),
+    BenchmarkSpec(
+        name="twolf",
+        num_procedures=12,
+        segments=8,
+        segment_weights=_weights(compute=1.8, diamond=1.2, guarded_call=1.0,
+                                 early_exit_call=0.15, loop_call=0.6),
+        hot_region_probability=0.97,
+        cold_region_fraction=0.08,
+        cold_procedure_fraction=0.15,
+        num_accumulators=2,
+        locals_per_call_region=2,
+        seed=111,
+        paper_optimized_ratio=0.939,
+        paper_shrinkwrap_ratio=1.080,
+    ),
+)
+
+
+def spec_by_name(name: str) -> BenchmarkSpec:
+    """Look up one of the predefined benchmark specs by name."""
+
+    for spec in SPEC_BENCHMARKS:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"unknown benchmark {name!r}; expected one of "
+                   + ", ".join(s.name for s in SPEC_BENCHMARKS))
+
+
+def build_benchmark(spec: BenchmarkSpec, scale: float = 1.0) -> SyntheticBenchmark:
+    """Generate the procedures of one benchmark.
+
+    ``scale`` multiplies the procedure count (useful to shrink the suite for
+    quick test runs or grow it for longer benchmarking sessions).
+    """
+
+    rng = random.Random(spec.seed)
+    count = max(1, int(round(spec.num_procedures * scale)))
+    procedures: List[GeneratedProcedure] = []
+    for index in range(count):
+        segments = max(1, int(round(spec.segments * rng.uniform(0.5, 1.5))))
+        low, high = spec.invocation_range
+        invocations = float(low * (high / low) ** rng.random())
+        # Spread the cold procedures evenly over the benchmark (deterministic
+        # Bresenham-style selection) so that small suites still contain the
+        # intended fraction regardless of the invocation-count draw.
+        fraction = spec.cold_procedure_fraction
+        cold_procedure = int((index + 1) * fraction) - int(index * fraction) >= 1
+        cold_fraction = 1.0 if cold_procedure else spec.cold_region_fraction
+        weights = dict(spec.segment_weights)
+        if cold_procedure:
+            # Alternate cold procedures between "pure guarded" shapes (which
+            # both shrink-wrapping and the hierarchical algorithm exploit) and
+            # jump-edge-heavy shapes (which only the hierarchical algorithm
+            # exploits), in the spec's requested proportion.
+            cold_index = int(index * fraction)
+            pure = spec.pure_guarded_cold_fraction
+            if int((cold_index + 1) * pure) - int(cold_index * pure) >= 1:
+                weights["guarded_call"] = weights.get("guarded_call", 0.0) + weights.get(
+                    "early_exit_call", 0.0
+                )
+                weights["early_exit_call"] = 0.0
+        config = GeneratorConfig(
+            name=f"{spec.name}_p{index}",
+            seed=spec.seed * 1000 + index,
+            num_segments=segments,
+            segment_weights=weights,
+            hot_region_probability=spec.hot_region_probability,
+            cold_region_probability=spec.cold_region_probability,
+            cold_region_fraction=cold_fraction,
+            early_exit_probability=spec.early_exit_probability,
+            loop_trip_count=spec.loop_trip_count,
+            block_ballast=spec.block_ballast,
+            num_accumulators=spec.num_accumulators,
+            locals_per_call_region=spec.locals_per_call_region,
+            temporaries_per_segment=spec.temporaries_per_segment,
+            invocations=invocations,
+        )
+        procedures.append(generate_procedure(config))
+    return SyntheticBenchmark(spec=spec, procedures=procedures)
+
+
+def build_suite(
+    names: Optional[Sequence[str]] = None, scale: float = 1.0
+) -> List[SyntheticBenchmark]:
+    """Generate the whole suite (or the named subset)."""
+
+    specs = SPEC_BENCHMARKS if names is None else [spec_by_name(n) for n in names]
+    return [build_benchmark(spec, scale=scale) for spec in specs]

@@ -1,0 +1,140 @@
+"""Tests for the experiment runners and reports (Figure 5, Tables 1-2, ablations)."""
+
+import math
+
+import pytest
+
+from repro.evaluation.ablations import AblationRow, render_ablation
+from repro.evaluation.figure5 import figure5, render_figure5
+from repro.evaluation.reporting import format_percent, format_table, horizontal_bar_chart
+from repro.evaluation.runner import run_benchmark, run_suite
+from repro.evaluation.table1 import average_row, render_table1, table1
+from repro.evaluation.table2 import render_table2, table2
+from repro.pipeline.compiler import TECHNIQUES
+from repro.workloads.spec_like import build_benchmark, spec_by_name
+
+#: A small but representative subset keeps the evaluation tests quick.
+SUBSET = ["gzip", "mcf", "crafty"]
+SCALE = 0.3
+
+
+@pytest.fixture(scope="module")
+def measurement():
+    return run_suite(names=SUBSET, scale=SCALE)
+
+
+class TestRunner:
+    def test_benchmarks_in_requested_order(self, measurement):
+        assert measurement.names() == SUBSET
+
+    def test_overheads_are_nonnegative_and_ordered(self, measurement):
+        for benchmark in measurement.benchmarks:
+            for technique in TECHNIQUES:
+                assert benchmark.total_overhead(technique) >= 0
+            assert benchmark.ratio_to_baseline("optimized") <= 1.0 + 1e-9
+            assert benchmark.ratio_to_baseline("optimized") <= benchmark.ratio_to_baseline("shrinkwrap") + 1e-9
+
+    def test_ratio_for_zero_baseline_is_one(self):
+        measurement = run_benchmark(build_benchmark(spec_by_name("mcf"), scale=0.15))
+        # Even if mcf's overhead is (near) zero the ratio stays well defined.
+        assert measurement.ratio_to_baseline("optimized") <= 1.0 + 1e-9
+
+    def test_pass_seconds_accumulate(self, measurement):
+        for benchmark in measurement.benchmarks:
+            assert benchmark.pass_seconds.get("optimized", 0.0) >= 0.0
+            assert benchmark.incremental_seconds("optimized") >= 0.0
+
+    def test_average_ratio(self, measurement):
+        average = measurement.average_ratio("optimized")
+        assert 0.0 < average <= 1.0 + 1e-9
+
+    def test_benchmark_lookup(self, measurement):
+        assert measurement.benchmark("mcf").name == "mcf"
+        with pytest.raises(KeyError):
+            measurement.benchmark("eon")
+
+
+class TestFigure5:
+    def test_rows_match_measurement(self, measurement):
+        rows = figure5(measurement)
+        assert [r.benchmark for r in rows] == SUBSET
+        for row, benchmark in zip(rows, measurement.benchmarks):
+            assert row.baseline == pytest.approx(benchmark.total_overhead("baseline"))
+            assert row.optimized <= row.baseline + 1e-9
+
+    def test_render_contains_all_benchmarks_and_series(self, measurement):
+        text = render_figure5(figure5(measurement))
+        for name in SUBSET:
+            assert name in text
+        for series in ("Optimized", "Shrinkwrap", "Baseline"):
+            assert series in text
+
+    def test_render_without_chart(self, measurement):
+        text = render_figure5(figure5(measurement), chart=False)
+        assert "bar-chart view" not in text
+
+
+class TestTable1:
+    def test_rows_and_average(self, measurement):
+        rows = table1(measurement)
+        average = average_row(rows)
+        assert average.benchmark == "Average"
+        assert 0 < average.optimized_ratio <= average.shrinkwrap_ratio + 0.5
+        assert average.paper_optimized_ratio == pytest.approx(0.848)
+
+    def test_render_shows_percentages_and_paper_reference(self, measurement):
+        text = render_table1(table1(measurement))
+        assert "%" in text
+        assert "Average" in text
+        assert "(paper)" in text
+
+    def test_paper_reference_ratios_attached(self, measurement):
+        rows = {r.benchmark: r for r in table1(measurement)}
+        assert rows["gzip"].paper_optimized_ratio == pytest.approx(0.830)
+        assert rows["crafty"].paper_shrinkwrap_ratio == pytest.approx(0.933)
+
+
+class TestTable2:
+    def test_incremental_times_and_ratio(self, measurement):
+        rows = table2(measurement)
+        assert [r.benchmark for r in rows] == SUBSET
+        for row in rows:
+            assert row.shrinkwrap_seconds >= 0
+            assert row.optimized_seconds >= 0
+            if row.shrinkwrap_seconds > 0:
+                assert row.ratio == pytest.approx(row.optimized_seconds / row.shrinkwrap_seconds)
+            else:
+                assert math.isnan(row.ratio)
+
+    def test_hierarchical_pass_costs_more_than_shrink_wrapping(self, measurement):
+        rows = table2(measurement)
+        totals = (sum(r.shrinkwrap_seconds for r in rows), sum(r.optimized_seconds for r in rows))
+        # The hierarchical pass runs shrink-wrapping internally plus the PST
+        # machinery, so in aggregate it must be slower.
+        assert totals[1] > totals[0]
+
+    def test_render(self, measurement):
+        text = render_table2(table2(measurement))
+        assert "incremental" in text
+        assert "Average" in text
+
+
+class TestReportingHelpers:
+    def test_format_table_alignment_and_title(self):
+        text = format_table(["name", "value"], [("a", 1.0), ("bb", 22.5)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2] and "value" in lines[2]
+
+    def test_format_percent(self):
+        assert format_percent(0.848) == "84.8%"
+
+    def test_bar_chart_scales_to_width(self):
+        text = horizontal_bar_chart(["x"], [[10.0, 5.0, 2.0]], ["a", "b", "c"], width=20)
+        assert text.count("#") == 20
+
+    def test_ablation_row_and_render(self):
+        rows = [AblationRow("bench", 100.0, 120.0)]
+        assert rows[0].ratio == pytest.approx(1.2)
+        text = render_ablation(rows, "A", "B", "title")
+        assert "bench" in text and "1.200" in text

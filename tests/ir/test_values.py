@@ -1,0 +1,65 @@
+"""Tests for IR operand values."""
+
+import pytest
+
+from repro.ir.values import (
+    Immediate,
+    Label,
+    PhysicalRegister,
+    Register,
+    StackSlot,
+    VirtualRegister,
+    preg,
+    vreg,
+)
+
+
+class TestRegisters:
+    def test_vreg_helper_creates_canonical_names(self):
+        assert vreg(3).name == "v3"
+        assert vreg(0) == VirtualRegister("v0")
+
+    def test_preg_helper_records_index(self):
+        register = preg(5, prefix="gr")
+        assert register.name == "gr5"
+        assert register.index == 5
+
+    def test_registers_compare_by_name(self):
+        assert VirtualRegister("v1") == VirtualRegister("v1")
+        assert VirtualRegister("v1") != VirtualRegister("v2")
+
+    def test_virtual_and_physical_with_same_name_are_distinct_types(self):
+        assert VirtualRegister("r1") != PhysicalRegister("r1", 1)
+
+    def test_registers_are_hashable_and_usable_in_sets(self):
+        registers = {vreg(0), vreg(0), vreg(1)}
+        assert len(registers) == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualRegister("")
+
+    def test_is_register_classification(self):
+        assert vreg(0).is_register()
+        assert not Immediate(3).is_register()
+        assert not StackSlot(0).is_register()
+
+    def test_str_forms(self):
+        assert str(vreg(7)) == "v7"
+        assert str(Immediate(-4)) == "#-4"
+        assert str(StackSlot(2)) == "[sp+2]"
+        assert str(Label("loop")) == "@loop"
+
+
+class TestOtherOperands:
+    def test_immediates_compare_by_value(self):
+        assert Immediate(5) == Immediate(5)
+        assert Immediate(5) != Immediate(6)
+
+    def test_stack_slot_purpose_defaults_to_spill(self):
+        assert StackSlot(0).purpose == "spill"
+        assert StackSlot(0, "callee_save").purpose == "callee_save"
+
+    def test_labels_compare_by_name(self):
+        assert Label("a") == Label("a")
+        assert Label("a") != Label("b")

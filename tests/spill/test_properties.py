@@ -1,0 +1,104 @@
+"""Property-based tests of the placement invariants on random workloads.
+
+These are the paper's two central claims, checked on arbitrary generated
+procedures and register allocations:
+
+1. every technique produces a *valid* placement (the callee-saved convention
+   state machine never conflicts on any path), and
+2. the hierarchical placement's dynamic overhead is never greater than either
+   shrink-wrapping's or the entry/exit placement's.
+"""
+
+from hypothesis import given, settings
+
+from repro.regalloc.allocator import allocate_registers
+from repro.spill.entry_exit import place_entry_exit
+from repro.spill.hierarchical import place_hierarchical
+from repro.spill.overhead import placement_dynamic_overhead
+from repro.spill.shrink_wrap import place_shrink_wrap
+from repro.spill.verifier import collect_placement_errors
+from repro.target.generic import tiny_target
+from repro.target.parisc import parisc_target
+
+from tests.conftest import generated_procedures
+
+
+def _allocate(procedure, machine):
+    allocation = allocate_registers(procedure.function, machine, procedure.profile)
+    return allocation.function, allocation.usage
+
+
+@given(generated_procedures(max_segments=5))
+def test_all_techniques_produce_valid_placements(procedure):
+    function, usage = _allocate(procedure, parisc_target())
+    placements = [
+        place_entry_exit(function, usage),
+        place_shrink_wrap(function, usage),
+        place_shrink_wrap(function, usage, allow_jump_edges=True, avoid_loops=False),
+        place_hierarchical(function, usage, procedure.profile, cost_model="jump_edge").placement,
+        place_hierarchical(function, usage, procedure.profile, cost_model="execution_count").placement,
+    ]
+    for placement in placements:
+        assert collect_placement_errors(function, usage, placement) == []
+
+
+@given(generated_procedures(max_segments=5))
+def test_hierarchical_is_never_worse_jump_edge_model(procedure):
+    function, usage = _allocate(procedure, parisc_target())
+    profile = procedure.profile
+    baseline = placement_dynamic_overhead(function, profile, place_entry_exit(function, usage)).total
+    shrink = placement_dynamic_overhead(function, profile, place_shrink_wrap(function, usage)).total
+    optimized = placement_dynamic_overhead(
+        function, profile, place_hierarchical(function, usage, profile).placement
+    ).total
+    tolerance = 1e-6 * max(1.0, baseline)
+    assert optimized <= baseline + tolerance
+    assert optimized <= shrink + tolerance
+
+
+@given(generated_procedures(max_segments=5))
+def test_hierarchical_save_restore_counts_never_exceed_alternatives(procedure):
+    """The paper's guarantee is phrased over inserted save/restore instructions."""
+
+    function, usage = _allocate(procedure, parisc_target())
+    profile = procedure.profile
+
+    def save_restore_cost(placement):
+        overhead = placement_dynamic_overhead(function, profile, placement)
+        return overhead.save_count + overhead.restore_count
+
+    baseline = save_restore_cost(place_entry_exit(function, usage))
+    shrink = save_restore_cost(place_shrink_wrap(function, usage))
+    optimized = save_restore_cost(
+        place_hierarchical(function, usage, profile, cost_model="execution_count").placement
+    )
+    tolerance = 1e-6 * max(1.0, baseline)
+    assert optimized <= baseline + tolerance
+    assert optimized <= shrink + tolerance
+
+
+@given(generated_procedures(max_segments=4))
+@settings(max_examples=15)
+def test_invariants_hold_under_high_register_pressure(procedure):
+    """A tiny register file forces heavy spilling; the guarantees still hold."""
+
+    machine = tiny_target(3, 3)
+    function, usage = _allocate(procedure, machine)
+    profile = procedure.profile
+    baseline = placement_dynamic_overhead(function, profile, place_entry_exit(function, usage)).total
+    optimized_result = place_hierarchical(function, usage, profile)
+    assert collect_placement_errors(function, usage, optimized_result.placement) == []
+    optimized = placement_dynamic_overhead(function, profile, optimized_result.placement).total
+    assert optimized <= baseline + 1e-6 * max(1.0, baseline)
+
+
+@given(generated_procedures(max_segments=4))
+@settings(max_examples=15)
+def test_placement_locations_lie_on_real_or_virtual_edges(procedure):
+    function, usage = _allocate(procedure, parisc_target())
+    valid_edges = {e.key for e in function.edges()}
+    valid_edges.add(("__entry__", function.entry.label))
+    valid_edges.add((function.exit.label, "__exit__"))
+    result = place_hierarchical(function, usage, procedure.profile)
+    for location in result.placement.locations():
+        assert location.edge in valid_edges

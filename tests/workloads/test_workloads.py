@@ -1,0 +1,148 @@
+"""Tests for the hand-written programs, the generator and the SPEC-like suite."""
+
+import pytest
+
+from hypothesis import given
+
+from repro.ir.cfg import EdgeKind
+from repro.ir.verifier import verify_function
+from repro.workloads.generator import GeneratorConfig, generate_procedure, generate_procedures
+from repro.workloads.programs import call_chain_function, diamond_function, figure1_function, loop_function, paper_example
+from repro.workloads.spec_like import SPEC_BENCHMARKS, build_benchmark, build_suite, spec_by_name
+
+from tests.conftest import generator_configs
+
+
+class TestPrograms:
+    def test_paper_example_profile_matches_figure2(self):
+        example = paper_example()
+        profile = example.profile
+        assert profile.invocations == 100
+        assert profile.edge_count(("A", "B")) == 70
+        assert profile.edge_count(("D", "F")) == 30
+        assert profile.edge_count(("I", "L")) == 5
+        example.profile.validate(example.function)
+
+    def test_paper_example_edge_kinds(self):
+        example = paper_example()
+        edges = {e.key: e.kind for e in example.function.edges()}
+        assert edges[("D", "F")] is EdgeKind.JUMP
+        assert edges[("C", "D")] is EdgeKind.FALLTHROUGH
+        assert edges[("A", "I")] is EdgeKind.JUMP
+        assert edges[("J", "P")] is EdgeKind.JUMP
+
+    def test_paper_example_occupancy_blocks(self):
+        example = paper_example()
+        assert example.usage.blocks_for(example.register) == frozenset("DEGKN")
+
+    def test_figure1_variants_share_structure(self):
+        cold_fn, cold_profile, _ = figure1_function(False)
+        hot_fn, hot_profile, _ = figure1_function(True)
+        assert cold_fn.block_labels == hot_fn.block_labels
+        assert cold_profile.edge_count(("entry", "use_left")) < hot_profile.edge_count(("entry", "use_left"))
+
+    @pytest.mark.parametrize("factory", [diamond_function, loop_function, call_chain_function])
+    def test_helper_programs_verify(self, factory):
+        verify_function(factory(), require_single_exit=True)
+
+
+class TestGenerator:
+    def test_generation_is_deterministic_for_a_seed(self):
+        config = GeneratorConfig(name="det", seed=42, num_segments=5)
+        first = generate_procedure(config)
+        second = generate_procedure(config)
+        from repro.ir.printer import print_function
+
+        assert print_function(first.function) == print_function(second.function)
+        assert first.profile.edge_counts == second.profile.edge_counts
+
+    def test_different_seeds_differ(self):
+        a = generate_procedure(GeneratorConfig(name="a", seed=1, num_segments=5))
+        b = generate_procedure(GeneratorConfig(name="a", seed=2, num_segments=5))
+        from repro.ir.printer import print_function
+
+        assert print_function(a.function) != print_function(b.function)
+
+    def test_segment_archetypes_are_recorded(self):
+        config = GeneratorConfig(
+            name="kinds", seed=3, num_segments=6,
+            segment_weights={"compute": 0, "diamond": 0, "guarded_call": 1,
+                             "early_exit_call": 0, "loop_call": 0},
+        )
+        procedure = generate_procedure(config)
+        assert procedure.segments == ["guarded_call"] * 6
+
+    def test_loop_segments_create_back_edges(self):
+        config = GeneratorConfig(
+            name="loops", seed=5, num_segments=3,
+            segment_weights={"compute": 0, "diamond": 0, "guarded_call": 0,
+                             "early_exit_call": 0, "loop_call": 1},
+        )
+        procedure = generate_procedure(config)
+        from repro.analysis.loops import compute_loop_forest
+
+        assert len(compute_loop_forest(procedure.function).loops) == 3
+
+    def test_early_exit_segments_create_critical_jump_edges(self):
+        config = GeneratorConfig(
+            name="ee", seed=6, num_segments=2,
+            segment_weights={"compute": 0, "diamond": 0, "guarded_call": 0,
+                             "early_exit_call": 1, "loop_call": 0},
+        )
+        procedure = generate_procedure(config)
+        from repro.spill.cost_models import requires_jump_block
+
+        critical = [e for e in procedure.function.edges()
+                    if requires_jump_block(procedure.function, e.key)]
+        assert critical
+
+    def test_generate_procedures_varies_seed_and_name(self):
+        base = GeneratorConfig(name="batch", seed=10, num_segments=2)
+        procedures = generate_procedures(base, 3)
+        assert [p.name for p in procedures] == ["batch_0", "batch_1", "batch_2"]
+        assert len({p.function.instruction_count() for p in procedures}) >= 1
+
+    @given(generator_configs(max_segments=5))
+    def test_random_configs_produce_valid_functions_and_profiles(self, config):
+        procedure = generate_procedure(config)
+        verify_function(procedure.function, require_single_exit=True)
+        assert procedure.profile.check_flow_conservation(procedure.function) == []
+        assert procedure.profile.invocations == config.invocations
+
+
+class TestSpecSuite:
+    def test_eleven_benchmarks_in_paper_order(self):
+        names = [spec.name for spec in SPEC_BENCHMARKS]
+        assert names == ["gzip", "vpr", "gcc", "mcf", "crafty", "parser",
+                         "perlbmk", "gap", "vortex", "bzip2", "twolf"]
+
+    def test_every_spec_has_paper_reference_ratios(self):
+        for spec in SPEC_BENCHMARKS:
+            assert spec.paper_optimized_ratio is not None
+            assert spec.paper_shrinkwrap_ratio is not None
+
+    def test_gcc_is_the_largest_benchmark(self):
+        sizes = {spec.name: spec.num_procedures for spec in SPEC_BENCHMARKS}
+        assert sizes["gcc"] == max(sizes.values())
+
+    def test_build_benchmark_is_deterministic(self):
+        first = build_benchmark(spec_by_name("gzip"), scale=0.3)
+        second = build_benchmark(spec_by_name("gzip"), scale=0.3)
+        assert [p.name for p in first.procedures] == [p.name for p in second.procedures]
+        assert first.num_instructions() == second.num_instructions()
+
+    def test_scale_controls_procedure_count(self):
+        small = build_benchmark(spec_by_name("parser"), scale=0.25)
+        full = build_benchmark(spec_by_name("parser"), scale=1.0)
+        assert len(small.procedures) < len(full.procedures)
+
+    def test_build_suite_subset(self):
+        suite = build_suite(names=["mcf", "gzip"], scale=0.25)
+        assert [b.name for b in suite] == ["mcf", "gzip"]
+        for benchmark in suite:
+            for procedure in benchmark.procedures:
+                verify_function(procedure.function, require_single_exit=True)
+
+    def test_unknown_benchmark_name_rejected(self):
+        with pytest.raises(KeyError):
+            spec_by_name("eon")   # the C++ benchmark the paper excludes
