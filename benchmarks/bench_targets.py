@@ -1,0 +1,40 @@
+"""Benchmarks: the pipeline across register-pressure regimes.
+
+The same batch of procedures is compiled for every registered target, so
+these benchmarks track how the allocator and the placement techniques behave
+as the register file shrinks (heavy spilling on ``micro``) or grows
+(placements degenerate on ``wide``), and how much the ``compile_many`` batch
+driver saves over per-procedure setup.
+"""
+
+import pytest
+
+from repro.pipeline.compiler import compile_many
+from repro.target.registry import available_targets, get_target
+from repro.workloads.generator import GeneratorConfig, config_for_target, generate_procedure
+
+
+def _procedures(machine, count=6, segments=8):
+    base = config_for_target(machine, GeneratorConfig(seed=99, num_segments=segments))
+    from dataclasses import replace
+
+    return [
+        generate_procedure(replace(base, name=f"bt_{machine.name}_{i}", seed=99 + i))
+        for i in range(count)
+    ]
+
+
+@pytest.mark.parametrize("target_name", available_targets())
+def test_compile_batch_per_target(benchmark, target_name):
+    machine = get_target(target_name)
+    procedures = _procedures(machine)
+    result = benchmark(compile_many, procedures, machine)
+    assert len(result) == len(procedures)
+
+
+def test_compile_batch_by_target_name(benchmark):
+    """Target resolution by registry name, amortized once per batch."""
+
+    procedures = _procedures(get_target("parisc"))
+    result = benchmark(compile_many, procedures, "parisc")
+    assert len(result) == len(procedures)

@@ -2,12 +2,14 @@
 
 Subcommands::
 
-    repro-spill figure5   [--scale S] [--cost-model MODEL]
-    repro-spill table1    [--scale S] [--cost-model MODEL]
-    repro-spill table2    [--scale S]
-    repro-spill ablation  {cost-model,regions} [--scale S]
+    repro-spill figure5   [--scale S] [--cost-model MODEL] [--target NAME]
+    repro-spill table1    [--scale S] [--cost-model MODEL] [--target NAME]
+    repro-spill table2    [--scale S] [--target NAME]
+    repro-spill ablation  {cost-model,regions} [--scale S] [--target NAME]
     repro-spill example   [--cost-model MODEL]   # the paper's worked example
-    repro-spill place     FILE [--technique T]   # place spill code for a textual IR file
+    repro-spill targets                          # list registered machine descriptions
+    repro-spill place     FILE [--cost-model MODEL] [--target NAME]
+                                                 # place spill code for a textual IR file
 
 (Also reachable as ``python -m repro ...``.)
 """
@@ -27,6 +29,7 @@ from repro.evaluation.figure5 import figure5, render_figure5
 from repro.evaluation.runner import run_suite
 from repro.evaluation.table1 import render_table1, table1
 from repro.evaluation.table2 import render_table2, table2
+from repro.target.registry import DEFAULT_TARGET, available_targets, get_target
 
 
 def _add_scale(parser: argparse.ArgumentParser) -> None:
@@ -35,6 +38,15 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=1.0,
         help="multiplier on the number of procedures per benchmark (default 1.0)",
+    )
+
+
+def _add_target(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--target",
+        choices=available_targets(),
+        default=DEFAULT_TARGET,
+        help=f"target machine description (default: {DEFAULT_TARGET}, the paper's machine)",
     )
 
 
@@ -57,26 +69,33 @@ def build_parser() -> argparse.ArgumentParser:
     fig5 = subparsers.add_parser("figure5", help="regenerate the paper's Figure 5")
     _add_scale(fig5)
     _add_cost_model(fig5)
+    _add_target(fig5)
     fig5.add_argument("--no-chart", action="store_true", help="omit the ASCII bar chart")
 
     tab1 = subparsers.add_parser("table1", help="regenerate the paper's Table 1")
     _add_scale(tab1)
     _add_cost_model(tab1)
+    _add_target(tab1)
 
     tab2 = subparsers.add_parser("table2", help="regenerate the paper's Table 2")
     _add_scale(tab2)
+    _add_target(tab2)
 
     ablation = subparsers.add_parser("ablation", help="run an ablation study")
     ablation.add_argument("study", choices=("cost-model", "regions"))
     _add_scale(ablation)
+    _add_target(ablation)
 
     subparsers.add_parser("example", help="walk through the paper's Figure 2/3 example")
+
+    subparsers.add_parser("targets", help="list the registered machine descriptions")
 
     place = subparsers.add_parser(
         "place", help="run the placement pipeline on a textual IR file"
     )
     place.add_argument("file", help="path to a textual IR module")
     _add_cost_model(place)
+    _add_target(place)
     return parser
 
 
@@ -106,18 +125,20 @@ def _command_example() -> int:
     return 0
 
 
-def _command_place(path: str, cost_model: str) -> int:
+def _command_place(path: str, cost_model: str, target: str) -> int:
     from repro.ir.parser import parse_module
     from repro.ir.passes import ensure_single_exit
     from repro.pipeline.compiler import compile_procedure
     from repro.profiling.synthetic import uniform_profile
 
+    machine = get_target(target)
     with open(path, "r", encoding="utf-8") as handle:
         module = parse_module(handle.read())
+    print(f"target {machine.describe()}")
     for function in module.functions:
         ensure_single_exit(function)
         profile = uniform_profile(function, invocations=1000.0)
-        compiled = compile_procedure((function, profile), cost_model=cost_model)
+        compiled = compile_procedure((function, profile), machine=machine, cost_model=cost_model)
         print(f"function {function.name}: {compiled.allocation.describe()}")
         for technique in ("baseline", "shrinkwrap", "optimized"):
             overhead = compiled.callee_saved_overhead(technique)
@@ -125,35 +146,47 @@ def _command_place(path: str, cost_model: str) -> int:
     return 0
 
 
+def _command_targets() -> int:
+    for name in available_targets():
+        print(f"{name:10s} {get_target(name).describe()}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "figure5":
-        measurement = run_suite(scale=args.scale, cost_model=args.cost_model)
+        measurement = run_suite(
+            scale=args.scale, cost_model=args.cost_model, machine=args.target
+        )
         print(render_figure5(figure5(measurement), chart=not args.no_chart))
         return 0
     if args.command == "table1":
-        measurement = run_suite(scale=args.scale, cost_model=args.cost_model)
+        measurement = run_suite(
+            scale=args.scale, cost_model=args.cost_model, machine=args.target
+        )
         print(render_table1(table1(measurement)))
         return 0
     if args.command == "table2":
-        measurement = run_suite(scale=args.scale)
+        measurement = run_suite(scale=args.scale, machine=args.target)
         print(render_table2(table2(measurement)))
         return 0
     if args.command == "ablation":
         if args.study == "cost-model":
-            rows = cost_model_ablation(scale=args.scale)
+            rows = cost_model_ablation(scale=args.scale, machine=args.target)
             print(render_ablation(rows, "jump-edge", "execution-count",
                                   "Ablation: cost model (materialized overhead)"))
         else:
-            rows = region_granularity_ablation(scale=args.scale)
+            rows = region_granularity_ablation(scale=args.scale, machine=args.target)
             print(render_ablation(rows, "maximal", "canonical",
                                   "Ablation: SESE region granularity"))
         return 0
     if args.command == "example":
         return _command_example()
+    if args.command == "targets":
+        return _command_targets()
     if args.command == "place":
-        return _command_place(args.file, args.cost_model)
+        return _command_place(args.file, args.cost_model, args.target)
     return 1
 
 

@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence
 
 from repro.evaluation.reporting import format_table
 from repro.evaluation.runner import SuiteMeasurement, run_suite
+from repro.pipeline.compiler import TargetSpec
 
 
 @dataclass(frozen=True)
@@ -51,19 +52,23 @@ def _rows(
     return rows
 
 
-def cost_model_ablation(scale: float = 1.0) -> List[AblationRow]:
+def cost_model_ablation(
+    scale: float = 1.0, machine: TargetSpec = None
+) -> List[AblationRow]:
     """Jump-edge model (A) versus execution-count model (B), materialized cost."""
 
-    jump_edge = run_suite(scale=scale, cost_model="jump_edge")
-    execution = run_suite(scale=scale, cost_model="execution_count")
+    jump_edge = run_suite(scale=scale, cost_model="jump_edge", machine=machine)
+    execution = run_suite(scale=scale, cost_model="execution_count", machine=machine)
     return _rows(jump_edge, execution)
 
 
-def region_granularity_ablation(scale: float = 1.0) -> List[AblationRow]:
+def region_granularity_ablation(
+    scale: float = 1.0, machine: TargetSpec = None
+) -> List[AblationRow]:
     """Maximal SESE regions (A) versus canonical SESE regions (B)."""
 
-    maximal = run_suite(scale=scale, maximal_regions=True)
-    canonical = run_suite(scale=scale, maximal_regions=False)
+    maximal = run_suite(scale=scale, maximal_regions=True, machine=machine)
+    canonical = run_suite(scale=scale, maximal_regions=False, machine=machine)
     return _rows(maximal, canonical)
 
 

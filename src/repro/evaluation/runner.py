@@ -5,10 +5,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
-from repro.pipeline.compiler import TECHNIQUES, CompiledProcedure, compile_procedure
-from repro.spill.cost_models import CostModel
-from repro.target.machine import MachineDescription
-from repro.target.parisc import parisc_target
+from repro.pipeline.compiler import (
+    TECHNIQUES,
+    CompiledProcedure,
+    TargetSpec,
+    compile_procedure,
+)
+from repro.spill.cost_models import CostModel, make_cost_model
+from repro.target.registry import resolve_target
 from repro.workloads.spec_like import SyntheticBenchmark, build_suite
 
 
@@ -75,7 +79,7 @@ class SuiteMeasurement:
 
 def run_benchmark(
     benchmark: SyntheticBenchmark,
-    machine: Optional[MachineDescription] = None,
+    machine: TargetSpec = None,
     cost_model: Union[CostModel, str] = "jump_edge",
     techniques: Sequence[str] = TECHNIQUES,
     verify: bool = True,
@@ -84,13 +88,18 @@ def run_benchmark(
 ) -> BenchmarkMeasurement:
     """Compile every procedure of one benchmark and aggregate the measurements."""
 
-    machine = machine or parisc_target()
+    machine = resolve_target(machine)
     measurement = BenchmarkMeasurement(
         name=benchmark.name,
         callee_saved_overhead={technique: 0.0 for technique in techniques},
         paper_optimized_ratio=benchmark.spec.paper_optimized_ratio,
         paper_shrinkwrap_ratio=benchmark.spec.paper_shrinkwrap_ratio,
     )
+    # Resolve the cost model once for the batch, then stream: procedures are
+    # aggregated and discarded one at a time (unless keep_procedures), so
+    # peak memory stays O(1) in the benchmark size.
+    if isinstance(cost_model, str):
+        cost_model = make_cost_model(cost_model, machine)
     for procedure in benchmark.procedures:
         compiled = compile_procedure(
             procedure,
@@ -118,14 +127,21 @@ def run_benchmark(
 def run_suite(
     names: Optional[Sequence[str]] = None,
     scale: float = 1.0,
-    machine: Optional[MachineDescription] = None,
+    machine: TargetSpec = None,
     cost_model: Union[CostModel, str] = "jump_edge",
     verify: bool = True,
     maximal_regions: bool = True,
 ) -> SuiteMeasurement:
-    """Generate and measure the whole SPEC-like suite (or a named subset)."""
+    """Generate and measure the whole SPEC-like suite (or a named subset).
 
-    suite = build_suite(names=names, scale=scale)
+    The workload generation itself is target-parameterized: the suite's
+    register-pressure knobs scale with ``machine``'s callee-saved file size,
+    so an 8-register target sees proportionally lean procedures and a
+    64-register target sees fat ones.
+    """
+
+    machine = resolve_target(machine)
+    suite = build_suite(names=names, scale=scale, machine=machine)
     model_name = cost_model if isinstance(cost_model, str) else cost_model.name
     measurement = SuiteMeasurement(cost_model=model_name)
     for benchmark in suite:

@@ -11,6 +11,8 @@ from repro.pipeline.compiler import (
     CompiledProcedure,
     PlacementOutcome,
     TECHNIQUES,
+    TargetSpec,
+    compile_many,
     compile_procedure,
 )
 from repro.pipeline.passes import FunctionPass, PassManager, PassRecord
@@ -24,5 +26,7 @@ __all__ = [
     "PlacementOutcome",
     "Stopwatch",
     "TECHNIQUES",
+    "TargetSpec",
+    "compile_many",
     "compile_procedure",
 ]

@@ -16,7 +16,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.ir.function import Function
 from repro.profiling.profile_data import EdgeProfile
 from repro.regalloc.allocator import AllocationResult, allocate_registers
-from repro.spill.cost_models import CostModel
+from repro.spill.cost_models import CostModel, make_cost_model
 from repro.spill.entry_exit import place_entry_exit
 from repro.spill.hierarchical import place_hierarchical
 from repro.spill.model import CalleeSavedUsage, SpillPlacement
@@ -29,11 +29,15 @@ from repro.spill.shrink_wrap import place_shrink_wrap
 from repro.spill.verifier import verify_placement
 from repro.pipeline.timing import Stopwatch
 from repro.target.machine import MachineDescription
-from repro.target.parisc import parisc_target
+from repro.target.registry import resolve_target
 from repro.workloads.generator import GeneratedProcedure
 
 #: Technique identifiers in the order the paper reports them.
 TECHNIQUES = ("baseline", "shrinkwrap", "optimized")
+
+#: A target argument: a machine description, a registered target name, or
+#: ``None`` (the default target, the paper's PA-RISC-like machine).
+TargetSpec = Union[MachineDescription, str, None]
 
 
 @dataclass
@@ -72,7 +76,7 @@ class CompiledProcedure:
 
 def compile_procedure(
     procedure: Union[GeneratedProcedure, Tuple[Function, EdgeProfile]],
-    machine: Optional[MachineDescription] = None,
+    machine: TargetSpec = None,
     cost_model: Union[CostModel, str] = "jump_edge",
     techniques: Sequence[str] = TECHNIQUES,
     verify: bool = True,
@@ -87,9 +91,12 @@ def compile_procedure(
         ``(function, profile)`` pair.  The function still uses virtual
         registers; it is register-allocated here.
     machine:
-        Target machine; defaults to the paper's PA-RISC-like description.
+        Target machine — a :class:`MachineDescription`, a registered target
+        name (``"parisc"``, ``"micro"``, ...), or ``None`` for the paper's
+        PA-RISC-like default.
     cost_model:
-        Cost model for the hierarchical technique (paper: jump edge).
+        Cost model for the hierarchical technique (paper: jump edge).  Given
+        by name, it is weighted with ``machine``'s instruction costs.
     verify:
         Check every produced placement against the callee-saved convention.
     maximal_regions:
@@ -100,7 +107,9 @@ def compile_procedure(
         function, profile = procedure.function, procedure.profile
     else:
         function, profile = procedure
-    machine = machine or parisc_target()
+    machine = resolve_target(machine)
+    if isinstance(cost_model, str):
+        cost_model = make_cost_model(cost_model, machine)
 
     stopwatch = Stopwatch()
     with stopwatch.measure("regalloc"):
@@ -113,7 +122,7 @@ def compile_procedure(
         allocation=allocation,
         profile=profile,
         usage=usage,
-        allocator_overhead=allocator_spill_overhead(allocated, profile),
+        allocator_overhead=allocator_spill_overhead(allocated, profile, machine),
     )
 
     for technique in techniques:
@@ -136,10 +145,47 @@ def compile_procedure(
                 raise ValueError(f"unknown technique {technique!r}")
         if verify:
             verify_placement(allocated, usage, placement)
-        overhead = placement_dynamic_overhead(allocated, profile, placement)
+        overhead = placement_dynamic_overhead(allocated, profile, placement, machine)
         result.outcomes[technique] = PlacementOutcome(
             technique=technique, placement=placement, overhead=overhead
         )
 
     result.pass_seconds = dict(stopwatch.durations)
     return result
+
+
+def compile_many(
+    procedures: Iterable[Union[GeneratedProcedure, Tuple[Function, EdgeProfile]]],
+    machine: TargetSpec = None,
+    cost_model: Union[CostModel, str] = "jump_edge",
+    techniques: Sequence[str] = TECHNIQUES,
+    verify: bool = True,
+    maximal_regions: bool = True,
+) -> List[CompiledProcedure]:
+    """Compile a batch of procedures, amortizing the per-procedure setup.
+
+    The target is resolved, the cost model instantiated and the technique
+    list validated exactly once for the whole batch — the driver the
+    evaluation runner and benchmark harnesses use instead of calling
+    :func:`compile_procedure` in a loop.
+    """
+
+    machine = resolve_target(machine)
+    if isinstance(cost_model, str):
+        cost_model = make_cost_model(cost_model, machine)
+    unknown = [t for t in techniques if t not in TECHNIQUES]
+    if unknown:
+        raise ValueError(
+            f"unknown technique(s) {unknown!r}; expected a subset of {TECHNIQUES}"
+        )
+    return [
+        compile_procedure(
+            procedure,
+            machine=machine,
+            cost_model=cost_model,
+            techniques=techniques,
+            verify=verify,
+            maximal_regions=maximal_regions,
+        )
+        for procedure in procedures
+    ]

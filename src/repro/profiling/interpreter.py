@@ -209,9 +209,10 @@ class Interpreter:
             if self.machine is not None:
                 for reg in self.machine.caller_saved:
                     frame.registers[reg] = callee_frame.registers.get(reg, POISON)
-                for reg in self.machine.callee_saved:
-                    if reg in callee_frame.registers:
-                        frame.registers[reg] = callee_frame.registers[reg]
+                callee_saved_set = self.machine.callee_saved_set
+                for reg, value in callee_frame.registers.items():
+                    if reg in callee_saved_set:
+                        frame.registers[reg] = value
             return_values = [
                 returned[index] if index < len(returned) else 0
                 for index in range(len(inst.defs))

@@ -22,7 +22,7 @@ def compute_callee_saved_usage(
 ) -> CalleeSavedUsage:
     """Blocks occupied by each callee-saved register of ``machine``."""
 
-    callee_saved: Set[PhysicalRegister] = set(machine.callee_saved)
+    callee_saved: FrozenSet[PhysicalRegister] = machine.callee_saved_set
     liveness = compute_liveness(function)
     occupancy: Dict[PhysicalRegister, Set[str]] = {}
 

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.ir.values import PhysicalRegister, Register
 from repro.regalloc.interference import InterferenceGraph
 from repro.regalloc.live_ranges import LiveRangeInfo
+from repro.regalloc.rewriter import is_spill_temp
 from repro.target.machine import MachineDescription
 
 
@@ -77,8 +78,9 @@ def _allowed_registers(
         # the value being returned.
         return machine.caller_saved
     # Prefer caller-saved registers (no save/restore obligation); fall back to
-    # callee-saved registers under pressure.
-    return machine.caller_saved + machine.callee_saved
+    # callee-saved registers under pressure.  ``allocation_order`` is the
+    # precomputed caller-first tuple, so no per-node concatenation happens.
+    return machine.allocation_order
 
 
 def color_graph(
@@ -101,6 +103,12 @@ def color_graph(
     stack: List[Register] = []
 
     def spill_metric(node: Register) -> float:
+        # Spilling one of the allocator's own reload/store temporaries makes
+        # no progress (its replacement is an identical one-instruction range),
+        # so they are never optimistic spill candidates; pressure is relieved
+        # by splitting an original live-through range instead.
+        if is_spill_temp(node):
+            return float("inf")
         live_range = ranges.ranges.get(node)
         cost = live_range.spill_cost if live_range is not None else 0.0
         degree = max(degrees[node], 1)

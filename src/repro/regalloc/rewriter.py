@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import re
 from typing import Dict, Iterable, List, Set
 
 from repro.ir import instructions as ins
@@ -38,6 +39,31 @@ def isolate_parameters(function: Function) -> Dict[Register, Register]:
     for offset, (param, clone) in enumerate(mapping.items()):
         entry.instructions.insert(offset, move(clone, param))
     return mapping
+
+
+#: Suffix pattern of the names :func:`insert_spill_code` gives its
+#: reload/store temporaries: ``<base>.s<counter>`` (``v3.s7``, and
+#: ``v3.s7.s12`` after a re-split).  A temporary always *ends* with
+#: ``.s<digits>``; matching anchored at the end keeps other dotted names
+#: (``v0.arg`` parameter clones, ``retval.<function>.<n>`` registers from
+#: ``ensure_single_exit``) out of the classification.
+_SPILL_TEMP_SUFFIX = re.compile(r"\.s\d+$")
+
+
+def is_spill_temp(register: Register) -> bool:
+    """Is ``register`` a temporary created by :func:`insert_spill_code`?
+
+    Such ranges span a single instruction and cannot be usefully spilled
+    again — re-spilling one just recreates an identical temporary, which is
+    the classic Chaitin-allocator livelock.  The colouring gives them
+    infinite spill cost so that pressure is always relieved by splitting an
+    original live-through range instead.
+    """
+
+    return (
+        isinstance(register, VirtualRegister)
+        and _SPILL_TEMP_SUFFIX.search(register.name) is not None
+    )
 
 
 def insert_spill_code(function: Function, spilled: Iterable[Register]) -> Dict[Register, StackSlot]:

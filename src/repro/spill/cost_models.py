@@ -24,6 +24,7 @@ from repro.ir.cfg import EdgeKind
 from repro.ir.function import ENTRY_SENTINEL, EXIT_SENTINEL, Function
 from repro.profiling.profile_data import EdgeProfile
 from repro.spill.model import EdgeKey, SaveRestoreSet, SpillLocation
+from repro.target.machine import MachineDescription, cost_weights
 
 
 def requires_jump_block(function: Function, edge: EdgeKey) -> bool:
@@ -58,9 +59,24 @@ def requires_jump_block(function: Function, edge: EdgeKey) -> bool:
 
 
 class CostModel(abc.ABC):
-    """Common interface of the two cost models."""
+    """Common interface of the two cost models.
+
+    When constructed with a :class:`~repro.target.machine.MachineDescription`
+    the per-location costs are weighted by the target's save/restore/jump
+    instruction costs; without one, every instruction costs one unit (the
+    paper's instruction-count accounting).
+    """
 
     name: str = "abstract"
+
+    def __init__(self, machine: Optional[MachineDescription] = None):
+        self.machine = machine
+        self._save_weight, self._restore_weight, self._jump_weight = cost_weights(machine)
+
+    def location_weight(self, location: SpillLocation) -> float:
+        """The target's cost weight for one save or restore instruction."""
+
+        return self._save_weight if location.is_save() else self._restore_weight
 
     @abc.abstractmethod
     def location_cost(
@@ -127,7 +143,7 @@ class ExecutionCountCostModel(CostModel):
         location: SpillLocation,
         jump_sharing: Optional[Mapping[EdgeKey, int]] = None,
     ) -> float:
-        return profile.edge_count(location.edge)
+        return profile.edge_count(location.edge) * self.location_weight(location)
 
 
 class JumpEdgeCostModel(CostModel):
@@ -143,23 +159,30 @@ class JumpEdgeCostModel(CostModel):
         jump_sharing: Optional[Mapping[EdgeKey, int]] = None,
     ) -> float:
         count = profile.edge_count(location.edge)
+        cost = count * self.location_weight(location)
         if not requires_jump_block(function, location.edge):
-            return count
+            return cost
         sharing = 1
         if jump_sharing is not None:
             sharing = max(1, jump_sharing.get(location.edge, 1))
-        return count + count / sharing
+        return cost + count * self._jump_weight / sharing
 
 
-def make_cost_model(name: str) -> CostModel:
-    """Factory used by the CLI and benchmark harnesses."""
+def make_cost_model(
+    name: str, machine: Optional[MachineDescription] = None
+) -> CostModel:
+    """Factory used by the CLI and benchmark harnesses.
+
+    ``machine`` supplies the save/restore/jump cost weights; omitted, every
+    instruction costs one unit.
+    """
 
     models = {
         ExecutionCountCostModel.name: ExecutionCountCostModel,
         JumpEdgeCostModel.name: JumpEdgeCostModel,
     }
     try:
-        return models[name]()
+        return models[name](machine)
     except KeyError as exc:
         raise ValueError(
             f"unknown cost model {name!r}; expected one of {sorted(models)}"

@@ -38,6 +38,7 @@ from repro.spill.model import (
     SpillLocation,
     SpillPlacement,
 )
+from repro.target.machine import MachineDescription
 from repro.spill.shrink_wrap import place_shrink_wrap
 
 
@@ -114,6 +115,7 @@ def place_hierarchical(
     cost_model: Union[CostModel, str] = "jump_edge",
     maximal_regions: bool = True,
     pst: Optional[ProgramStructureTree] = None,
+    machine: Optional["MachineDescription"] = None,
 ) -> HierarchicalResult:
     """Run the hierarchical spill code placement algorithm.
 
@@ -129,10 +131,14 @@ def place_hierarchical(
     pst:
         A pre-computed PST, to avoid recomputation when several placements of
         the same function are produced.
+    machine:
+        Target machine supplying the save/restore/jump cost weights when
+        ``cost_model`` is given by name (ignored for instances, which carry
+        their own machine).  Omitted, every instruction costs one unit.
     """
 
     if isinstance(cost_model, str):
-        cost_model = make_cost_model(cost_model)
+        cost_model = make_cost_model(cost_model, machine)
 
     # Steps 1-3: PST, modified shrink-wrapping locations, initial sets.
     if pst is None:

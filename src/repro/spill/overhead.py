@@ -15,12 +15,14 @@ end-to-end cross-check used by the tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.ir.function import Function
+from repro.ir.instructions import Opcode
 from repro.profiling.profile_data import EdgeProfile
 from repro.spill.cost_models import requires_jump_block
 from repro.spill.model import EdgeKey, SpillPlacement
+from repro.target.machine import MachineDescription, cost_weights
 
 
 @dataclass(frozen=True)
@@ -44,31 +46,38 @@ class PlacementOverhead:
 
 
 def placement_dynamic_overhead(
-    function: Function, profile: EdgeProfile, placement: SpillPlacement
+    function: Function,
+    profile: EdgeProfile,
+    placement: SpillPlacement,
+    machine: Optional[MachineDescription] = None,
 ) -> PlacementOverhead:
     """Dynamic overhead of the callee-saved save/restore code of ``placement``.
 
     Every location costs the execution count of its edge.  Edges that require
     a jump block and carry at least one location additionally cost one jump
     instruction per execution — charged once per edge, because registers
-    placed on the same edge share the jump block.
+    placed on the same edge share the jump block.  When ``machine`` is given,
+    saves, restores and jumps are weighted by the target's instruction costs
+    instead of counting one unit each.
     """
+
+    save_weight, restore_weight, jump_weight = cost_weights(machine)
 
     save_count = 0.0
     restore_count = 0.0
     for location in placement.locations():
         count = profile.edge_count(location.edge)
         if location.is_save():
-            save_count += count
+            save_count += count * save_weight
         else:
-            restore_count += count
+            restore_count += count * restore_weight
 
     jump_count = 0.0
     num_jump_blocks = 0
     for edge in placement.edges_with_locations():
         if requires_jump_block(function, edge):
             num_jump_blocks += 1
-            jump_count += profile.edge_count(edge)
+            jump_count += profile.edge_count(edge) * jump_weight
 
     return PlacementOverhead(
         save_count=save_count,
@@ -78,13 +87,20 @@ def placement_dynamic_overhead(
     )
 
 
-def allocator_spill_overhead(function: Function, profile: EdgeProfile) -> float:
+def allocator_spill_overhead(
+    function: Function,
+    profile: EdgeProfile,
+    machine: Optional[MachineDescription] = None,
+) -> float:
     """Profile-weighted count of allocator-inserted spill loads/stores.
 
     This component is identical for all three placement techniques (the
     register allocation is fixed before placement runs); it is included in
-    Figure 5's totals.
+    Figure 5's totals.  With ``machine``, spill stores are weighted by the
+    target's save (store) cost and spill loads by its restore (load) cost.
     """
+
+    store_weight, load_weight, _ = cost_weights(machine)
 
     total = 0.0
     block_counts = profile.block_counts(function)
@@ -92,5 +108,5 @@ def allocator_spill_overhead(function: Function, profile: EdgeProfile) -> float:
         count = block_counts[block.label]
         for inst in block.instructions:
             if inst.is_memory() and inst.purpose == "spill":
-                total += count
+                total += count * (store_weight if inst.opcode is Opcode.STORE else load_weight)
     return total

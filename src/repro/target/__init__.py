@@ -1,0 +1,41 @@
+"""Target machine descriptions and the named-target registry.
+
+Every target-dependent fact — register file, caller/callee-saved partition,
+save/restore/jump cost weights, spill-slot size — lives behind
+:class:`~repro.target.machine.MachineDescription`; no other package
+hard-codes register names or costs.  Select targets programmatically via the
+factories or by name via :func:`~repro.target.registry.get_target`.
+"""
+
+from repro.target.generic import micro_target, riscish_target, tiny_target, wide_target
+from repro.target.machine import (
+    MachineDescription,
+    TargetError,
+    cost_weights,
+    register_range,
+)
+from repro.target.parisc import parisc_target
+from repro.target.registry import (
+    DEFAULT_TARGET,
+    available_targets,
+    get_target,
+    register_target,
+    resolve_target,
+)
+
+__all__ = [
+    "DEFAULT_TARGET",
+    "MachineDescription",
+    "TargetError",
+    "available_targets",
+    "cost_weights",
+    "get_target",
+    "micro_target",
+    "parisc_target",
+    "register_range",
+    "register_target",
+    "resolve_target",
+    "riscish_target",
+    "tiny_target",
+    "wide_target",
+]

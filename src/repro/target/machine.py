@@ -1,0 +1,196 @@
+"""The machine-description core: everything target-dependent in one object.
+
+A :class:`MachineDescription` is a frozen value object describing the parts
+of a machine that the spill-code reproduction cares about:
+
+* the register file, partitioned into caller-saved and callee-saved
+  registers (the partition drives the register allocator's class
+  preferences and defines which registers ever need save/restore code);
+* the dynamic cost weights of the instructions the techniques insert —
+  callee-saved saves (stores), restores (loads), and the jump/branch
+  instructions needed to materialize spill code on critical edges;
+* the spill-slot size used for stack-frame accounting.
+
+Because the allocator's colouring loop and the occupancy computation test
+register-class membership once per register per block, the description
+precomputes frozen lookup sets (`caller_saved_set`, `callee_saved_set`) and
+the combined preference order (`allocation_order`) at construction time, so
+every hot-loop membership test is a single O(1) set probe instead of a tuple
+scan or a per-call ``set(...)`` copy.
+
+Concrete machines live in :mod:`repro.target.parisc` (the paper's
+PA-RISC-like machine) and :mod:`repro.target.generic`; they are selectable
+by name through :mod:`repro.target.registry`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import FrozenSet, Mapping, Tuple
+
+from repro.ir.values import PhysicalRegister, preg
+
+
+class TargetError(ValueError):
+    """Raised for malformed machine descriptions and unknown target names."""
+
+
+@dataclass(frozen=True)
+class MachineDescription:
+    """An immutable description of one target machine.
+
+    Instances are hashable and compare by their declared fields, so they can
+    be used as cache keys; the derived lookup structures are excluded from
+    equality and recomputed in ``__post_init__``.
+    """
+
+    name: str
+    caller_saved: Tuple[PhysicalRegister, ...]
+    callee_saved: Tuple[PhysicalRegister, ...]
+    #: Dynamic cost of one callee-saved save (a store to the save area).
+    save_cost: float = 1.0
+    #: Dynamic cost of one callee-saved restore (a load from the save area).
+    restore_cost: float = 1.0
+    #: Dynamic cost of a jump inserted to materialize spill code on a jump edge.
+    jump_cost: float = 1.0
+    #: Dynamic cost of a conditional branch (reserved for layout heuristics).
+    branch_cost: float = 1.0
+    #: Bytes occupied by one spill / save-area slot in the stack frame.
+    spill_slot_bytes: int = 8
+    description: str = ""
+
+    # Derived, precomputed lookup structures (not part of equality/hash).
+    caller_saved_set: FrozenSet[PhysicalRegister] = field(
+        init=False, repr=False, compare=False
+    )
+    callee_saved_set: FrozenSet[PhysicalRegister] = field(
+        init=False, repr=False, compare=False
+    )
+    #: Caller-saved registers first (no save/restore obligation), then
+    #: callee-saved — the preference order the colouring uses for ranges that
+    #: may take either class.
+    allocation_order: Tuple[PhysicalRegister, ...] = field(
+        init=False, repr=False, compare=False
+    )
+    _by_name: Mapping[str, PhysicalRegister] = field(
+        init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        caller = tuple(self.caller_saved)
+        callee = tuple(self.callee_saved)
+        if not caller:
+            raise TargetError(f"target {self.name!r} declares no caller-saved registers")
+        if not callee:
+            raise TargetError(f"target {self.name!r} declares no callee-saved registers")
+        by_name = {}
+        for register in caller + callee:
+            if not isinstance(register, PhysicalRegister):
+                raise TargetError(
+                    f"target {self.name!r}: {register!r} is not a PhysicalRegister"
+                )
+            if register.name in by_name:
+                raise TargetError(
+                    f"target {self.name!r}: register {register.name!r} appears twice"
+                )
+            by_name[register.name] = register
+        for cost_name in ("save_cost", "restore_cost", "jump_cost", "branch_cost"):
+            if getattr(self, cost_name) < 0.0:
+                raise TargetError(f"target {self.name!r}: {cost_name} must be >= 0")
+        if self.spill_slot_bytes <= 0:
+            raise TargetError(f"target {self.name!r}: spill_slot_bytes must be positive")
+        object.__setattr__(self, "caller_saved", caller)
+        object.__setattr__(self, "callee_saved", callee)
+        object.__setattr__(self, "caller_saved_set", frozenset(caller))
+        object.__setattr__(self, "callee_saved_set", frozenset(callee))
+        object.__setattr__(self, "allocation_order", caller + callee)
+        object.__setattr__(self, "_by_name", by_name)
+
+    # -- register-class queries (hot path: O(1) set probes) -----------------------
+
+    def is_caller_saved(self, register: PhysicalRegister) -> bool:
+        return register in self.caller_saved_set
+
+    def is_callee_saved(self, register: PhysicalRegister) -> bool:
+        return register in self.callee_saved_set
+
+    @property
+    def registers(self) -> Tuple[PhysicalRegister, ...]:
+        """Every allocatable register, caller-saved first."""
+
+        return self.allocation_order
+
+    @property
+    def num_registers(self) -> int:
+        return len(self.allocation_order)
+
+    @property
+    def num_caller_saved(self) -> int:
+        return len(self.caller_saved)
+
+    @property
+    def num_callee_saved(self) -> int:
+        return len(self.callee_saved)
+
+    def register(self, name: str) -> PhysicalRegister:
+        """Look up a register of this machine by name."""
+
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise TargetError(
+                f"target {self.name!r} has no register named {name!r}"
+            ) from None
+
+    # -- cost helpers -------------------------------------------------------------
+
+    @property
+    def save_restore_cost(self) -> float:
+        """Dynamic cost of one save/restore pair (the entry/exit unit cost)."""
+
+        return self.save_cost + self.restore_cost
+
+    def frame_bytes(self, num_slots: int) -> int:
+        """Stack-frame bytes needed for ``num_slots`` spill/save slots."""
+
+        return num_slots * self.spill_slot_bytes
+
+    # -- misc ---------------------------------------------------------------------
+
+    def replace(self, **changes) -> "MachineDescription":
+        """A copy with some declared fields changed (derived sets recomputed)."""
+
+        return dataclasses.replace(self, **changes)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.num_registers} registers "
+            f"({self.num_caller_saved} caller-saved, {self.num_callee_saved} callee-saved), "
+            f"save/restore cost {self.save_cost:g}/{self.restore_cost:g}, "
+            f"jump cost {self.jump_cost:g}, {self.spill_slot_bytes}-byte slots"
+        )
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+def register_range(
+    prefix: str, start: int, stop: int
+) -> Tuple[PhysicalRegister, ...]:
+    """The registers ``<prefix><start>`` .. ``<prefix><stop - 1>``."""
+
+    return tuple(preg(index, prefix) for index in range(start, stop))
+
+
+def cost_weights(machine: "MachineDescription | None") -> Tuple[float, float, float]:
+    """``(save, restore, jump)`` weights of ``machine``; unit weights for ``None``.
+
+    The single place the "no machine means every instruction costs one
+    unit" convention lives — the cost models and both overhead accountings
+    route through it.
+    """
+
+    if machine is None:
+        return (1.0, 1.0, 1.0)
+    return (machine.save_cost, machine.restore_cost, machine.jump_cost)

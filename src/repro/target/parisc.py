@@ -1,0 +1,43 @@
+"""The paper's PA-RISC-like machine description.
+
+Lupo & Wilken evaluate on HP PA-RISC, whose procedure calling convention
+partitions the general registers into a large callee-saved bank (``gr3`` ..
+``gr18``, sixteen registers) and a caller-saved bank (the argument registers
+``gr19`` .. ``gr26``, the return registers ``gr28``/``gr29``, and the
+scratch registers ``gr1``/``gr31``).  The sixteen callee-saved registers are
+what makes the paper's problem interesting: procedures that touch many of
+them pay two instructions per register per invocation under entry/exit
+placement.
+
+Costs are uniform (every save, restore and jump counts one dynamic
+instruction), matching how the paper reports overhead as instruction counts.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.target.machine import MachineDescription, register_range
+
+
+@lru_cache(maxsize=None)
+def parisc_target() -> MachineDescription:
+    """The PA-RISC-like machine the paper's experiments model."""
+
+    caller_saved = (
+        register_range("gr", 19, 27)      # argument registers gr19..gr26
+        + register_range("gr", 28, 30)    # return value registers gr28, gr29
+        + register_range("gr", 31, 32)    # scratch gr31
+        + register_range("gr", 1, 2)      # scratch gr1
+    )
+    return MachineDescription(
+        name="parisc",
+        caller_saved=caller_saved,
+        callee_saved=register_range("gr", 3, 19),  # gr3..gr18
+        save_cost=1.0,
+        restore_cost=1.0,
+        jump_cost=1.0,
+        branch_cost=1.0,
+        spill_slot_bytes=8,
+        description="PA-RISC-like machine of the paper (16 callee-saved registers)",
+    )

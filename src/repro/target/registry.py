@@ -1,0 +1,76 @@
+"""Named lookup of machine descriptions.
+
+The CLI, the benchmark harnesses and the evaluation runner select targets by
+string (``--target micro``); this module maps those names onto the factory
+functions.  Factories — not instances — are registered so that a target is
+only materialized when requested, and downstream projects can plug in their
+own machines with :func:`register_target`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple, Union
+
+from repro.target.generic import micro_target, riscish_target, tiny_target, wide_target
+from repro.target.machine import MachineDescription, TargetError
+from repro.target.parisc import parisc_target
+
+TargetFactory = Callable[[], MachineDescription]
+
+#: The default target: the paper's machine.
+DEFAULT_TARGET = "parisc"
+
+_REGISTRY: Dict[str, TargetFactory] = {}
+
+
+def register_target(name: str, factory: TargetFactory, overwrite: bool = False) -> None:
+    """Register ``factory`` under ``name`` for string-based target selection."""
+
+    if not name:
+        raise TargetError("target name must be non-empty")
+    if name in _REGISTRY and not overwrite:
+        raise TargetError(f"target {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def available_targets() -> Tuple[str, ...]:
+    """The registered target names, sorted (stable CLI ``choices`` order)."""
+
+    return tuple(sorted(_REGISTRY))
+
+
+def get_target(name: str) -> MachineDescription:
+    """Build the machine description registered under ``name``."""
+
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise TargetError(
+            f"unknown target {name!r}; expected one of {', '.join(available_targets())}"
+        ) from None
+    return factory()
+
+
+def resolve_target(
+    spec: Union[MachineDescription, str, None], default: str = DEFAULT_TARGET
+) -> MachineDescription:
+    """Normalize a target argument: instance, registered name, or ``None``.
+
+    ``None`` resolves to ``default`` — the single point every layer routes
+    through instead of hard-coding a particular machine.
+    """
+
+    if spec is None:
+        return get_target(default)
+    if isinstance(spec, MachineDescription):
+        return spec
+    if isinstance(spec, str):
+        return get_target(spec)
+    raise TargetError(f"cannot resolve {spec!r} to a machine description")
+
+
+register_target("parisc", parisc_target)
+register_target("riscish", riscish_target)
+register_target("tiny", tiny_target)
+register_target("micro", micro_target)
+register_target("wide", wide_target)

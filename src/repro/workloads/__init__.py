@@ -17,6 +17,7 @@ from repro.workloads.generator import (
     GeneratedProcedure,
     GeneratorConfig,
     SEGMENT_KINDS,
+    config_for_target,
     generate_procedure,
     generate_procedures,
 )
@@ -34,6 +35,7 @@ from repro.workloads.spec_like import (
     SyntheticBenchmark,
     build_benchmark,
     build_suite,
+    scale_spec_for_target,
     spec_by_name,
 )
 
@@ -48,11 +50,13 @@ __all__ = [
     "build_benchmark",
     "build_suite",
     "call_chain_function",
+    "config_for_target",
     "diamond_function",
     "figure1_function",
     "generate_procedure",
     "generate_procedures",
     "loop_function",
     "paper_example",
+    "scale_spec_for_target",
     "spec_by_name",
 ]

@@ -34,7 +34,7 @@ profile can be derived analytically with
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.ir.builder import FunctionBuilder
@@ -44,6 +44,7 @@ from repro.ir.values import Register
 from repro.ir.verifier import verify_function
 from repro.profiling.profile_data import EdgeProfile
 from repro.profiling.synthetic import profile_from_branch_probabilities
+from repro.target.machine import MachineDescription
 
 EdgeKey = Tuple[str, str]
 
@@ -340,6 +341,28 @@ class _ProcedureEmitter:
             branch_probabilities=dict(self.probabilities),
             segments=list(self.segments),
         )
+
+
+def config_for_target(
+    machine: MachineDescription, base: Optional[GeneratorConfig] = None
+) -> GeneratorConfig:
+    """A :class:`GeneratorConfig` whose pressure knobs fit ``machine``.
+
+    The number of call-crossing values (accumulators and per-region locals)
+    scales with the target's callee-saved file and the short-lived temporary
+    count with its caller-saved file, so generated procedures exercise — but
+    do not hopelessly overload — whatever register file they are compiled
+    for.  Starting from ``base`` (default :class:`GeneratorConfig`) only the
+    pressure knobs are replaced.
+    """
+
+    base = base if base is not None else GeneratorConfig()
+    return replace(
+        base,
+        num_accumulators=max(1, machine.num_callee_saved // 4),
+        locals_per_call_region=max(1, machine.num_callee_saved // 8),
+        temporaries_per_segment=max(2, machine.num_caller_saved // 4),
+    )
 
 
 def generate_procedure(config: GeneratorConfig) -> GeneratedProcedure:

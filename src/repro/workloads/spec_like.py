@@ -28,6 +28,8 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.target.machine import MachineDescription
+from repro.target.parisc import parisc_target
 from repro.workloads.generator import (
     GeneratedProcedure,
     GeneratorConfig,
@@ -288,13 +290,46 @@ def spec_by_name(name: str) -> BenchmarkSpec:
                    + ", ".join(s.name for s in SPEC_BENCHMARKS))
 
 
-def build_benchmark(spec: BenchmarkSpec, scale: float = 1.0) -> SyntheticBenchmark:
+def scale_spec_for_target(
+    spec: BenchmarkSpec, machine: Optional[MachineDescription]
+) -> BenchmarkSpec:
+    """Scale the spec's register-pressure knobs to ``machine``'s register file.
+
+    The predefined specs are calibrated against the paper's machine; on a
+    target with fewer callee-saved registers the same knobs would spill
+    everything, and on a wider target they would never touch a callee-saved
+    register.  The call-crossing value counts are scaled by the ratio of the
+    target's callee-saved file to the reference (the paper's machine, taken
+    from the target package rather than hard-coded here).
+    """
+
+    if machine is None:
+        return spec
+    reference = parisc_target()
+    ratio = machine.num_callee_saved / reference.num_callee_saved
+    if ratio == 1.0:
+        return spec
+    return replace(
+        spec,
+        num_accumulators=max(1, round(spec.num_accumulators * ratio)),
+        locals_per_call_region=max(1, round(spec.locals_per_call_region * ratio)),
+    )
+
+
+def build_benchmark(
+    spec: BenchmarkSpec,
+    scale: float = 1.0,
+    machine: Optional[MachineDescription] = None,
+) -> SyntheticBenchmark:
     """Generate the procedures of one benchmark.
 
     ``scale`` multiplies the procedure count (useful to shrink the suite for
     quick test runs or grow it for longer benchmarking sessions).
+    ``machine`` scales the register-pressure knobs to the target's register
+    file (see :func:`scale_spec_for_target`).
     """
 
+    spec = scale_spec_for_target(spec, machine)
     rng = random.Random(spec.seed)
     count = max(1, int(round(spec.num_procedures * scale)))
     procedures: List[GeneratedProcedure] = []
@@ -342,9 +377,11 @@ def build_benchmark(spec: BenchmarkSpec, scale: float = 1.0) -> SyntheticBenchma
 
 
 def build_suite(
-    names: Optional[Sequence[str]] = None, scale: float = 1.0
+    names: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    machine: Optional[MachineDescription] = None,
 ) -> List[SyntheticBenchmark]:
     """Generate the whole suite (or the named subset)."""
 
     specs = SPEC_BENCHMARKS if names is None else [spec_by_name(n) for n in names]
-    return [build_benchmark(spec, scale=scale) for spec in specs]
+    return [build_benchmark(spec, scale=scale, machine=machine) for spec in specs]

@@ -8,6 +8,7 @@ from hypothesis import HealthCheck, settings, strategies as st
 
 from repro.target.generic import riscish_target, tiny_target
 from repro.target.parisc import parisc_target
+from repro.target.registry import available_targets, get_target
 from repro.workloads.generator import GeneratorConfig, generate_procedure
 from repro.workloads.programs import (
     call_chain_function,
@@ -45,6 +46,18 @@ def risc16():
 @pytest.fixture(scope="session")
 def tiny_machine():
     return tiny_target()
+
+
+@pytest.fixture(scope="session", params=available_targets())
+def registered_machine(request):
+    """Every registered machine description, one per parameterized run.
+
+    Placement-invariant tests take this fixture so that the paper's
+    guarantees are checked on all machine descriptions, not just the
+    PA-RISC-like default.
+    """
+
+    return get_target(request.param)
 
 
 @pytest.fixture()

@@ -145,6 +145,20 @@ class TestColoring:
 
 
 class TestRewriter:
+    def test_spill_temp_classification(self):
+        from repro.regalloc.rewriter import is_spill_temp
+
+        assert is_spill_temp(VirtualRegister("v3.s7"))
+        assert is_spill_temp(VirtualRegister("v3.s7.s12"))
+        assert is_spill_temp(VirtualRegister("v0.arg.s2"))
+        # Dotted names from other passes are NOT allocator temporaries —
+        # notably ensure_single_exit's retval registers for functions whose
+        # name starts with "s".
+        assert not is_spill_temp(VirtualRegister("retval.sum.0"))
+        assert not is_spill_temp(VirtualRegister("v0.arg"))
+        assert not is_spill_temp(VirtualRegister("v7"))
+        assert not is_spill_temp(PhysicalRegister("s1", 1))
+
     def test_insert_spill_code_adds_loads_and_stores(self):
         function, x, _y = _call_crossing_function()
         slots = insert_spill_code(function, [x])
@@ -218,3 +232,32 @@ class TestAllocator:
         labels = set(allocation.function.block_labels)
         for register in allocation.usage.used_registers():
             assert allocation.usage.blocks_for(register) <= labels
+
+
+class TestEveryRegisteredTarget:
+    """Allocation invariants hold on every registered machine description."""
+
+    def test_allocation_completes_and_preserves_semantics(self, registered_machine):
+        function = call_chain_function()
+        reference = Interpreter(machine=registered_machine).run(function)
+        allocation = allocate_registers(function, registered_machine)
+        assert unassigned_virtual_registers(allocation.function) == set()
+        verify_function(allocation.function, require_single_exit=True)
+        result = run_with_convention_check(allocation.function, registered_machine)
+        assert result.return_values == reference.return_values
+
+    def test_assignment_respects_register_classes(self, registered_machine):
+        allocation = allocate_registers(call_chain_function(), registered_machine)
+        for phys in allocation.assignment.values():
+            assert registered_machine.is_caller_saved(phys) != registered_machine.is_callee_saved(phys)
+
+    @given(generated_procedures(max_segments=3))
+    @settings(max_examples=8)
+    def test_generated_allocation_valid_on_target(self, registered_machine, procedure):
+        allocation = allocate_registers(
+            procedure.function, registered_machine, procedure.profile
+        )
+        assert unassigned_virtual_registers(allocation.function) == set()
+        verify_function(allocation.function, require_single_exit=True)
+        for register in allocation.usage.used_registers():
+            assert registered_machine.is_callee_saved(register)

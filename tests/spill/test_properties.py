@@ -92,6 +92,43 @@ def test_invariants_hold_under_high_register_pressure(procedure):
     assert optimized <= baseline + 1e-6 * max(1.0, baseline)
 
 
+@given(generated_procedures(max_segments=3))
+@settings(max_examples=8)
+def test_all_techniques_valid_on_every_registered_target(registered_machine, procedure):
+    """The validity invariant holds on every registered machine description."""
+
+    function, usage = _allocate(procedure, registered_machine)
+    placements = [
+        place_entry_exit(function, usage),
+        place_shrink_wrap(function, usage),
+        place_hierarchical(
+            function, usage, procedure.profile, machine=registered_machine
+        ).placement,
+    ]
+    for placement in placements:
+        assert collect_placement_errors(function, usage, placement) == []
+
+
+@given(generated_procedures(max_segments=3))
+@settings(max_examples=8)
+def test_hierarchical_never_worse_on_every_registered_target(registered_machine, procedure):
+    """The never-worse guarantee holds under every target's cost weights."""
+
+    function, usage = _allocate(procedure, registered_machine)
+    profile = procedure.profile
+
+    def total(placement):
+        return placement_dynamic_overhead(
+            function, profile, placement, registered_machine
+        ).total
+
+    baseline = total(place_entry_exit(function, usage))
+    optimized = total(
+        place_hierarchical(function, usage, profile, machine=registered_machine).placement
+    )
+    assert optimized <= baseline + 1e-6 * max(1.0, baseline)
+
+
 @given(generated_procedures(max_segments=4))
 @settings(max_examples=15)
 def test_placement_locations_lie_on_real_or_virtual_edges(procedure):

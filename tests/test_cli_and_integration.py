@@ -50,6 +50,29 @@ class TestCli:
         with pytest.raises(SystemExit):
             main([])
 
+    def test_targets_subcommand_lists_registered_machines(self, capsys):
+        assert main(["targets"]) == 0
+        output = capsys.readouterr().out
+        for name in ("parisc", "riscish", "micro", "wide"):
+            assert name in output
+
+    def test_target_flag_selects_the_machine(self, tmp_path, capsys):
+        module = Module("m")
+        module.add_function(call_chain_function())
+        path = tmp_path / "input.ir"
+        path.write_text(print_module(module), encoding="utf-8")
+        assert main(["place", str(path), "--target", "micro"]) == 0
+        output = capsys.readouterr().out
+        assert "micro" in output
+
+    def test_table1_on_a_non_default_target(self, capsys):
+        assert main(["table1", "--scale", "0.05", "--target", "riscish"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_unknown_target_is_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--target", "vax"])
+
 
 class TestEndToEnd:
     def test_full_pipeline_on_the_paper_example_inputs(self):
