@@ -8,9 +8,13 @@ register allocator that feeds them.
 
 import pytest
 
+from repro.analysis.dataflow import solve_dataflow, solve_dataflow_reference
+from repro.analysis.liveness import compute_liveness, liveness_dataflow_problem
 from repro.analysis.pst import build_pst
+from repro.analysis.reaching import reaching_dataflow_problem
 from repro.analysis.sese import find_maximal_regions
 from repro.regalloc.allocator import allocate_registers
+from repro.regalloc.interference import build_interference_graph
 from repro.spill.hierarchical import place_hierarchical
 from repro.spill.shrink_wrap import place_shrink_wrap
 from repro.target.parisc import parisc_target
@@ -72,3 +76,37 @@ def test_hierarchical_pass(benchmark, allocation, procedure):
 def test_register_allocation(benchmark):
     allocation = benchmark(allocate_registers, LARGE.function, MACHINE, LARGE.profile)
     assert allocation.function.instruction_count() > 0
+
+
+# ---------------------------------------------------------------------------
+# Dataflow micro-benchmark: the packed-bitset solver against the set-based
+# baseline it replaced, on the liveness problem of the large procedure.
+# ---------------------------------------------------------------------------
+
+
+LARGE_LIVENESS = liveness_dataflow_problem(LARGE.function)
+# Reaching definitions: an order of magnitude more facts than liveness.
+LARGE_REACHING = reaching_dataflow_problem(LARGE.function)[0]
+
+
+@pytest.mark.parametrize(
+    "solver", [solve_dataflow, solve_dataflow_reference], ids=["bitset", "sets"]
+)
+@pytest.mark.parametrize(
+    "problem", [LARGE_LIVENESS, LARGE_REACHING], ids=["liveness", "reaching"]
+)
+def test_dataflow_solver(benchmark, solver, problem):
+    result = benchmark(solver, LARGE.function, problem)
+    assert result.block_in[LARGE.function.entry.label] is not None
+
+
+def _liveness_and_interference(function):
+    liveness = compute_liveness(function)
+    return build_interference_graph(function, liveness)
+
+
+def test_liveness_to_interference_bitset_path(benchmark):
+    """End-to-end allocator front half: liveness + interference on bitmasks."""
+
+    graph = benchmark(_liveness_and_interference, LARGE.function)
+    assert graph.num_edges() > 0

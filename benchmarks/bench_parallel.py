@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Serial-versus-parallel suite wall-clock, and the bitset dataflow speedup.
+
+This is the harness behind the repo's ``BENCH_*.json`` performance
+trajectory (see ``docs/performance.md``).  It measures, at a configurable
+scale:
+
+* ``run_suite`` wall-clock with ``workers=1`` (serial) and ``workers=N``
+  (process pool), verifying on the way that both produce **bit-identical**
+  measurements;
+* the packed-bitset data-flow solver against the pure-set baseline it
+  replaced (``solve_dataflow`` vs ``solve_dataflow_reference``) on liveness
+  problems of growing size.
+
+Run from a checkout::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py [--scale 0.5] [--workers N]
+
+Results are appended-by-overwrite to ``BENCH_parallel.json`` at the repo
+root (use ``--output`` to redirect).  Speedups depend on the machine —
+serial-vs-parallel in particular is only meaningful on a multi-core runner;
+on a single core the pool's process startup and pickling overhead make the
+parallel path *slower*, which the JSON records honestly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.analysis.dataflow import solve_dataflow, solve_dataflow_reference  # noqa: E402
+from repro.analysis.liveness import liveness_dataflow_problem  # noqa: E402
+from repro.analysis.reaching import reaching_dataflow_problem  # noqa: E402
+from repro.evaluation.runner import run_suite  # noqa: E402
+from repro.workloads.generator import GeneratorConfig, generate_procedure  # noqa: E402
+
+
+def _deterministic_view(measurement):
+    """Everything about a suite measurement except the wall-clock timings."""
+
+    return [
+        (
+            m.name,
+            m.num_procedures,
+            m.num_blocks,
+            m.num_instructions,
+            m.allocator_overhead,
+            sorted(m.callee_saved_overhead.items()),
+        )
+        for m in measurement.benchmarks
+    ]
+
+
+def bench_suite(scale: float, workers: int, repeats: int) -> dict:
+    """Best-of-``repeats`` serial and parallel suite wall-clock."""
+
+    serial_seconds = []
+    parallel_seconds = []
+    serial = parallel = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        serial = run_suite(scale=scale, workers=1)
+        serial_seconds.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        parallel = run_suite(scale=scale, workers=workers)
+        parallel_seconds.append(time.perf_counter() - start)
+
+    identical = _deterministic_view(serial) == _deterministic_view(parallel)
+    best_serial = min(serial_seconds)
+    best_parallel = min(parallel_seconds)
+    return {
+        "scale": scale,
+        "workers": workers,
+        "serial_seconds": round(best_serial, 4),
+        "parallel_seconds": round(best_parallel, 4),
+        "speedup": round(best_serial / best_parallel, 3),
+        "measurements_identical": identical,
+    }
+
+
+def bench_dataflow(repeats: int) -> list:
+    """Bitset vs set-based solver on dataflow problems of growing size.
+
+    Liveness (few facts: registers) shows the floor of the win; reaching
+    definitions (many facts: one per definition site) shows the asymptotic
+    advantage of integer masks over set churn.
+    """
+
+    rows = []
+    for segments in (12, 30, 60):
+        procedure = generate_procedure(
+            GeneratorConfig(
+                name=f"dataflow_{segments}",
+                seed=1234,
+                num_segments=segments,
+                locals_per_call_region=2,
+                invocations=1000,
+            )
+        )
+        function = procedure.function
+        for problem_name, build in (
+            ("liveness", liveness_dataflow_problem),
+            ("reaching", lambda f: reaching_dataflow_problem(f)[0]),
+        ):
+            problem = build(function)
+
+            def time_solver(solver):
+                best = float("inf")
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    for _ in range(10):
+                        solver(function, problem)
+                    best = min(best, (time.perf_counter() - start) / 10)
+                return best
+
+            fast = solve_dataflow(function, problem)
+            slow = solve_dataflow_reference(function, problem)
+            identical = all(
+                fast.block_in[label] == slow.block_in[label]
+                and fast.block_out[label] == slow.block_out[label]
+                for label in function.block_labels
+            )
+            bitset_seconds = time_solver(solve_dataflow)
+            sets_seconds = time_solver(solve_dataflow_reference)
+            rows.append(
+                {
+                    "problem": problem_name,
+                    "blocks": len(function),
+                    "bitset_ms": round(bitset_seconds * 1e3, 4),
+                    "sets_ms": round(sets_seconds * 1e3, 4),
+                    "speedup": round(sets_seconds / bitset_seconds, 3),
+                    "results_identical": identical,
+                }
+            )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="suite scale for the serial/parallel comparison (default 0.5)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel worker count (default: all cores)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions, best-of is reported (default 3)")
+    parser.add_argument("--output", default=os.path.join(_REPO_ROOT, "BENCH_parallel.json"),
+                        help="output JSON path (default: BENCH_parallel.json at the repo root)")
+    args = parser.parse_args(argv)
+
+    workers = args.workers if args.workers is not None else (os.cpu_count() or 1)
+
+    print(f"suite: scale={args.scale} serial vs workers={workers} "
+          f"(cpu_count={os.cpu_count()}) ...")
+    suite = bench_suite(args.scale, workers, args.repeats)
+    print(f"  serial   {suite['serial_seconds']:.3f}s")
+    print(f"  parallel {suite['parallel_seconds']:.3f}s  "
+          f"speedup {suite['speedup']:.2f}x  identical={suite['measurements_identical']}")
+
+    print("dataflow: bitset solver vs set-based baseline ...")
+    dataflow = bench_dataflow(args.repeats)
+    for row in dataflow:
+        print(f"  {row['problem']:8s} blocks={row['blocks']:4d}  "
+              f"bitset {row['bitset_ms']:.3f}ms  sets {row['sets_ms']:.3f}ms  "
+              f"speedup {row['speedup']:.2f}x  identical={row['results_identical']}")
+
+    payload = {
+        "schema": "bench_parallel/v1",
+        "cpu_count": os.cpu_count(),
+        "suite": suite,
+        "dataflow": dataflow,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    failed = False
+    if not suite["measurements_identical"]:
+        print("ERROR: parallel measurements differ from serial", file=sys.stderr)
+        failed = True
+    for row in dataflow:
+        if not row["results_identical"]:
+            print(f"ERROR: bitset solver diverges from the set baseline "
+                  f"({row['problem']}, {row['blocks']} blocks)", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

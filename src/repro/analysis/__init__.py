@@ -4,6 +4,8 @@ The package contains:
 
 * :mod:`repro.analysis.dominance` — dominator and post-dominator trees.
 * :mod:`repro.analysis.dataflow` — a generic iterative data-flow framework.
+* :mod:`repro.analysis.bitset` — the packed-bitset fast path behind it
+  (register ↔ bit interning, integer-mask fixed-point solver).
 * :mod:`repro.analysis.liveness` — live-variable analysis.
 * :mod:`repro.analysis.reaching` — reaching definitions.
 * :mod:`repro.analysis.loops` — natural loops and the loop nesting forest.
@@ -15,18 +17,36 @@ The package contains:
   regions used by the hierarchical spill-placement algorithm.
 """
 
+from repro.analysis.bitset import (
+    BitDataflowProblem,
+    BitDataflowResult,
+    BitLiveness,
+    MaskSetView,
+    RegisterIndex,
+    solve_bit_dataflow,
+)
 from repro.analysis.dominance import DominatorTree, compute_dominators, compute_postdominators
-from repro.analysis.dataflow import DataflowProblem, DataflowResult, solve_dataflow
+from repro.analysis.dataflow import (
+    DataflowProblem,
+    DataflowResult,
+    solve_dataflow,
+    solve_dataflow_reference,
+)
 from repro.analysis.liveness import LivenessInfo, compute_liveness
 from repro.analysis.loops import Loop, LoopForest, compute_loop_forest
 from repro.analysis.pst import ProgramStructureTree, Region, build_pst
 from repro.analysis.sese import SESERegion, find_canonical_regions, find_maximal_regions
 
 __all__ = [
+    "BitDataflowProblem",
+    "BitDataflowResult",
+    "BitLiveness",
     "DataflowProblem",
     "DataflowResult",
     "DominatorTree",
     "LivenessInfo",
+    "MaskSetView",
+    "RegisterIndex",
     "Loop",
     "LoopForest",
     "ProgramStructureTree",
@@ -39,5 +59,7 @@ __all__ = [
     "compute_postdominators",
     "find_canonical_regions",
     "find_maximal_regions",
+    "solve_bit_dataflow",
     "solve_dataflow",
+    "solve_dataflow_reference",
 ]

@@ -3,14 +3,31 @@
 Liveness drives interference-graph construction in the register allocator and
 callee-saved occupancy computation after allocation.  The analysis is
 block-level (live-in / live-out sets) with helpers to refine within a block.
+
+The solution is computed on packed bitsets (:mod:`repro.analysis.bitset`):
+registers are interned to bit positions once per function and the data-flow
+iteration is integer arithmetic.  :class:`LivenessInfo` keeps the historical
+``Set[Register]`` API — its dictionaries are lazy views that materialize a
+block's set on first access — and additionally exposes the raw
+:class:`~repro.analysis.bitset.BitLiveness` via :attr:`LivenessInfo.bits` for
+mask-level consumers (the allocator hot path).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
-from repro.analysis.dataflow import DataflowProblem, Direction, Meet, solve_dataflow
+from repro.analysis.bitset import (
+    BitDataflowProblem,
+    BitLiveness,
+    MaskSetView,
+    RegisterIndex,
+    bit_liveness_from_sets,
+    live_masks_at_each_instruction,
+    solve_bit_dataflow,
+)
+from repro.analysis.dataflow import DataflowProblem, Direction, Meet
 from repro.ir.function import Function
 from repro.ir.instructions import Instruction
 from repro.ir.values import Register
@@ -18,12 +35,23 @@ from repro.ir.values import Register
 
 @dataclass
 class LivenessInfo:
-    """Result of live-variable analysis."""
+    """Result of live-variable analysis.
 
-    live_in: Dict[str, Set[Register]]
-    live_out: Dict[str, Set[Register]]
-    uses: Dict[str, Set[Register]]
-    defs: Dict[str, Set[Register]]
+    ``live_in`` / ``live_out`` / ``uses`` / ``defs`` are **read-only**
+    mappings; from :func:`compute_liveness` they are lazy views over the
+    bitmask solution carried in :attr:`bits`, which is what the allocator
+    hot path consumes.  Treat the solution as immutable — mutating a
+    materialized set does not feed back into the masks (recompute liveness
+    after changing the function instead).
+    """
+
+    live_in: Mapping[str, Set[Register]]
+    live_out: Mapping[str, Set[Register]]
+    uses: Mapping[str, Set[Register]]
+    defs: Mapping[str, Set[Register]]
+    #: The packed-bitset solution behind the set views (``None`` when the
+    #: instance was constructed directly from plain sets).
+    bits: Optional[BitLiveness] = None
 
     def live_through(self, label: str) -> Set[Register]:
         """Registers live across the whole block (in and out, not redefined)."""
@@ -34,6 +62,19 @@ class LivenessInfo:
         """Registers live at some point inside the block."""
 
         return self.live_in[label] | self.live_out[label] | self.defs[label] | self.uses[label]
+
+
+def liveness_bits(function: Function, liveness: LivenessInfo) -> BitLiveness:
+    """The bitmask representation of ``liveness``, building it if absent.
+
+    Solutions from :func:`compute_liveness` carry their masks; hand-built
+    :class:`LivenessInfo` instances (tests, external callers) get interned
+    here on demand.
+    """
+
+    if liveness.bits is None:
+        liveness.bits = bit_liveness_from_sets(function, liveness)
+    return liveness.bits
 
 
 def block_upward_exposed_uses(instructions: List[Instruction]) -> Tuple[Set[Register], Set[Register]]:
@@ -49,7 +90,34 @@ def block_upward_exposed_uses(instructions: List[Instruction]) -> Tuple[Set[Regi
     return exposed, defined
 
 
-def compute_liveness(function: Function, call_clobbers: Dict[str, Set[Register]] = None) -> LivenessInfo:
+def liveness_dataflow_problem(function: Function) -> DataflowProblem:
+    """The set-level gen/kill formulation of the liveness problem.
+
+    :func:`compute_liveness` builds the equivalent bitmask problem directly;
+    this formulation exists for the generic solvers — differential tests and
+    the dataflow micro-benchmark pose it to both :func:`solve_dataflow` and
+    :func:`solve_dataflow_reference`.
+    """
+
+    uses: Dict[str, Set[Register]] = {}
+    defs: Dict[str, Set[Register]] = {}
+    for block in function.blocks:
+        exposed, defined = block_upward_exposed_uses(block.instructions)
+        uses[block.label] = exposed
+        defs[block.label] = defined
+    return DataflowProblem(
+        direction=Direction.BACKWARD,
+        meet=Meet.UNION,
+        gen=uses,
+        kill=defs,
+        boundary=set(),
+    )
+
+
+def compute_liveness(
+    function: Function,
+    call_clobbers: Optional[Dict[str, Set[Register]]] = None,
+) -> LivenessInfo:
     """Compute block-level liveness.
 
     ``call_clobbers`` optionally maps block labels to registers additionally
@@ -57,30 +125,51 @@ def compute_liveness(function: Function, call_clobbers: Dict[str, Set[Register]]
     physical registers around calls.
     """
 
-    uses: Dict[str, Set[Register]] = {}
-    defs: Dict[str, Set[Register]] = {}
+    index = RegisterIndex()
+    # Parameters first so entry-live registers get the low bits; purely
+    # cosmetic for debugging, the solution is independent of bit order.
+    for param in function.params:
+        index.add(param)
+
+    uses: Dict[str, int] = {}
+    defs: Dict[str, int] = {}
     for block in function.blocks:
-        exposed, defined = block_upward_exposed_uses(block.instructions)
+        use_mask = 0
+        def_mask = 0
+        for inst in block.instructions:
+            for reg in inst.registers_read():
+                bit = 1 << index.add(reg)
+                if not def_mask & bit:
+                    use_mask |= bit
+            for reg in inst.registers_written():
+                def_mask |= 1 << index.add(reg)
         if call_clobbers and block.label in call_clobbers:
-            defined = defined | call_clobbers[block.label]
-        uses[block.label] = exposed
-        defs[block.label] = defined
+            def_mask |= index.mask_of(call_clobbers[block.label])
+        uses[block.label] = use_mask
+        defs[block.label] = def_mask
 
     # Function parameters are live at entry; return values are used at exits.
-    boundary: Set[Register] = set()
-    problem = DataflowProblem(
-        direction=Direction.BACKWARD,
-        meet=Meet.UNION,
+    problem = BitDataflowProblem(
+        forward=False,
+        union=True,
         gen=uses,
         kill=defs,
-        boundary=boundary,
+        boundary=0,
     )
-    result = solve_dataflow(function, problem)
-    return LivenessInfo(
+    result = solve_bit_dataflow(function, problem)
+    bits = BitLiveness(
+        index=index,
         live_in=result.block_in,
         live_out=result.block_out,
         uses=uses,
         defs=defs,
+    )
+    return LivenessInfo(
+        live_in=MaskSetView(bits.live_in, index),
+        live_out=MaskSetView(bits.live_out, index),
+        uses=MaskSetView(bits.uses, index),
+        defs=MaskSetView(bits.defs, index),
+        bits=bits,
     )
 
 
@@ -91,14 +180,11 @@ def live_at_each_instruction(
 
     Index ``i`` of the returned list is the live set immediately after
     instruction ``i``; walking backwards from the block's live-out set.
+    (Mask-level consumers use
+    :func:`repro.analysis.bitset.live_masks_at_each_instruction` instead and
+    skip the per-instruction set materialization.)
     """
 
-    block = function.block(label)
-    live = set(liveness.live_out[label])
-    after: List[Set[Register]] = [set() for _ in block.instructions]
-    for i in range(len(block.instructions) - 1, -1, -1):
-        after[i] = set(live)
-        inst = block.instructions[i]
-        live -= set(inst.registers_written())
-        live |= set(inst.registers_read())
-    return after
+    bits = liveness_bits(function, liveness)
+    masks = live_masks_at_each_instruction(function, bits, label)
+    return [bits.index.set_of(mask) for mask in masks]

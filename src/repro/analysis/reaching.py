@@ -9,7 +9,7 @@ terminations — to group save/restore locations into save/restore sets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import Dict, Mapping, Set, Tuple
 
 from repro.analysis.dataflow import DataflowProblem, Direction, Meet, solve_dataflow
 from repro.ir.function import Function
@@ -21,18 +21,29 @@ Definition = Tuple[str, int, Register]
 
 @dataclass
 class ReachingDefinitions:
-    """Reaching definitions at block boundaries plus per-block definition lists."""
+    """Reaching definitions at block boundaries plus per-block definition lists.
 
-    reach_in: Dict[str, Set[Definition]]
-    reach_out: Dict[str, Set[Definition]]
+    ``reach_in`` / ``reach_out`` are read-only views over the bitset
+    solution (see :class:`~repro.analysis.dataflow.DataflowResult`).
+    """
+
+    reach_in: Mapping[str, Set[Definition]]
+    reach_out: Mapping[str, Set[Definition]]
     definitions: Dict[Register, Set[Definition]]
 
     def defs_of(self, register: Register) -> Set[Definition]:
         return self.definitions.get(register, set())
 
 
-def compute_reaching_definitions(function: Function) -> ReachingDefinitions:
-    """Standard forward union reaching-definitions analysis."""
+def reaching_dataflow_problem(
+    function: Function,
+) -> Tuple[DataflowProblem, Dict[Register, Set[Definition]]]:
+    """The gen/kill formulation of reaching definitions, plus all def sites.
+
+    Shared by :func:`compute_reaching_definitions` and the dataflow
+    micro-benchmarks (which pose the same problem to both the bitset solver
+    and the set-based reference).
+    """
 
     all_defs: Dict[Register, Set[Definition]] = {}
     gen: Dict[str, Set[Definition]] = {}
@@ -64,6 +75,13 @@ def compute_reaching_definitions(function: Function) -> ReachingDefinitions:
         kill=kill,
         boundary=set(),
     )
+    return problem, all_defs
+
+
+def compute_reaching_definitions(function: Function) -> ReachingDefinitions:
+    """Standard forward union reaching-definitions analysis."""
+
+    problem, all_defs = reaching_dataflow_problem(function)
     result = solve_dataflow(function, problem)
     return ReachingDefinitions(
         reach_in=result.block_in,

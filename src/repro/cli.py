@@ -2,10 +2,10 @@
 
 Subcommands::
 
-    repro-spill figure5   [--scale S] [--cost-model MODEL] [--target NAME]
-    repro-spill table1    [--scale S] [--cost-model MODEL] [--target NAME]
-    repro-spill table2    [--scale S] [--target NAME]
-    repro-spill ablation  {cost-model,regions} [--scale S] [--target NAME]
+    repro-spill figure5   [--scale S] [--cost-model MODEL] [--target NAME] [--workers N]
+    repro-spill table1    [--scale S] [--cost-model MODEL] [--target NAME] [--workers N]
+    repro-spill table2    [--scale S] [--target NAME] [--workers N]
+    repro-spill ablation  {cost-model,regions} [--scale S] [--target NAME] [--workers N]
     repro-spill example   [--cost-model MODEL]   # the paper's worked example
     repro-spill targets                          # list registered machine descriptions
     repro-spill place     FILE [--cost-model MODEL] [--target NAME]
@@ -50,6 +50,16 @@ def _add_target(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_workers(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool workers for the evaluation (default: all cores; 1 = serial)",
+    )
+
+
 def _add_cost_model(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cost-model",
@@ -70,21 +80,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale(fig5)
     _add_cost_model(fig5)
     _add_target(fig5)
+    _add_workers(fig5)
     fig5.add_argument("--no-chart", action="store_true", help="omit the ASCII bar chart")
 
     tab1 = subparsers.add_parser("table1", help="regenerate the paper's Table 1")
     _add_scale(tab1)
     _add_cost_model(tab1)
     _add_target(tab1)
+    _add_workers(tab1)
 
     tab2 = subparsers.add_parser("table2", help="regenerate the paper's Table 2")
     _add_scale(tab2)
     _add_target(tab2)
+    _add_workers(tab2)
 
     ablation = subparsers.add_parser("ablation", help="run an ablation study")
     ablation.add_argument("study", choices=("cost-model", "regions"))
     _add_scale(ablation)
     _add_target(ablation)
+    _add_workers(ablation)
 
     subparsers.add_parser("example", help="walk through the paper's Figure 2/3 example")
 
@@ -157,27 +171,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "figure5":
         measurement = run_suite(
-            scale=args.scale, cost_model=args.cost_model, machine=args.target
+            scale=args.scale,
+            cost_model=args.cost_model,
+            machine=args.target,
+            workers=args.workers,
         )
         print(render_figure5(figure5(measurement), chart=not args.no_chart))
         return 0
     if args.command == "table1":
         measurement = run_suite(
-            scale=args.scale, cost_model=args.cost_model, machine=args.target
+            scale=args.scale,
+            cost_model=args.cost_model,
+            machine=args.target,
+            workers=args.workers,
         )
         print(render_table1(table1(measurement)))
         return 0
     if args.command == "table2":
-        measurement = run_suite(scale=args.scale, machine=args.target)
+        measurement = run_suite(scale=args.scale, machine=args.target, workers=args.workers)
         print(render_table2(table2(measurement)))
         return 0
     if args.command == "ablation":
         if args.study == "cost-model":
-            rows = cost_model_ablation(scale=args.scale, machine=args.target)
+            rows = cost_model_ablation(
+                scale=args.scale, machine=args.target, workers=args.workers
+            )
             print(render_ablation(rows, "jump-edge", "execution-count",
                                   "Ablation: cost model (materialized overhead)"))
         else:
-            rows = region_granularity_ablation(scale=args.scale, machine=args.target)
+            rows = region_granularity_ablation(
+                scale=args.scale, machine=args.target, workers=args.workers
+            )
             print(render_ablation(rows, "maximal", "canonical",
                                   "Ablation: SESE region granularity"))
         return 0

@@ -11,9 +11,18 @@
 * :mod:`repro.evaluation.ablations` — extra studies the paper motivates but
   does not tabulate: execution-count vs. jump-edge cost model, and maximal
   vs. canonical SESE regions.
+* :mod:`repro.evaluation.parallel` — the process-pool engine that shards the
+  suite at procedure granularity (``workers=`` on the runners and the CLI).
 * :mod:`repro.evaluation.reporting` — plain-text table and bar-chart rendering.
 """
 
+from repro.evaluation.parallel import (
+    ProcedureMeasurement,
+    compile_procedures_parallel,
+    measure_procedure,
+    measure_procedure_groups,
+    resolve_workers,
+)
 from repro.evaluation.runner import BenchmarkMeasurement, SuiteMeasurement, run_benchmark, run_suite
 from repro.evaluation.figure5 import Figure5Row, figure5, render_figure5
 from repro.evaluation.table1 import Table1Row, render_table1, table1
@@ -29,11 +38,16 @@ __all__ = [
     "AblationRow",
     "BenchmarkMeasurement",
     "Figure5Row",
+    "ProcedureMeasurement",
     "SuiteMeasurement",
     "Table1Row",
     "Table2Row",
+    "compile_procedures_parallel",
     "cost_model_ablation",
     "figure5",
+    "measure_procedure",
+    "measure_procedure_groups",
+    "resolve_workers",
     "region_granularity_ablation",
     "render_ablation",
     "render_figure5",

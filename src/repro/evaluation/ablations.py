@@ -53,22 +53,24 @@ def _rows(
 
 
 def cost_model_ablation(
-    scale: float = 1.0, machine: TargetSpec = None
+    scale: float = 1.0, machine: TargetSpec = None, workers: Optional[int] = 1
 ) -> List[AblationRow]:
     """Jump-edge model (A) versus execution-count model (B), materialized cost."""
 
-    jump_edge = run_suite(scale=scale, cost_model="jump_edge", machine=machine)
-    execution = run_suite(scale=scale, cost_model="execution_count", machine=machine)
+    jump_edge = run_suite(scale=scale, cost_model="jump_edge", machine=machine, workers=workers)
+    execution = run_suite(
+        scale=scale, cost_model="execution_count", machine=machine, workers=workers
+    )
     return _rows(jump_edge, execution)
 
 
 def region_granularity_ablation(
-    scale: float = 1.0, machine: TargetSpec = None
+    scale: float = 1.0, machine: TargetSpec = None, workers: Optional[int] = 1
 ) -> List[AblationRow]:
     """Maximal SESE regions (A) versus canonical SESE regions (B)."""
 
-    maximal = run_suite(scale=scale, maximal_regions=True, machine=machine)
-    canonical = run_suite(scale=scale, maximal_regions=False, machine=machine)
+    maximal = run_suite(scale=scale, maximal_regions=True, machine=machine, workers=workers)
+    canonical = run_suite(scale=scale, maximal_regions=False, machine=machine, workers=workers)
     return _rows(maximal, canonical)
 
 

@@ -1,0 +1,331 @@
+"""Process-pool parallel evaluation engine.
+
+Every procedure of the synthetic suite is compiled independently — register
+allocation, the three placement techniques and the overhead accounting share
+nothing between procedures — so the evaluation parallelizes at *procedure*
+granularity.  This module provides the sharding machinery the evaluation
+runner (:mod:`repro.evaluation.runner`), the ablations and the batch compiler
+(:func:`repro.pipeline.compiler.compile_many`) plug into:
+
+* :class:`ProcedureMeasurement` — the compact, picklable per-procedure
+  summary workers send back (the full :class:`CompiledProcedure`, with its
+  rewritten function and placements, stays in the worker).
+* :func:`measure_procedure_groups` — shards groups (benchmarks) of
+  procedures over a :class:`~concurrent.futures.ProcessPoolExecutor` with
+  chunked submission and a **deterministic merge**: results are re-assembled
+  in the original submission order, so parallel and serial runs aggregate
+  the same floating-point sums in the same order and produce bit-identical
+  measurements.
+* :func:`compile_procedures_parallel` — the same sharding for callers that
+  need the full compiled artifacts back.
+
+Serial fallback: ``workers=1`` (or a single procedure, or a cost model /
+machine that cannot be pickled, e.g. a closure-based custom model) runs the
+exact same code path in-process — no executor, no pickling — so the engine
+is safe to leave enabled everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.pipeline.compiler import TECHNIQUES
+
+#: Chunks submitted per worker (oversubscription smooths uneven chunk cost:
+#: a worker that drew cheap procedures picks up another chunk instead of
+#: idling while the slowest worker finishes).
+CHUNKS_PER_WORKER = 4
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a worker-count argument.
+
+    ``None`` means "use every core" (``os.cpu_count()``); explicit values
+    must be positive.
+    """
+
+    if workers is None:
+        return os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers!r}")
+    return int(workers)
+
+
+def _picklable(value: object) -> bool:
+    """Can ``value`` cross a process boundary?"""
+
+    try:
+        pickle.dumps(value)
+    except Exception:
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class ProcedureMeasurement:
+    """Everything the suite aggregation needs from one compiled procedure.
+
+    A compact, picklable summary — the worker keeps the heavyweight
+    :class:`~repro.pipeline.compiler.CompiledProcedure` (rewritten function,
+    placements, profiles) to itself and ships only these numbers back.
+    """
+
+    name: str
+    num_blocks: int
+    num_instructions: int
+    allocator_overhead: float
+    #: Callee-saved dynamic overhead per technique.
+    callee_saved_overhead: Dict[str, float]
+    #: Pass wall-clock seconds keyed by pass name (measured in the worker).
+    pass_seconds: Dict[str, float]
+
+
+def summarize_compiled(compiled, techniques: Sequence[str]) -> ProcedureMeasurement:
+    """Extract the :class:`ProcedureMeasurement` of one compiled procedure."""
+
+    return ProcedureMeasurement(
+        name=compiled.name,
+        num_blocks=len(compiled.allocation.function),
+        num_instructions=compiled.allocation.function.instruction_count(),
+        allocator_overhead=compiled.allocator_overhead,
+        callee_saved_overhead={
+            technique: compiled.callee_saved_overhead(technique) for technique in techniques
+        },
+        pass_seconds=dict(compiled.pass_seconds),
+    )
+
+
+def measure_procedure(
+    procedure,
+    machine=None,
+    cost_model="jump_edge",
+    techniques: Sequence[str] = TECHNIQUES,
+    verify: bool = True,
+    maximal_regions: bool = True,
+) -> ProcedureMeasurement:
+    """Compile one procedure and return its measurement summary."""
+
+    from repro.pipeline.compiler import compile_procedure
+
+    compiled = compile_procedure(
+        procedure,
+        machine=machine,
+        cost_model=cost_model,
+        techniques=techniques,
+        verify=verify,
+        maximal_regions=maximal_regions,
+    )
+    return summarize_compiled(compiled, techniques)
+
+
+# ---------------------------------------------------------------------------
+# Worker entry points (module-level so they pickle by qualified name).
+# ---------------------------------------------------------------------------
+
+
+def _measure_chunk(payload) -> List[ProcedureMeasurement]:
+    """Worker: compile a chunk of procedures, return their summaries."""
+
+    procedures, machine, cost_model, techniques, verify, maximal_regions = payload
+    from repro.spill.cost_models import make_cost_model
+    from repro.target.registry import resolve_target
+
+    machine = resolve_target(machine)
+    if isinstance(cost_model, str):
+        cost_model = make_cost_model(cost_model, machine)
+    return [
+        measure_procedure(
+            procedure,
+            machine=machine,
+            cost_model=cost_model,
+            techniques=techniques,
+            verify=verify,
+            maximal_regions=maximal_regions,
+        )
+        for procedure in procedures
+    ]
+
+
+def _compile_chunk(payload) -> list:
+    """Worker: compile a chunk of procedures, return the full artifacts."""
+
+    procedures, machine, cost_model, techniques, verify, maximal_regions = payload
+    from repro.pipeline.compiler import compile_procedure
+    from repro.spill.cost_models import make_cost_model
+    from repro.target.registry import resolve_target
+
+    machine = resolve_target(machine)
+    if isinstance(cost_model, str):
+        cost_model = make_cost_model(cost_model, machine)
+    return [
+        compile_procedure(
+            procedure,
+            machine=machine,
+            cost_model=cost_model,
+            techniques=techniques,
+            verify=verify,
+            maximal_regions=maximal_regions,
+        )
+        for procedure in procedures
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Sharding.
+# ---------------------------------------------------------------------------
+
+
+def _chunk_plan(
+    group_sizes: Sequence[int], workers: int
+) -> List[Tuple[int, int, int]]:
+    """Split groups of procedures into submission chunks.
+
+    Returns ``(group_index, start, stop)`` triples covering every procedure
+    of every group, in deterministic (group, position) order.  The chunk size
+    targets ``workers * CHUNKS_PER_WORKER`` chunks over the *whole* batch, so
+    small benchmarks in a suite share workers with large ones instead of each
+    benchmark being sharded on its own.
+    """
+
+    total = sum(group_sizes)
+    if total == 0:
+        return []
+    chunk_size = max(1, -(-total // (workers * CHUNKS_PER_WORKER)))
+    plan: List[Tuple[int, int, int]] = []
+    for group_index, size in enumerate(group_sizes):
+        start = 0
+        while start < size:
+            stop = min(start + chunk_size, size)
+            plan.append((group_index, start, stop))
+            start = stop
+    return plan
+
+
+def _can_shard(workers: int, total: int, machine, cost_model) -> bool:
+    """Should this batch cross process boundaries at all?"""
+
+    if workers <= 1 or total <= 1:
+        return False
+    if not _picklable(machine) or not _picklable(cost_model):
+        return False
+    return True
+
+
+def _run_sharded(
+    worker_fn,
+    groups: Sequence[Sequence[object]],
+    machine,
+    cost_model,
+    techniques: Sequence[str],
+    verify: bool,
+    maximal_regions: bool,
+    workers: int,
+) -> List[List[object]]:
+    """Submit chunks of every group to a pool; merge in submission order."""
+
+    sizes = [len(group) for group in groups]
+    plan = _chunk_plan(sizes, workers)
+    results: List[List[object]] = [[None] * size for size in sizes]
+    techniques = tuple(techniques)
+    with ProcessPoolExecutor(max_workers=min(workers, max(1, len(plan)))) as pool:
+        futures = [
+            pool.submit(
+                worker_fn,
+                (
+                    list(groups[g][start:stop]),
+                    machine,
+                    cost_model,
+                    techniques,
+                    verify,
+                    maximal_regions,
+                ),
+            )
+            for g, start, stop in plan
+        ]
+        # Collect in submission order — the merge is deterministic no matter
+        # which worker finished first.
+        for (g, start, _stop), future in zip(plan, futures):
+            chunk = future.result()
+            results[g][start : start + len(chunk)] = chunk
+    return results
+
+
+def measure_procedure_groups(
+    groups: Sequence[Sequence[object]],
+    machine=None,
+    cost_model="jump_edge",
+    techniques: Sequence[str] = TECHNIQUES,
+    verify: bool = True,
+    maximal_regions: bool = True,
+    workers: Optional[int] = 1,
+) -> List[List[ProcedureMeasurement]]:
+    """Measure groups (benchmarks) of procedures, one summary per procedure.
+
+    The returned lists mirror ``groups`` exactly — ``result[g][i]`` is the
+    measurement of ``groups[g][i]`` — regardless of worker scheduling, so
+    downstream aggregation is order-deterministic and parallel runs are
+    bit-identical to serial ones.
+    """
+
+    workers = resolve_workers(workers)
+    total = sum(len(group) for group in groups)
+    if not _can_shard(workers, total, machine, cost_model):
+        return [
+            [
+                measure_procedure(
+                    procedure,
+                    machine=machine,
+                    cost_model=cost_model,
+                    techniques=techniques,
+                    verify=verify,
+                    maximal_regions=maximal_regions,
+                )
+                for procedure in group
+            ]
+            for group in groups
+        ]
+    return _run_sharded(
+        _measure_chunk, groups, machine, cost_model, techniques, verify, maximal_regions, workers
+    )
+
+
+def compile_procedures_parallel(
+    procedures: Sequence[object],
+    machine=None,
+    cost_model="jump_edge",
+    techniques: Sequence[str] = TECHNIQUES,
+    verify: bool = True,
+    maximal_regions: bool = True,
+    workers: Optional[int] = 1,
+) -> list:
+    """Compile a flat batch of procedures, returning full artifacts in order.
+
+    The parallel backend of :func:`repro.pipeline.compiler.compile_many`:
+    unlike :func:`measure_procedure_groups` the complete
+    :class:`~repro.pipeline.compiler.CompiledProcedure` objects are pickled
+    back from the workers, which is only worth it when the caller needs the
+    placements themselves rather than the aggregate numbers.
+    """
+
+    workers = resolve_workers(workers)
+    if not _can_shard(workers, len(procedures), machine, cost_model):
+        from repro.pipeline.compiler import compile_procedure
+
+        return [
+            compile_procedure(
+                procedure,
+                machine=machine,
+                cost_model=cost_model,
+                techniques=techniques,
+                verify=verify,
+                maximal_regions=maximal_regions,
+            )
+            for procedure in procedures
+        ]
+    return _run_sharded(
+        _compile_chunk, [procedures], machine, cost_model, techniques, verify, maximal_regions, workers
+    )[0]

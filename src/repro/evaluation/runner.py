@@ -1,15 +1,28 @@
-"""Compiling the synthetic suite and aggregating per-benchmark measurements."""
+"""Compiling the synthetic suite and aggregating per-benchmark measurements.
+
+Both drivers accept a ``workers`` argument: ``workers=1`` (the default)
+compiles in-process, ``workers=N`` shards the procedures over an ``N``-worker
+process pool, and ``workers=None`` uses every core.  Aggregation always runs
+over the per-procedure summaries in generation order, so parallel and serial
+runs produce bit-identical measurements (only the wall-clock
+``pass_seconds`` differ — they are measurements of time, not of code).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.evaluation.parallel import (
+    ProcedureMeasurement,
+    compile_procedures_parallel,
+    measure_procedure_groups,
+    summarize_compiled,
+)
 from repro.pipeline.compiler import (
     TECHNIQUES,
     CompiledProcedure,
     TargetSpec,
-    compile_procedure,
 )
 from repro.spill.cost_models import CostModel, make_cost_model
 from repro.target.registry import resolve_target
@@ -77,6 +90,44 @@ class SuiteMeasurement:
         return sum(ratios) / len(ratios) if ratios else 1.0
 
 
+def _new_measurement(
+    benchmark: SyntheticBenchmark, techniques: Sequence[str]
+) -> BenchmarkMeasurement:
+    return BenchmarkMeasurement(
+        name=benchmark.name,
+        callee_saved_overhead={technique: 0.0 for technique in techniques},
+        paper_optimized_ratio=benchmark.spec.paper_optimized_ratio,
+        paper_shrinkwrap_ratio=benchmark.spec.paper_shrinkwrap_ratio,
+    )
+
+
+def _aggregate(
+    measurement: BenchmarkMeasurement,
+    summaries: Sequence[ProcedureMeasurement],
+    techniques: Sequence[str],
+) -> BenchmarkMeasurement:
+    """Fold per-procedure summaries into the benchmark aggregate.
+
+    This is the single accumulation loop both the serial and the parallel
+    path run, in procedure-generation order — floating-point addition is not
+    associative, so sharing the order (and the code) is what makes parallel
+    measurements bit-identical to serial ones.
+    """
+
+    for summary in summaries:
+        measurement.num_procedures += 1
+        measurement.num_blocks += summary.num_blocks
+        measurement.num_instructions += summary.num_instructions
+        measurement.allocator_overhead += summary.allocator_overhead
+        for technique in techniques:
+            measurement.callee_saved_overhead[technique] += summary.callee_saved_overhead[
+                technique
+            ]
+        for name, seconds in summary.pass_seconds.items():
+            measurement.pass_seconds[name] = measurement.pass_seconds.get(name, 0.0) + seconds
+    return measurement
+
+
 def run_benchmark(
     benchmark: SyntheticBenchmark,
     machine: TargetSpec = None,
@@ -85,43 +136,47 @@ def run_benchmark(
     verify: bool = True,
     maximal_regions: bool = True,
     keep_procedures: bool = False,
+    workers: Optional[int] = 1,
 ) -> BenchmarkMeasurement:
-    """Compile every procedure of one benchmark and aggregate the measurements."""
+    """Compile every procedure of one benchmark and aggregate the measurements.
+
+    ``workers`` shards the procedures over a process pool (``None`` = all
+    cores); with ``keep_procedures`` the full compiled artifacts are pickled
+    back from the workers instead of compact summaries.
+    """
 
     machine = resolve_target(machine)
-    measurement = BenchmarkMeasurement(
-        name=benchmark.name,
-        callee_saved_overhead={technique: 0.0 for technique in techniques},
-        paper_optimized_ratio=benchmark.spec.paper_optimized_ratio,
-        paper_shrinkwrap_ratio=benchmark.spec.paper_shrinkwrap_ratio,
-    )
+    measurement = _new_measurement(benchmark, techniques)
     # Resolve the cost model once for the batch, then stream: procedures are
     # aggregated and discarded one at a time (unless keep_procedures), so
     # peak memory stays O(1) in the benchmark size.
     if isinstance(cost_model, str):
         cost_model = make_cost_model(cost_model, machine)
-    for procedure in benchmark.procedures:
-        compiled = compile_procedure(
-            procedure,
+    if keep_procedures:
+        compiled_procedures = compile_procedures_parallel(
+            benchmark.procedures,
             machine=machine,
             cost_model=cost_model,
             techniques=techniques,
             verify=verify,
             maximal_regions=maximal_regions,
+            workers=workers,
         )
-        measurement.num_procedures += 1
-        measurement.num_blocks += len(compiled.allocation.function)
-        measurement.num_instructions += compiled.allocation.function.instruction_count()
-        measurement.allocator_overhead += compiled.allocator_overhead
-        for technique in techniques:
-            measurement.callee_saved_overhead[technique] += compiled.callee_saved_overhead(
-                technique
-            )
-        for name, seconds in compiled.pass_seconds.items():
-            measurement.pass_seconds[name] = measurement.pass_seconds.get(name, 0.0) + seconds
-        if keep_procedures:
-            measurement.procedures.append(compiled)
-    return measurement
+        measurement.procedures.extend(compiled_procedures)
+        summaries: List[ProcedureMeasurement] = [
+            summarize_compiled(compiled, techniques) for compiled in compiled_procedures
+        ]
+    else:
+        summaries = measure_procedure_groups(
+            [benchmark.procedures],
+            machine=machine,
+            cost_model=cost_model,
+            techniques=techniques,
+            verify=verify,
+            maximal_regions=maximal_regions,
+            workers=workers,
+        )[0]
+    return _aggregate(measurement, summaries, techniques)
 
 
 def run_suite(
@@ -131,6 +186,7 @@ def run_suite(
     cost_model: Union[CostModel, str] = "jump_edge",
     verify: bool = True,
     maximal_regions: bool = True,
+    workers: Optional[int] = 1,
 ) -> SuiteMeasurement:
     """Generate and measure the whole SPEC-like suite (or a named subset).
 
@@ -138,20 +194,29 @@ def run_suite(
     register-pressure knobs scale with ``machine``'s callee-saved file size,
     so an 8-register target sees proportionally lean procedures and a
     64-register target sees fat ones.
+
+    ``workers`` shards at *procedure* granularity across the whole suite
+    (one shared pool — small benchmarks ride along with large ones), with
+    ``None`` meaning every core.  Parallel runs return bit-identical
+    measurements to serial ones; see :mod:`repro.evaluation.parallel`.
     """
 
     machine = resolve_target(machine)
     suite = build_suite(names=names, scale=scale, machine=machine)
     model_name = cost_model if isinstance(cost_model, str) else cost_model.name
+    if isinstance(cost_model, str):
+        cost_model = make_cost_model(cost_model, machine)
     measurement = SuiteMeasurement(cost_model=model_name)
-    for benchmark in suite:
+    groups = measure_procedure_groups(
+        [benchmark.procedures for benchmark in suite],
+        machine=machine,
+        cost_model=cost_model,
+        verify=verify,
+        maximal_regions=maximal_regions,
+        workers=workers,
+    )
+    for benchmark, summaries in zip(suite, groups):
         measurement.benchmarks.append(
-            run_benchmark(
-                benchmark,
-                machine=machine,
-                cost_model=cost_model,
-                verify=verify,
-                maximal_regions=maximal_regions,
-            )
+            _aggregate(_new_measurement(benchmark, TECHNIQUES), summaries, TECHNIQUES)
         )
     return measurement

@@ -25,7 +25,10 @@ class Register(Value):
     """Base class for virtual and physical registers.
 
     Registers compare and hash by name, so two references to ``v3`` denote
-    the same register regardless of where they were created.
+    the same register regardless of where they were created.  Hashing by
+    ``self.name`` directly (instead of the dataclass-generated field tuple)
+    reuses the string's cached hash — registers are the most-hashed objects
+    in the code base, so this shows up in every analysis.
     """
 
     name: str
@@ -34,6 +37,9 @@ class Register(Value):
         if not self.name:
             raise ValueError("register name must be non-empty")
 
+    def __hash__(self) -> int:
+        return hash(self.name)
+
     def __str__(self) -> str:
         return self.name
 
@@ -41,6 +47,8 @@ class Register(Value):
 @dataclass(frozen=True)
 class VirtualRegister(Register):
     """An unallocated, unbounded register (``v0``, ``v1``, ...)."""
+
+    __hash__ = Register.__hash__
 
     def __str__(self) -> str:
         return self.name
@@ -51,6 +59,8 @@ class PhysicalRegister(Register):
     """A machine register (``r0`` ... ``rN``) named by the target."""
 
     index: int = -1
+
+    __hash__ = Register.__hash__
 
     def __str__(self) -> str:
         return self.name

@@ -161,6 +161,7 @@ def compile_many(
     techniques: Sequence[str] = TECHNIQUES,
     verify: bool = True,
     maximal_regions: bool = True,
+    workers: Optional[int] = 1,
 ) -> List[CompiledProcedure]:
     """Compile a batch of procedures, amortizing the per-procedure setup.
 
@@ -168,6 +169,11 @@ def compile_many(
     list validated exactly once for the whole batch — the driver the
     evaluation runner and benchmark harnesses use instead of calling
     :func:`compile_procedure` in a loop.
+
+    ``workers`` shards the batch over a process pool at procedure
+    granularity (``None`` = every core); results come back in input order
+    regardless of worker scheduling.  ``workers=1``, a single procedure, or
+    a non-picklable cost model / machine fall back to compiling in-process.
     """
 
     machine = resolve_target(machine)
@@ -178,14 +184,16 @@ def compile_many(
         raise ValueError(
             f"unknown technique(s) {unknown!r}; expected a subset of {TECHNIQUES}"
         )
-    return [
-        compile_procedure(
-            procedure,
-            machine=machine,
-            cost_model=cost_model,
-            techniques=techniques,
-            verify=verify,
-            maximal_regions=maximal_regions,
-        )
-        for procedure in procedures
-    ]
+    # Imported lazily: the parallel engine lives with the evaluation layer,
+    # which imports this module at load time.
+    from repro.evaluation.parallel import compile_procedures_parallel
+
+    return compile_procedures_parallel(
+        list(procedures),
+        machine=machine,
+        cost_model=cost_model,
+        techniques=techniques,
+        verify=verify,
+        maximal_regions=maximal_regions,
+        workers=workers,
+    )

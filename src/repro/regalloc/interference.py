@@ -3,14 +3,20 @@
 Two virtual registers interfere when one is defined at a point where the
 other is live (the classic Chaitin construction); move instructions get the
 usual exemption so that copy-related registers may share a colour.
+
+Construction runs on the packed-bitset liveness representation: per-register
+adjacency is accumulated as integer bitmasks while walking the instructions
+and only materialized into the public ``Set``-based
+:class:`InterferenceGraph` once, at the end.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Set, Tuple
 
-from repro.analysis.liveness import LivenessInfo, live_at_each_instruction
+from repro.analysis.bitset import live_masks_at_each_instruction
+from repro.analysis.liveness import LivenessInfo, liveness_bits
 from repro.ir.function import Function
 from repro.ir.instructions import Opcode
 from repro.ir.values import Register, VirtualRegister
@@ -36,6 +42,18 @@ class InterferenceGraph:
         self.add_node(b)
         self._adjacency[a].add(b)
         self._adjacency[b].add(a)
+
+    def add_neighbours(self, register: Register, neighbours: Set[Register]) -> None:
+        """Bulk-insert pre-symmetrized adjacency for one register.
+
+        The batch builder accumulates adjacency as bitmasks and materializes
+        each register's full neighbour set once; the caller guarantees
+        symmetry (every ``b in neighbours`` of ``a`` is later given ``a``)
+        and ``register not in neighbours``.
+        """
+
+        self.add_node(register)
+        self._adjacency[register] |= neighbours
 
     def interferes(self, a: Register, b: Register) -> bool:
         return b in self._adjacency.get(a, set())
@@ -64,38 +82,57 @@ def build_interference_graph(
 ) -> InterferenceGraph:
     """Chaitin-style interference graph over the virtual registers of ``function``."""
 
-    graph = InterferenceGraph()
+    bits = liveness_bits(function, liveness)
+    index = bits.index
+    vreg_mask = bits.virtual_register_mask()
 
-    for param in function.params:
-        if isinstance(param, VirtualRegister):
-            graph.add_node(param)
-    for inst in function.instructions():
-        for reg in inst.registers():
-            if isinstance(reg, VirtualRegister):
-                graph.add_node(reg)
+    graph = InterferenceGraph()
+    # The liveness index already interned every parameter and every register
+    # appearing in an instruction, so its virtual-register mask enumerates
+    # the node set without re-walking the instructions.
+    for reg in index.iter_bits(vreg_mask):
+        graph.add_node(reg)
+
+    # Adjacency accumulates as bit -> neighbour mask; symmetrized and
+    # materialized into sets once, below.
+    adjacency: Dict[int, int] = {}
 
     for block in function.blocks:
-        live_after = live_at_each_instruction(function, liveness, block.label)
-        for index, inst in enumerate(block.instructions):
+        live_after = live_masks_at_each_instruction(function, bits, block.label)
+        for position, inst in enumerate(block.instructions):
             written = [r for r in inst.registers_written() if isinstance(r, VirtualRegister)]
             if not written:
                 continue
-            live = {r for r in live_after[index] if isinstance(r, VirtualRegister)}
+            live = live_after[position] & vreg_mask
             move_source = None
             if inst.opcode is Opcode.MOV and inst.uses and isinstance(inst.uses[0], VirtualRegister):
                 move_source = inst.uses[0]
-            for dst in written:
-                for other in live:
-                    if other == dst:
-                        continue
-                    if move_source is not None and other == move_source:
+            written_bits = [index.add(reg) for reg in written]
+            sibling_mask = 0
+            for bit in written_bits:
+                sibling_mask |= 1 << bit
+            for dst, dst_bit in zip(written, written_bits):
+                # Multiple results of one instruction interfere with each
+                # other; the destination never interferes with itself.
+                others = (live | sibling_mask) & ~(1 << dst_bit)
+                if move_source is not None:
+                    source_bit = 1 << index.add(move_source)
+                    if others & source_bit and move_source != dst:
                         # A move's source and destination do not interfere
                         # through the move itself.
                         graph.move_pairs.add((dst, move_source))
-                        continue
-                    graph.add_edge(dst, other)
-                # Multiple results of one instruction interfere with each other.
-                for sibling in written:
-                    if sibling != dst:
-                        graph.add_edge(dst, sibling)
+                        others &= ~source_bit
+                adjacency[dst_bit] = adjacency.get(dst_bit, 0) | others
+
+    # Symmetrize (edges were recorded from the defining side only), then
+    # materialize the masks into the public set-based adjacency.
+    for bit, mask in list(adjacency.items()):
+        remaining = mask
+        while remaining:
+            low = remaining & -remaining
+            other = low.bit_length() - 1
+            adjacency[other] = adjacency.get(other, 0) | (1 << bit)
+            remaining ^= low
+    for bit, mask in adjacency.items():
+        graph.add_neighbours(index.fact_at(bit), index.set_of(mask))
     return graph

@@ -5,6 +5,11 @@ virtual register: where it is live, whether it is live across a call (in
 which case a caller-saved register would be clobbered, so the range needs a
 callee-saved register or a stack slot), how often it is referenced, and its
 spill cost.
+
+Construction walks every instruction exactly once and keeps the per-point
+liveness as integer bitmasks (:mod:`repro.analysis.bitset`) rather than
+per-instruction ``set`` objects — registers are only materialized at the
+block granularity where they land in :attr:`LiveRange.blocks`.
 """
 
 from __future__ import annotations
@@ -12,7 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
-from repro.analysis.liveness import LivenessInfo, compute_liveness, live_at_each_instruction
+from repro.analysis.bitset import live_masks_at_each_instruction
+from repro.analysis.liveness import LivenessInfo, compute_liveness
 from repro.analysis.loops import compute_loop_forest
 from repro.ir.function import Function
 from repro.ir.values import Register, VirtualRegister
@@ -84,6 +90,9 @@ def compute_live_ranges(
     """Build live ranges for all virtual registers of ``function``."""
 
     liveness = compute_liveness(function)
+    bits = liveness.bits
+    index = bits.index
+    vreg_mask = bits.virtual_register_mask()
     loops = compute_loop_forest(function)
     loop_depth = {label: loops.loop_depth(label) for label in function.block_labels}
 
@@ -102,42 +111,35 @@ def compute_live_ranges(
     for block in function.blocks:
         label = block.label
         weight = _block_weight(function, label, profile, loop_depth)
-        live_after = live_at_each_instruction(function, liveness, label)
+        live_after = live_masks_at_each_instruction(function, bits, label)
 
         # Track block membership: anything live-in, live-out, defined or used.
-        present: Set[Register] = set()
-        present |= liveness.live_in[label] | liveness.live_out[label]
-        for index, inst in enumerate(block.instructions):
+        present = (bits.live_in[label] | bits.live_out[label]) & vreg_mask
+        for position, inst in enumerate(block.instructions):
+            written_mask = 0
             for reg in inst.registers_written():
+                written_mask |= 1 << index.add(reg)
                 if isinstance(reg, VirtualRegister):
                     live_range = range_for(reg)
                     live_range.definitions += 1
                     live_range.spill_cost += weight
-                    present.add(reg)
             for reg in inst.registers_read():
                 if isinstance(reg, VirtualRegister):
                     live_range = range_for(reg)
                     live_range.uses += 1
                     live_range.spill_cost += weight
-                    present.add(reg)
+                    present |= 1 << index.add(reg)
+            present |= written_mask & vreg_mask
             if inst.is_call():
-                for reg in live_after[index]:
-                    if isinstance(reg, VirtualRegister) and reg not in inst.registers_written():
-                        range_for(reg).crosses_call = True
+                crossing = live_after[position] & vreg_mask & ~written_mask
+                for reg in index.iter_bits(crossing):
+                    range_for(reg).crosses_call = True
             if inst.is_return():
                 for reg in inst.registers_read():
                     if isinstance(reg, VirtualRegister):
                         range_for(reg).used_by_return = True
 
-        for reg in present:
-            if isinstance(reg, VirtualRegister):
-                range_for(reg).blocks.add(label)
-
-    # Registers that are live through a block (not referenced there) still
-    # occupy it; add those blocks from the liveness solution.
-    for label in function.block_labels:
-        for reg in liveness.live_in[label] | liveness.live_out[label]:
-            if isinstance(reg, VirtualRegister):
-                range_for(reg).blocks.add(label)
+        for reg in index.iter_bits(present):
+            range_for(reg).blocks.add(label)
 
     return LiveRangeInfo(ranges=ranges, liveness=liveness)

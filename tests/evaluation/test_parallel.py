@@ -1,0 +1,183 @@
+"""Tests for the process-pool parallel evaluation engine.
+
+The central guarantee: sharding over workers changes *nothing* about the
+measurements.  Aggregation runs in generation order on both paths, so every
+float — overheads, counts — must be bit-identical between ``workers=1`` and
+``workers=N`` (only ``pass_seconds`` differ, being wall-clock readings).
+"""
+
+import pytest
+
+from repro.evaluation.parallel import (
+    ProcedureMeasurement,
+    _chunk_plan,
+    measure_procedure,
+    measure_procedure_groups,
+    resolve_workers,
+)
+from repro.evaluation.runner import run_benchmark, run_suite
+from repro.pipeline.compiler import compile_many
+from repro.spill.cost_models import JumpEdgeCostModel
+from repro.workloads.spec_like import build_suite
+
+#: A tiny but non-degenerate slice of the suite: gzip has cold procedures,
+#: gcc has jump-edge shapes, mcf is small.
+NAMES = ("gzip", "gcc", "mcf")
+SCALE = 0.1
+
+
+def _strip_timings(measurement):
+    """Everything deterministic about a suite measurement."""
+
+    return [
+        (
+            m.name,
+            m.num_procedures,
+            m.num_blocks,
+            m.num_instructions,
+            m.allocator_overhead,
+            dict(m.callee_saved_overhead),
+            sorted(m.pass_seconds),  # keys are deterministic, values are time
+        )
+        for m in measurement.benchmarks
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_measurement():
+    return run_suite(names=NAMES, scale=SCALE, workers=1)
+
+
+class TestResolveWorkers:
+    def test_none_means_all_cores(self):
+        assert resolve_workers(None) >= 1
+
+    def test_explicit_value_passes_through(self):
+        assert resolve_workers(3) == 3
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+
+class TestChunkPlan:
+    def test_covers_every_procedure_in_order(self):
+        plan = _chunk_plan([5, 1, 7], workers=2)
+        seen = {0: [], 1: [], 2: []}
+        for group, start, stop in plan:
+            assert start < stop
+            seen[group].extend(range(start, stop))
+        assert seen == {0: list(range(5)), 1: [0], 2: list(range(7))}
+
+    def test_empty_groups(self):
+        assert _chunk_plan([], workers=4) == []
+        assert _chunk_plan([0, 0], workers=4) == []
+
+    def test_chunks_shared_across_groups(self):
+        # 8 procedures over 2 workers * 4 chunks-per-worker => chunk size 1.
+        plan = _chunk_plan([4, 4], workers=2)
+        assert len(plan) == 8
+
+
+class TestParallelIdenticalToSerial:
+    def test_run_suite_workers4_bit_identical(self, serial_measurement):
+        parallel = run_suite(names=NAMES, scale=SCALE, workers=4)
+        assert _strip_timings(parallel) == _strip_timings(serial_measurement)
+
+    def test_run_benchmark_workers2_bit_identical(self):
+        benchmark = build_suite(names=["gzip"], scale=SCALE)[0]
+        serial = run_benchmark(benchmark, workers=1)
+        parallel = run_benchmark(benchmark, workers=2)
+        assert serial.allocator_overhead == parallel.allocator_overhead
+        assert serial.callee_saved_overhead == parallel.callee_saved_overhead
+        assert serial.num_procedures == parallel.num_procedures
+        assert serial.num_blocks == parallel.num_blocks
+        assert serial.num_instructions == parallel.num_instructions
+
+    def test_non_default_target_and_model(self):
+        serial = run_suite(
+            names=["mcf"], scale=SCALE, machine="micro",
+            cost_model="execution_count", workers=1,
+        )
+        parallel = run_suite(
+            names=["mcf"], scale=SCALE, machine="micro",
+            cost_model="execution_count", workers=2,
+        )
+        assert _strip_timings(serial) == _strip_timings(parallel)
+
+
+class TestSerialFallback:
+    def test_workers1_never_spawns(self, monkeypatch):
+        import repro.evaluation.parallel as parallel_mod
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not be reached
+            raise AssertionError("workers=1 must not create a process pool")
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", boom)
+        benchmark = build_suite(names=["mcf"], scale=SCALE)[0]
+        measurement = run_benchmark(benchmark, workers=1)
+        assert measurement.num_procedures == len(benchmark.procedures)
+
+    def test_non_picklable_cost_model_falls_back(self, monkeypatch):
+        import repro.evaluation.parallel as parallel_mod
+
+        class ClosureModel(JumpEdgeCostModel):
+            """A custom model carrying an unpicklable closure."""
+
+            name = "closure"
+
+            def __init__(self, machine=None):
+                super().__init__(machine)
+                self.tweak = lambda cost: cost  # lambdas do not pickle
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not be reached
+            raise AssertionError("non-picklable cost model must run serially")
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", boom)
+        measurement = run_suite(names=["mcf"], scale=SCALE, cost_model=ClosureModel(), workers=4)
+        assert measurement.benchmarks[0].num_procedures >= 1
+
+    def test_single_procedure_stays_serial(self, monkeypatch):
+        import repro.evaluation.parallel as parallel_mod
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not be reached
+            raise AssertionError("a single procedure must not spawn workers")
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", boom)
+        procedures = build_suite(names=["mcf"], scale=SCALE)[0].procedures[:1]
+        groups = measure_procedure_groups([procedures], workers=8)
+        assert len(groups) == 1 and len(groups[0]) == 1
+        assert isinstance(groups[0][0], ProcedureMeasurement)
+
+
+class TestCompileMany:
+    def test_parallel_results_in_input_order(self):
+        procedures = build_suite(names=["gzip"], scale=0.3)[0].procedures
+        serial = compile_many(procedures, workers=1)
+        parallel = compile_many(procedures, workers=2)
+        assert [c.name for c in serial] == [c.name for c in parallel]
+        for a, b in zip(serial, parallel):
+            assert a.allocator_overhead == b.allocator_overhead
+            for technique in a.outcomes:
+                assert a.callee_saved_overhead(technique) == b.callee_saved_overhead(technique)
+
+    def test_keep_procedures_retains_artifacts(self):
+        benchmark = build_suite(names=["mcf"], scale=SCALE)[0]
+        measurement = run_benchmark(benchmark, keep_procedures=True)
+        assert len(measurement.procedures) == measurement.num_procedures
+
+
+class TestMeasureProcedure:
+    def test_summary_matches_compiled_procedure(self):
+        from repro.pipeline.compiler import compile_procedure
+
+        procedure = build_suite(names=["mcf"], scale=SCALE)[0].procedures[0]
+        compiled = compile_procedure(procedure)
+        summary = measure_procedure(procedure)
+        assert summary.name == compiled.name
+        assert summary.allocator_overhead == compiled.allocator_overhead
+        assert summary.callee_saved_overhead == {
+            t: compiled.callee_saved_overhead(t) for t in ("baseline", "shrinkwrap", "optimized")
+        }

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs job (standard library only).
+
+Walks the repository's markdown files and verifies that every *relative*
+link and image target resolves to an existing file or directory (anchors are
+stripped; external ``http(s)://``/``mailto:`` links are skipped — CI must
+not depend on the network).  Exit status 1 lists every broken link.
+
+Usage::
+
+    python tools/check_links.py [FILE_OR_DIR ...]   # default: repo root
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Iterator, List, Tuple
+
+#: Inline links/images: [text](target) / ![alt](target); reference
+#: definitions: [label]: target
+_INLINE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_REFERENCE = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+#: Directories never scanned for markdown sources.
+_SKIP_DIRS = {".git", ".hypothesis", "__pycache__", ".pytest_cache", "node_modules"}
+
+
+def _strip_code_blocks(text: str) -> str:
+    """Remove fenced code blocks so example links are not checked."""
+
+    return re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+
+
+def iter_markdown_files(roots: List[str]) -> Iterator[str]:
+    for root in roots:
+        if os.path.isfile(root):
+            yield root
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = [d for d in dirnames if d not in _SKIP_DIRS]
+            for name in filenames:
+                if name.lower().endswith(".md"):
+                    yield os.path.join(dirpath, name)
+
+
+def check_file(path: str) -> List[Tuple[str, str]]:
+    """Return ``(target, reason)`` pairs for every broken link in ``path``."""
+
+    with open(path, "r", encoding="utf-8") as handle:
+        text = _strip_code_blocks(handle.read())
+
+    broken: List[Tuple[str, str]] = []
+    targets = _INLINE.findall(text) + _REFERENCE.findall(text)
+    base = os.path.dirname(os.path.abspath(path))
+    for target in targets:
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        local = target.split("#", 1)[0]
+        if not local:
+            continue
+        resolved = os.path.normpath(os.path.join(base, local))
+        if not os.path.exists(resolved):
+            broken.append((target, f"no such file: {resolved}"))
+    return broken
+
+
+def main(argv: List[str] = None) -> int:
+    roots = (argv if argv is not None else sys.argv[1:]) or [
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    ]
+    failures = 0
+    checked = 0
+    for path in sorted(iter_markdown_files(roots)):
+        checked += 1
+        for target, reason in check_file(path):
+            print(f"{path}: broken link {target!r} ({reason})", file=sys.stderr)
+            failures += 1
+    print(f"checked {checked} markdown file(s), {failures} broken link(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
