@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Cold-versus-warm compile-cache wall-clock for the evaluation suite.
+
+The harness behind ``BENCH_cache.json`` (see ``docs/performance.md``).  It
+measures three ``run_suite`` legs at a configurable scale:
+
+* **no-cache** — the uncached baseline (cache layer completely off);
+* **cold** — a *fresh, isolated temporary* cache directory, so every
+  procedure misses, is compiled, and is written back: the baseline plus the
+  store's write overhead;
+* **warm** — the same directory again: every procedure hits and no
+  placement work runs.
+
+Isolation matters: a reused cache directory would let hits contaminate the
+"cold" leg and overstate the cache (the same trap ``bench_parallel.py``
+avoids by never enabling the cache for its serial-vs-parallel legs).  The
+temp directory is deleted afterwards.
+
+Run from a checkout::
+
+    PYTHONPATH=src python benchmarks/bench_cache.py [--scale 0.5] [--workers 1]
+
+Results are appended-by-overwrite to ``BENCH_cache.json`` at the repo root
+(use ``--output`` to redirect).  The harness fails (exit 1) if warm
+measurements are not bit-identical to cold ones or if the warm leg reports
+no hits — those are correctness bugs, not performance numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.cache.store import CompileCache  # noqa: E402
+from repro.evaluation.runner import run_suite  # noqa: E402
+
+
+def _timed_run(scale, workers, cache):
+    start = time.perf_counter()
+    measurement = run_suite(scale=scale, workers=workers, cache=cache)
+    return measurement, time.perf_counter() - start
+
+
+def bench_cache(scale: float, workers: int, repeats: int) -> dict:
+    """No-cache baseline, then cold and warm legs on an isolated store."""
+
+    nocache_seconds = []
+    baseline = None
+    for _ in range(repeats):
+        baseline, seconds = _timed_run(scale, workers, cache=None)
+        nocache_seconds.append(seconds)
+
+    directory = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        # Cold: a fresh store — every lookup misses and writes back.
+        cache = CompileCache(directory)
+        cold, cold_seconds = _timed_run(scale, workers, cache)
+        cold_stats = {
+            "hits": cache.stats.hits,
+            "misses": cache.stats.misses,
+            "stores": cache.stats.stores,
+            "hit_rate": round(cache.stats.hit_rate, 4),
+        }
+
+        # Warm: a new store instance over the same directory, so hits come
+        # from disk (the cross-process case), best-of-N.
+        warm_seconds = []
+        warm = None
+        warm_stats = None
+        for _ in range(repeats):
+            warm_cache = CompileCache(directory)
+            warm, seconds = _timed_run(scale, workers, warm_cache)
+            warm_seconds.append(seconds)
+            warm_stats = {
+                "hits": warm_cache.stats.hits,
+                "misses": warm_cache.stats.misses,
+                "stores": warm_cache.stats.stores,
+                "hit_rate": round(warm_cache.stats.hit_rate, 4),
+            }
+        entries = CompileCache(directory).entry_count()
+        disk_bytes = CompileCache(directory).disk_bytes()
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+    best_nocache = min(nocache_seconds)
+    best_warm = min(warm_seconds)
+    return {
+        "scale": scale,
+        "workers": workers,
+        "nocache_seconds": round(best_nocache, 4),
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(best_warm, 4),
+        # >1 means the store's write overhead on a never-hit run; ~1 is ideal.
+        "cold_overhead": round(cold_seconds / best_nocache, 3),
+        # The headline: how much cheaper a repeat run is.
+        "warm_speedup": round(best_nocache / best_warm, 3),
+        "cold": cold_stats,
+        "warm": warm_stats,
+        "entries": entries,
+        "disk_bytes": disk_bytes,
+        "measurements_identical": (
+            baseline.deterministic_view()
+            == cold.deterministic_view()
+            == warm.deterministic_view()
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="suite scale (default 0.5)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker count for every leg (default 1: serial)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions for the no-cache and warm legs, "
+                             "best-of is reported (default 3; cold runs once by nature)")
+    parser.add_argument("--output", default=os.path.join(_REPO_ROOT, "BENCH_cache.json"),
+                        help="output JSON path (default: BENCH_cache.json at the repo root)")
+    args = parser.parse_args(argv)
+
+    print(f"cache: scale={args.scale} workers={args.workers} "
+          f"(no-cache vs cold vs warm, isolated temp store) ...")
+    result = bench_cache(args.scale, args.workers, args.repeats)
+    print(f"  no-cache {result['nocache_seconds']:.3f}s")
+    print(f"  cold     {result['cold_seconds']:.3f}s  "
+          f"overhead {result['cold_overhead']:.2f}x  "
+          f"({result['cold']['misses']} misses, {result['cold']['stores']} stores)")
+    print(f"  warm     {result['warm_seconds']:.3f}s  "
+          f"speedup {result['warm_speedup']:.2f}x  "
+          f"hit rate {result['warm']['hit_rate']:.0%}  "
+          f"identical={result['measurements_identical']}")
+    print(f"  store    {result['entries']} entries, {result['disk_bytes']} bytes")
+
+    payload = {
+        "schema": "bench_cache/v1",
+        "cpu_count": os.cpu_count(),
+        "cache": result,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    failed = False
+    if not result["measurements_identical"]:
+        print("ERROR: cached measurements differ from uncached", file=sys.stderr)
+        failed = True
+    if result["warm"]["hits"] == 0:
+        print("ERROR: warm run reported zero cache hits", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,38 +43,29 @@ from repro.evaluation.runner import run_suite  # noqa: E402
 from repro.workloads.generator import GeneratorConfig, generate_procedure  # noqa: E402
 
 
-def _deterministic_view(measurement):
-    """Everything about a suite measurement except the wall-clock timings."""
-
-    return [
-        (
-            m.name,
-            m.num_procedures,
-            m.num_blocks,
-            m.num_instructions,
-            m.allocator_overhead,
-            sorted(m.callee_saved_overhead.items()),
-        )
-        for m in measurement.benchmarks
-    ]
-
-
 def bench_suite(scale: float, workers: int, repeats: int) -> dict:
-    """Best-of-``repeats`` serial and parallel suite wall-clock."""
+    """Best-of-``repeats`` serial and parallel suite wall-clock.
+
+    Both legs run with the compile cache **off** (``cache=None``, also the
+    library default, and regardless of any ``$REPRO_CACHE_DIR`` in the
+    environment): a cache hit on the second leg would measure the store
+    instead of the engine and fake the speedup.  Cold/warm cache numbers
+    have their own isolated harness, ``bench_cache.py``.
+    """
 
     serial_seconds = []
     parallel_seconds = []
     serial = parallel = None
     for _ in range(repeats):
         start = time.perf_counter()
-        serial = run_suite(scale=scale, workers=1)
+        serial = run_suite(scale=scale, workers=1, cache=None)
         serial_seconds.append(time.perf_counter() - start)
 
         start = time.perf_counter()
-        parallel = run_suite(scale=scale, workers=workers)
+        parallel = run_suite(scale=scale, workers=workers, cache=None)
         parallel_seconds.append(time.perf_counter() - start)
 
-    identical = _deterministic_view(serial) == _deterministic_view(parallel)
+    identical = serial.deterministic_view() == parallel.deterministic_view()
     best_serial = min(serial_seconds)
     best_parallel = min(parallel_seconds)
     return {

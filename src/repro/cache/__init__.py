@@ -1,0 +1,33 @@
+"""Persistent, content-addressed caching of compile results.
+
+The pipeline is deterministic for a given (IR, profile, target, cost model,
+pipeline options) tuple, so repeated evaluation runs — the normal ablation
+workflow sweeps the same suite under many configurations sharing most
+per-procedure work — can reuse compile results across processes:
+
+* :mod:`repro.ir.fingerprint` defines *what* is addressed: canonical
+  fingerprints of functions/profiles and the composite cache key;
+* :mod:`repro.cache.store` defines *where* it lives: a versioned, sharded
+  on-disk store with atomic writes, an in-memory LRU front, and hit/miss
+  statistics.
+
+Every evaluation entry point accepts ``cache=`` (a :class:`CompileCache` or
+a directory path); the CLI exposes it as ``--cache-dir`` / ``--no-cache``
+plus a ``cache`` subcommand (``stats`` / ``clear``).
+"""
+
+from repro.cache.store import (
+    CACHE_VERSION,
+    CacheSpec,
+    CacheStats,
+    CompileCache,
+    resolve_cache,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "CacheSpec",
+    "CacheStats",
+    "CompileCache",
+    "resolve_cache",
+]

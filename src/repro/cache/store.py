@@ -1,0 +1,254 @@
+"""A versioned, content-addressed on-disk compile cache with an LRU front.
+
+The pipeline is deterministic, so a compile result is fully determined by
+its cache key (see :mod:`repro.ir.fingerprint`).  This store maps those keys
+to pickled values:
+
+* **On-disk layout** — ``<directory>/v<CACHE_VERSION>/<key[:2]>/<key>.pkl``.
+  Sharding by the first two hex digits of the key keeps directories small
+  (at most 256 shards) however many entries accumulate; the version
+  directory means a format bump simply strands old entries instead of
+  misreading them.
+* **Atomic writes** — every entry is written to a temporary file in its
+  shard directory and ``os.replace``-d into place, so a crashed or
+  concurrent writer can never leave a torn entry behind; concurrent writers
+  of the same key are idempotent (same key ⇒ same value).
+* **Corruption policy** — unreadable pickles, payloads of the wrong shape,
+  version or key mismatches are all *silently treated as misses* (counted
+  in ``stats.corrupt`` and best-effort deleted).  A cache must never turn a
+  bad disk into a compile failure.
+* **In-memory LRU** — the hottest ``memory_entries`` values are kept
+  deserialized in process, so repeated lookups inside one run skip the disk
+  entirely.  Values are treated as immutable by convention: the same object
+  may be handed to several callers.
+* **Stats** — hits, misses, stores, evictions and corrupt entries are
+  counted per :class:`CompileCache` instance (i.e. per process, not
+  persisted).
+
+The store is value-agnostic: it never imports the pipeline layers and will
+hold anything picklable.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, List, Optional, Union
+
+#: Bump when the on-disk payload format changes; old ``v<N>`` directories
+#: are ignored by newer stores and removed by :meth:`CompileCache.clear`.
+CACHE_VERSION = 1
+
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Per-process counters of one :class:`CompileCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 with no lookups)."""
+
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"hits={self.hits} misses={self.misses} hit_rate={self.hit_rate:.1%} "
+            f"stores={self.stores} evictions={self.evictions} corrupt={self.corrupt}"
+        )
+
+
+class CompileCache:
+    """Content-addressed key→value store: sharded disk tier + LRU memory tier."""
+
+    def __init__(
+        self, directory: Union[str, os.PathLike], memory_entries: int = 512
+    ):
+        self.directory = Path(directory)
+        self.root = self.directory / f"v{CACHE_VERSION}"
+        self.memory_entries = max(0, int(memory_entries))
+        self._memory: "OrderedDict[str, Any]" = OrderedDict()
+        self.stats = CacheStats()
+
+    # -- key→path mapping ---------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    # -- lookups ------------------------------------------------------------------
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """The cached value for ``key``, or ``default`` on a miss.
+
+        Any kind of disk trouble — missing file, unreadable pickle, version
+        or key mismatch — is a miss, never an exception.
+        """
+
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            return self._memory[key]
+        value = self._read_disk(key)
+        if value is _MISSING:
+            self.stats.misses += 1
+            return default
+        self.stats.hits += 1
+        self._remember(key, value)
+        return value
+
+    def _read_disk(self, key: str) -> Any:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            return _MISSING
+        except Exception:
+            # Torn write survivor, truncated disk, unpicklable garbage, a
+            # class that no longer exists ... all of it is just a miss.
+            self.stats.corrupt += 1
+            self._discard(path)
+            return _MISSING
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != CACHE_VERSION
+            or payload.get("key") != key
+            or "value" not in payload
+        ):
+            self.stats.corrupt += 1
+            self._discard(path)
+            return _MISSING
+        return payload["value"]
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def _remember(self, key: str, value: Any) -> None:
+        if self.memory_entries == 0:
+            return
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- stores -------------------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` (memory + atomically on disk).
+
+        Disk write failures are swallowed: a read-only or full disk degrades
+        the cache to memory-only instead of failing the compile.
+        """
+
+        self._remember(key, value)
+        path = self._path(key)
+        payload = pickle.dumps(
+            {"schema": CACHE_VERSION, "key": key, "value": value},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=".tmp-")
+        except OSError:
+            return
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        self.stats.stores += 1
+
+    # -- maintenance --------------------------------------------------------------
+
+    def _entry_files(self, all_versions: bool = False) -> Iterator[Path]:
+        roots: List[Path]
+        if all_versions:
+            if not self.directory.is_dir():
+                return
+            roots = sorted(p for p in self.directory.glob("v*") if p.is_dir())
+        else:
+            roots = [self.root]
+        for root in roots:
+            if root.is_dir():
+                yield from sorted(root.glob("*/*.pkl"))
+
+    def entry_count(self) -> int:
+        """Number of entries on disk for the current cache version."""
+
+        return sum(1 for _ in self._entry_files())
+
+    def disk_bytes(self) -> int:
+        """Total bytes of the current version's entries on disk."""
+
+        total = 0
+        for path in self._entry_files():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def clear(self) -> int:
+        """Delete every entry (all versions, stale ones included).
+
+        Returns the number of entry files removed; empty shard and version
+        directories are pruned best-effort.
+        """
+
+        removed = 0
+        for path in self._entry_files(all_versions=True):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        if self.directory.is_dir():
+            for version_dir in self.directory.glob("v*"):
+                for shard in sorted(version_dir.glob("*"), reverse=True):
+                    try:
+                        shard.rmdir()
+                    except OSError:
+                        pass
+                try:
+                    version_dir.rmdir()
+                except OSError:
+                    pass
+        self._memory.clear()
+        return removed
+
+
+#: What every ``cache=`` parameter accepts: a store, a directory, or nothing.
+CacheSpec = Union[CompileCache, str, os.PathLike, None]
+
+
+def resolve_cache(cache: CacheSpec) -> Optional[CompileCache]:
+    """Normalize a ``cache=`` argument: instance, directory path, or ``None``."""
+
+    if cache is None or isinstance(cache, CompileCache):
+        return cache
+    return CompileCache(cache)

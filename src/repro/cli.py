@@ -3,13 +3,24 @@
 Subcommands::
 
     repro-spill figure5   [--scale S] [--cost-model MODEL] [--target NAME] [--workers N]
+                          [--cache-dir DIR | --no-cache]
     repro-spill table1    [--scale S] [--cost-model MODEL] [--target NAME] [--workers N]
+                          [--cache-dir DIR | --no-cache]
     repro-spill table2    [--scale S] [--target NAME] [--workers N]
+                          [--cache-dir DIR | --no-cache]
     repro-spill ablation  {cost-model,regions} [--scale S] [--target NAME] [--workers N]
+                          [--cache-dir DIR | --no-cache]
     repro-spill example   [--cost-model MODEL]   # the paper's worked example
     repro-spill targets                          # list registered machine descriptions
     repro-spill place     FILE [--cost-model MODEL] [--target NAME]
                                                  # place spill code for a textual IR file
+    repro-spill cache     {stats,clear} --cache-dir DIR
+                                                 # inspect / empty a compile cache
+
+``--cache-dir`` (or the ``REPRO_CACHE_DIR`` environment variable) enables
+the persistent compile cache: repeated runs of an unchanged suite reuse
+every per-procedure result.  Cache statistics are printed to *stderr* so
+cached and uncached runs produce byte-identical stdout.
 
 (Also reachable as ``python -m repro ...``.)
 """
@@ -17,9 +28,11 @@ Subcommands::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
+from repro.cache.store import CACHE_VERSION, CompileCache
 from repro.evaluation.ablations import (
     cost_model_ablation,
     region_granularity_ablation,
@@ -29,6 +42,7 @@ from repro.evaluation.figure5 import figure5, render_figure5
 from repro.evaluation.runner import run_suite
 from repro.evaluation.table1 import render_table1, table1
 from repro.evaluation.table2 import render_table2, table2
+from repro.pipeline.timing import describe_timing
 from repro.target.registry import DEFAULT_TARGET, available_targets, get_target
 
 
@@ -60,6 +74,38 @@ def _add_workers(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cache(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=os.environ.get("REPRO_CACHE_DIR"),
+        metavar="DIR",
+        help=(
+            "persistent compile-cache directory (default: $REPRO_CACHE_DIR "
+            "if set, else caching is off)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the compile cache even when --cache-dir/$REPRO_CACHE_DIR is set",
+    )
+
+
+def _make_cache(args: argparse.Namespace) -> Optional[CompileCache]:
+    """The run's cache store, honouring ``--no-cache``; ``None`` = disabled."""
+
+    if getattr(args, "no_cache", False) or not getattr(args, "cache_dir", None):
+        return None
+    return CompileCache(args.cache_dir)
+
+
+def _report_cache(cache: Optional[CompileCache]) -> None:
+    """Print cache statistics to stderr (stdout must stay byte-identical)."""
+
+    if cache is not None:
+        print(f"[cache] {cache.stats.describe()}", file=sys.stderr)
+
+
 def _add_cost_model(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cost-model",
@@ -81,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cost_model(fig5)
     _add_target(fig5)
     _add_workers(fig5)
+    _add_cache(fig5)
     fig5.add_argument("--no-chart", action="store_true", help="omit the ASCII bar chart")
 
     tab1 = subparsers.add_parser("table1", help="regenerate the paper's Table 1")
@@ -88,21 +135,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cost_model(tab1)
     _add_target(tab1)
     _add_workers(tab1)
+    _add_cache(tab1)
 
     tab2 = subparsers.add_parser("table2", help="regenerate the paper's Table 2")
     _add_scale(tab2)
     _add_target(tab2)
     _add_workers(tab2)
+    _add_cache(tab2)
 
     ablation = subparsers.add_parser("ablation", help="run an ablation study")
     ablation.add_argument("study", choices=("cost-model", "regions"))
     _add_scale(ablation)
     _add_target(ablation)
     _add_workers(ablation)
+    _add_cache(ablation)
 
     subparsers.add_parser("example", help="walk through the paper's Figure 2/3 example")
 
     subparsers.add_parser("targets", help="list the registered machine descriptions")
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or empty a persistent compile cache"
+    )
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument(
+        "--cache-dir",
+        default=os.environ.get("REPRO_CACHE_DIR"),
+        metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR)",
+    )
 
     place = subparsers.add_parser(
         "place", help="run the placement pipeline on a textual IR file"
@@ -166,44 +227,92 @@ def _command_targets() -> int:
     return 0
 
 
+def _command_cache(action: str, cache_dir: Optional[str]) -> int:
+    if not cache_dir:
+        print(
+            "error: no cache directory (pass --cache-dir or set $REPRO_CACHE_DIR)",
+            file=sys.stderr,
+        )
+        return 2
+    cache = CompileCache(cache_dir)
+    if action == "stats":
+        print(f"cache directory : {cache.directory}")
+        print(f"store version   : v{CACHE_VERSION}")
+        print(f"entries         : {cache.entry_count()}")
+        print(f"disk bytes      : {cache.disk_bytes()}")
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} cache entries from {cache.directory}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "figure5":
+        cache = _make_cache(args)
         measurement = run_suite(
             scale=args.scale,
             cost_model=args.cost_model,
             machine=args.target,
             workers=args.workers,
+            cache=cache,
         )
         print(render_figure5(figure5(measurement), chart=not args.no_chart))
+        _report_cache(cache)
         return 0
     if args.command == "table1":
+        cache = _make_cache(args)
         measurement = run_suite(
             scale=args.scale,
             cost_model=args.cost_model,
             machine=args.target,
             workers=args.workers,
+            cache=cache,
         )
         print(render_table1(table1(measurement)))
+        _report_cache(cache)
         return 0
     if args.command == "table2":
-        measurement = run_suite(scale=args.scale, machine=args.target, workers=args.workers)
+        cache = _make_cache(args)
+        measurement = run_suite(
+            scale=args.scale, machine=args.target, workers=args.workers, cache=cache
+        )
+        # The timing note (CPU total vs wall-clock) goes to stderr with the
+        # cache stats: it reports this run's times, which must not break the
+        # byte-identity of cached stdout across runs.
         print(render_table2(table2(measurement)))
+        note = describe_timing(
+            measurement.cpu_seconds_total(),
+            measurement.wall_seconds,
+            measurement.workers_used,
+        )
+        if cache is not None and cache.stats.hits:
+            # Cache hits replay the *cold* run's pass timings (that keeps
+            # warm measurements bit-identical), so on a warm run the CPU
+            # total is not time spent by this run — say so.
+            note += (
+                f" [CPU total includes original compile timings replayed for "
+                f"{cache.stats.hits} cache hit(s), not spent by this run]"
+            )
+        print(note, file=sys.stderr)
+        _report_cache(cache)
         return 0
     if args.command == "ablation":
+        cache = _make_cache(args)
         if args.study == "cost-model":
             rows = cost_model_ablation(
-                scale=args.scale, machine=args.target, workers=args.workers
+                scale=args.scale, machine=args.target, workers=args.workers, cache=cache
             )
             print(render_ablation(rows, "jump-edge", "execution-count",
                                   "Ablation: cost model (materialized overhead)"))
         else:
             rows = region_granularity_ablation(
-                scale=args.scale, machine=args.target, workers=args.workers
+                scale=args.scale, machine=args.target, workers=args.workers, cache=cache
             )
             print(render_ablation(rows, "maximal", "canonical",
                                   "Ablation: SESE region granularity"))
+        _report_cache(cache)
         return 0
     if args.command == "example":
         return _command_example()
@@ -211,6 +320,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_targets()
     if args.command == "place":
         return _command_place(args.file, args.cost_model, args.target)
+    if args.command == "cache":
+        return _command_cache(args.action, args.cache_dir)
     return 1
 
 

@@ -18,7 +18,9 @@
 
 from repro.evaluation.parallel import (
     ProcedureMeasurement,
+    available_cpus,
     compile_procedures_parallel,
+    effective_workers,
     measure_procedure,
     measure_procedure_groups,
     resolve_workers,
@@ -42,7 +44,9 @@ __all__ = [
     "SuiteMeasurement",
     "Table1Row",
     "Table2Row",
+    "available_cpus",
     "compile_procedures_parallel",
+    "effective_workers",
     "cost_model_ablation",
     "figure5",
     "measure_procedure",

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.cache.store import CacheSpec
 from repro.evaluation.reporting import format_table
 from repro.evaluation.runner import SuiteMeasurement, run_suite
 from repro.pipeline.compiler import TargetSpec
@@ -53,24 +54,45 @@ def _rows(
 
 
 def cost_model_ablation(
-    scale: float = 1.0, machine: TargetSpec = None, workers: Optional[int] = 1
+    scale: float = 1.0,
+    machine: TargetSpec = None,
+    workers: Optional[int] = 1,
+    cache: CacheSpec = None,
 ) -> List[AblationRow]:
-    """Jump-edge model (A) versus execution-count model (B), materialized cost."""
+    """Jump-edge model (A) versus execution-count model (B), materialized cost.
 
-    jump_edge = run_suite(scale=scale, cost_model="jump_edge", machine=machine, workers=workers)
+    With ``cache``, the two legs share everything the cache key allows:
+    repeating the ablation (or running it after a plain suite run with the
+    same cache) reuses each configuration's per-procedure results.
+    """
+
+    jump_edge = run_suite(
+        scale=scale, cost_model="jump_edge", machine=machine, workers=workers, cache=cache
+    )
     execution = run_suite(
-        scale=scale, cost_model="execution_count", machine=machine, workers=workers
+        scale=scale,
+        cost_model="execution_count",
+        machine=machine,
+        workers=workers,
+        cache=cache,
     )
     return _rows(jump_edge, execution)
 
 
 def region_granularity_ablation(
-    scale: float = 1.0, machine: TargetSpec = None, workers: Optional[int] = 1
+    scale: float = 1.0,
+    machine: TargetSpec = None,
+    workers: Optional[int] = 1,
+    cache: CacheSpec = None,
 ) -> List[AblationRow]:
     """Maximal SESE regions (A) versus canonical SESE regions (B)."""
 
-    maximal = run_suite(scale=scale, maximal_regions=True, machine=machine, workers=workers)
-    canonical = run_suite(scale=scale, maximal_regions=False, machine=machine, workers=workers)
+    maximal = run_suite(
+        scale=scale, maximal_regions=True, machine=machine, workers=workers, cache=cache
+    )
+    canonical = run_suite(
+        scale=scale, maximal_regions=False, machine=machine, workers=workers, cache=cache
+    )
     return _rows(maximal, canonical)
 
 

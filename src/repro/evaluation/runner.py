@@ -2,20 +2,39 @@
 
 Both drivers accept a ``workers`` argument: ``workers=1`` (the default)
 compiles in-process, ``workers=N`` shards the procedures over an ``N``-worker
-process pool, and ``workers=None`` uses every core.  Aggregation always runs
-over the per-procedure summaries in generation order, so parallel and serial
-runs produce bit-identical measurements (only the wall-clock
-``pass_seconds`` differ — they are measurements of time, not of code).
+process pool, and ``workers=None`` uses every available core (serial on a
+single-core machine).  Aggregation always runs over the per-procedure
+summaries in generation order, so parallel and serial runs produce
+bit-identical measurements (only the timings differ — they are measurements
+of time, not of code).
+
+Both drivers also accept ``cache=`` (a
+:class:`~repro.cache.store.CompileCache` or a directory path): compile
+results are content-addressed, so repeated runs of an unchanged suite under
+an unchanged configuration reuse every per-procedure result and do no
+placement work at all.
+
+Timing accounting is two-dimensional and the two must not be conflated:
+
+* ``pass_seconds`` are **CPU-seconds**: per-pass durations measured in
+  whichever process compiled the procedure and *summed* across procedures —
+  under ``workers=N`` they add up concurrent work and can exceed elapsed
+  time by up to a factor of N;
+* ``wall_seconds`` is **elapsed wall-clock** of the driver call, measured
+  once in the parent.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.cache.store import CacheSpec
 from repro.evaluation.parallel import (
     ProcedureMeasurement,
     compile_procedures_parallel,
+    effective_workers,
     measure_procedure_groups,
     summarize_compiled,
 )
@@ -38,8 +57,16 @@ class BenchmarkMeasurement:
     callee_saved_overhead: Dict[str, float] = field(default_factory=dict)
     #: Allocator spill overhead (identical across techniques).
     allocator_overhead: float = 0.0
-    #: Accumulated pass wall-clock seconds keyed by pass name.
+    #: Accumulated per-pass **CPU-seconds**, keyed by pass name: durations
+    #: measured in whichever process compiled each procedure, summed over
+    #: procedures.  Under ``workers=N`` this adds up concurrent work — it is
+    #: *not* elapsed time (that is :attr:`wall_seconds`).
     pass_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Elapsed wall-clock of this benchmark's own :func:`run_benchmark`
+    #: call.  ``0.0`` inside a suite run, where benchmarks share one pool
+    #: and per-benchmark elapsed time is not separable (see
+    #: :attr:`SuiteMeasurement.wall_seconds`).
+    wall_seconds: float = 0.0
     num_procedures: int = 0
     num_blocks: int = 0
     num_instructions: int = 0
@@ -60,8 +87,31 @@ class BenchmarkMeasurement:
             return 1.0
         return self.total_overhead(technique) / baseline
 
+    def cpu_seconds_total(self) -> float:
+        """Total CPU-seconds across all passes (not elapsed time)."""
+
+        return sum(self.pass_seconds.values())
+
+    def deterministic_view(self):
+        """Every deterministic field, timings excluded.
+
+        The single projection the bit-identity checks compare — the
+        serial-vs-parallel and cold-vs-warm benchmarks and the cache tests
+        all use it, so adding a deterministic field here strengthens every
+        check at once.
+        """
+
+        return (
+            self.name,
+            self.num_procedures,
+            self.num_blocks,
+            self.num_instructions,
+            self.allocator_overhead,
+            sorted(self.callee_saved_overhead.items()),
+        )
+
     def incremental_seconds(self, technique: str) -> float:
-        """Table 2's quantity: pass time beyond the entry/exit placement pass."""
+        """Table 2's quantity: pass CPU time beyond the entry/exit pass."""
 
         return max(
             self.pass_seconds.get(technique, 0.0) - self.pass_seconds.get("baseline", 0.0),
@@ -75,6 +125,22 @@ class SuiteMeasurement:
 
     benchmarks: List[BenchmarkMeasurement] = field(default_factory=list)
     cost_model: str = "jump_edge"
+    #: Elapsed wall-clock of the whole suite run, measured in the parent.
+    wall_seconds: float = 0.0
+    #: The worker count the run actually used (1 = serial, including every
+    #: serial-fallback case: one requested, unpicklable cost model, batch
+    #: too small).  A fully cache-warm run skips the pool regardless.
+    workers_used: int = 1
+
+    def cpu_seconds_total(self) -> float:
+        """Summed pass CPU-seconds of every benchmark (not elapsed time)."""
+
+        return sum(m.cpu_seconds_total() for m in self.benchmarks)
+
+    def deterministic_view(self) -> List[tuple]:
+        """Per-benchmark deterministic fields (no timings) for bit-comparison."""
+
+        return [m.deterministic_view() for m in self.benchmarks]
 
     def benchmark(self, name: str) -> BenchmarkMeasurement:
         for measurement in self.benchmarks:
@@ -137,14 +203,18 @@ def run_benchmark(
     maximal_regions: bool = True,
     keep_procedures: bool = False,
     workers: Optional[int] = 1,
+    cache: CacheSpec = None,
 ) -> BenchmarkMeasurement:
     """Compile every procedure of one benchmark and aggregate the measurements.
 
     ``workers`` shards the procedures over a process pool (``None`` = all
-    cores); with ``keep_procedures`` the full compiled artifacts are pickled
-    back from the workers instead of compact summaries.
+    available cores); with ``keep_procedures`` the full compiled artifacts
+    are pickled back from the workers instead of compact summaries.
+    ``cache`` reuses per-procedure results across runs; only misses are
+    compiled.
     """
 
+    started = time.perf_counter()
     machine = resolve_target(machine)
     measurement = _new_measurement(benchmark, techniques)
     # Resolve the cost model once for the batch, then stream: procedures are
@@ -161,6 +231,7 @@ def run_benchmark(
             verify=verify,
             maximal_regions=maximal_regions,
             workers=workers,
+            cache=cache,
         )
         measurement.procedures.extend(compiled_procedures)
         summaries: List[ProcedureMeasurement] = [
@@ -175,8 +246,11 @@ def run_benchmark(
             verify=verify,
             maximal_regions=maximal_regions,
             workers=workers,
+            cache=cache,
         )[0]
-    return _aggregate(measurement, summaries, techniques)
+    _aggregate(measurement, summaries, techniques)
+    measurement.wall_seconds = time.perf_counter() - started
+    return measurement
 
 
 def run_suite(
@@ -187,6 +261,7 @@ def run_suite(
     verify: bool = True,
     maximal_regions: bool = True,
     workers: Optional[int] = 1,
+    cache: CacheSpec = None,
 ) -> SuiteMeasurement:
     """Generate and measure the whole SPEC-like suite (or a named subset).
 
@@ -197,16 +272,23 @@ def run_suite(
 
     ``workers`` shards at *procedure* granularity across the whole suite
     (one shared pool — small benchmarks ride along with large ones), with
-    ``None`` meaning every core.  Parallel runs return bit-identical
-    measurements to serial ones; see :mod:`repro.evaluation.parallel`.
+    ``None`` meaning every available core.  Parallel runs return
+    bit-identical measurements to serial ones; see
+    :mod:`repro.evaluation.parallel`.  ``cache`` makes repeat runs cheap:
+    unchanged procedures are answered from the store and never re-placed.
     """
 
+    started = time.perf_counter()
     machine = resolve_target(machine)
     suite = build_suite(names=names, scale=scale, machine=machine)
     model_name = cost_model if isinstance(cost_model, str) else cost_model.name
     if isinstance(cost_model, str):
         cost_model = make_cost_model(cost_model, machine)
-    measurement = SuiteMeasurement(cost_model=model_name)
+    total_procedures = sum(len(benchmark.procedures) for benchmark in suite)
+    measurement = SuiteMeasurement(
+        cost_model=model_name,
+        workers_used=effective_workers(workers, total_procedures, machine, cost_model),
+    )
     groups = measure_procedure_groups(
         [benchmark.procedures for benchmark in suite],
         machine=machine,
@@ -214,9 +296,11 @@ def run_suite(
         verify=verify,
         maximal_regions=maximal_regions,
         workers=workers,
+        cache=cache,
     )
     for benchmark, summaries in zip(suite, groups):
         measurement.benchmarks.append(
             _aggregate(_new_measurement(benchmark, TECHNIQUES), summaries, TECHNIQUES)
         )
+    measurement.wall_seconds = time.perf_counter() - started
     return measurement

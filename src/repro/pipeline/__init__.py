@@ -16,7 +16,7 @@ from repro.pipeline.compiler import (
     compile_procedure,
 )
 from repro.pipeline.passes import FunctionPass, PassManager, PassRecord
-from repro.pipeline.timing import Stopwatch
+from repro.pipeline.timing import Stopwatch, describe_timing
 
 __all__ = [
     "CompiledProcedure",
@@ -29,4 +29,5 @@ __all__ = [
     "TargetSpec",
     "compile_many",
     "compile_procedure",
+    "describe_timing",
 ]

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.cache.store import CacheSpec, resolve_cache
+from repro.ir.fingerprint import compile_options_token, procedure_cache_key
 from repro.ir.function import Function
 from repro.profiling.profile_data import EdgeProfile
 from repro.regalloc.allocator import AllocationResult, allocate_registers
@@ -38,6 +40,17 @@ TECHNIQUES = ("baseline", "shrinkwrap", "optimized")
 #: A target argument: a machine description, a registered target name, or
 #: ``None`` (the default target, the paper's PA-RISC-like machine).
 TargetSpec = Union[MachineDescription, str, None]
+
+
+def procedure_parts(
+    procedure: Union[GeneratedProcedure, Tuple[Function, EdgeProfile]]
+) -> Tuple[Function, EdgeProfile]:
+    """Normalize a procedure argument to its ``(function, profile)`` pair."""
+
+    if isinstance(procedure, GeneratedProcedure):
+        return procedure.function, procedure.profile
+    function, profile = procedure
+    return function, profile
 
 
 @dataclass
@@ -81,6 +94,7 @@ def compile_procedure(
     techniques: Sequence[str] = TECHNIQUES,
     verify: bool = True,
     maximal_regions: bool = True,
+    cache: CacheSpec = None,
 ) -> CompiledProcedure:
     """Run the full pipeline on one procedure.
 
@@ -101,15 +115,31 @@ def compile_procedure(
         Check every produced placement against the callee-saved convention.
     maximal_regions:
         Passed to the hierarchical algorithm (``False`` only for ablations).
+    cache:
+        A :class:`~repro.cache.store.CompileCache` (or a directory path) to
+        consult before compiling and fill afterwards.  The pipeline is
+        deterministic, so a cached result is bit-identical to a fresh
+        compile; ``pass_seconds`` on a hit are the timings of the original
+        (cold) compile.  Custom cost models without a stable
+        ``cache_identity()`` bypass the cache.
     """
 
-    if isinstance(procedure, GeneratedProcedure):
-        function, profile = procedure.function, procedure.profile
-    else:
-        function, profile = procedure
+    function, profile = procedure_parts(procedure)
     machine = resolve_target(machine)
     if isinstance(cost_model, str):
         cost_model = make_cost_model(cost_model, machine)
+
+    store = resolve_cache(cache)
+    key = None
+    if store is not None:
+        token = compile_options_token(
+            machine, cost_model, techniques, verify, maximal_regions
+        )
+        if token is not None:
+            key = procedure_cache_key(function, profile, token, kind="compile")
+            cached = store.get(key)
+            if cached is not None:
+                return cached
 
     stopwatch = Stopwatch()
     with stopwatch.measure("regalloc"):
@@ -151,6 +181,8 @@ def compile_procedure(
         )
 
     result.pass_seconds = dict(stopwatch.durations)
+    if key is not None:
+        store.put(key, result)
     return result
 
 
@@ -162,6 +194,7 @@ def compile_many(
     verify: bool = True,
     maximal_regions: bool = True,
     workers: Optional[int] = 1,
+    cache: CacheSpec = None,
 ) -> List[CompiledProcedure]:
     """Compile a batch of procedures, amortizing the per-procedure setup.
 
@@ -174,6 +207,10 @@ def compile_many(
     granularity (``None`` = every core); results come back in input order
     regardless of worker scheduling.  ``workers=1``, a single procedure, or
     a non-picklable cost model / machine fall back to compiling in-process.
+
+    ``cache`` short-circuits already-compiled procedures *before* the batch
+    is sharded, so only cache misses reach the pool; the parent process
+    writes miss results back through the same deterministic merge.
     """
 
     machine = resolve_target(machine)
@@ -196,4 +233,5 @@ def compile_many(
         verify=verify,
         maximal_regions=maximal_regions,
         workers=workers,
+        cache=cache,
     )

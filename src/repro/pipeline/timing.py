@@ -1,4 +1,19 @@
-"""Wall-clock timing helpers used by the compile pipeline and Table 2."""
+"""Timing helpers used by the compile pipeline and Table 2.
+
+Two distinct quantities flow through the evaluation and must never be
+conflated:
+
+* A :class:`Stopwatch` measures durations *in the process doing the work*.
+  When per-procedure stopwatches are summed across a worker pool the result
+  is **CPU time** — concurrent work adds up, so under ``workers=N`` the sum
+  can exceed elapsed time by up to a factor of N.
+* **Wall-clock elapsed** time is measured once, in the parent, around the
+  whole run.
+
+:func:`describe_timing` renders both side by side; the reporting layer uses
+it so ``--workers N`` runs never pass summed worker-CPU-seconds off as
+elapsed compile time.
+"""
 
 from __future__ import annotations
 
@@ -8,9 +23,18 @@ from typing import Dict, Iterator, Optional
 from contextlib import contextmanager
 
 
+def describe_timing(cpu_seconds: float, wall_seconds: float, workers: int = 1) -> str:
+    """One honest line: pass CPU total vs. parent-measured wall-clock."""
+
+    return (
+        f"pass CPU total: {cpu_seconds:.4f}s (summed across workers); "
+        f"wall-clock elapsed: {wall_seconds:.4f}s (workers={workers})"
+    )
+
+
 @dataclass
 class Stopwatch:
-    """Accumulates named wall-clock durations."""
+    """Accumulates named durations, as seen by the measuring process."""
 
     durations: Dict[str, float] = field(default_factory=dict)
 

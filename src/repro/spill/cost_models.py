@@ -78,6 +78,37 @@ class CostModel(abc.ABC):
 
         return self._save_weight if location.is_save() else self._restore_weight
 
+    def cache_identity(self) -> Optional[str]:
+        """Stable identity for compile-cache keys, or ``None`` for "unknown".
+
+        The default is ``None``: a custom subclass may close over arbitrary
+        state the cache cannot see, so it must *bypass* caching rather than
+        risk aliasing a different model.  Subclasses whose behaviour is fully
+        determined by their class and cost weights should return
+        :meth:`_weighted_identity`.
+        """
+
+        return None
+
+    def _weighted_identity(self) -> str:
+        """``class|name|save|restore|jump`` with bit-exact (hex) weights.
+
+        The concrete class is part of the identity: a subclass that tweaks
+        ``location_cost`` but inherits ``cache_identity`` must never alias
+        its parent's cache entries, even with identical name and weights.
+        """
+
+        cls = type(self)
+        return "|".join(
+            (
+                f"{cls.__module__}.{cls.__qualname__}",
+                self.name,
+                self._save_weight.hex(),
+                self._restore_weight.hex(),
+                self._jump_weight.hex(),
+            )
+        )
+
     @abc.abstractmethod
     def location_cost(
         self,
@@ -136,6 +167,9 @@ class ExecutionCountCostModel(CostModel):
 
     name = "execution_count"
 
+    def cache_identity(self) -> Optional[str]:
+        return self._weighted_identity()
+
     def location_cost(
         self,
         function: Function,
@@ -150,6 +184,9 @@ class JumpEdgeCostModel(CostModel):
     """Execution-count cost plus the cost of jump instructions in jump blocks."""
 
     name = "jump_edge"
+
+    def cache_identity(self) -> Optional[str]:
+        return self._weighted_identity()
 
     def location_cost(
         self,

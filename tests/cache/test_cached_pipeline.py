@@ -1,0 +1,205 @@
+"""The cache's acceptance property: cached ≡ fresh, and warm runs do no work.
+
+* a cached compile result is **bit-identical** to a fresh compile —
+  property-tested across targets, techniques and cost models;
+* a warm suite run performs **zero spill-placement work**: every placement
+  entry point is monkeypatched to explode, and the run still succeeds
+  entirely from the store;
+* the parallel engine resolves hits before sharding and writes worker
+  results back, so cache + workers compose.
+"""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.store import CompileCache
+from repro.evaluation.runner import run_suite
+from repro.pipeline.compiler import TECHNIQUES, compile_many, compile_procedure
+from repro.spill.cost_models import JumpEdgeCostModel
+from repro.target.registry import available_targets
+from repro.workloads.spec_like import build_suite
+
+from tests.conftest import generated_procedures
+
+NAMES = ("gzip", "mcf")
+SCALE = 0.1
+
+
+def _compiled_view(compiled):
+    """Every deterministic field of a compiled procedure, for bit-comparison.
+
+    ``pass_seconds`` is intentionally included when comparing cached against
+    cached (the store returns the cold run's timings verbatim) but must be
+    excluded when comparing cached against *fresh* — a fresh compile times
+    itself anew.
+    """
+
+    from repro.ir.printer import print_function
+
+    return (
+        compiled.name,
+        print_function(compiled.allocation.function),
+        compiled.allocator_overhead,
+        {t: compiled.callee_saved_overhead(t) for t in compiled.outcomes},
+        {
+            t: sorted(
+                (str(loc) for loc in outcome.placement.locations()),
+            )
+            for t, outcome in compiled.outcomes.items()
+        },
+        {
+            t: (
+                outcome.overhead.save_count,
+                outcome.overhead.restore_count,
+                outcome.overhead.jump_count,
+                outcome.overhead.num_jump_blocks,
+            )
+            for t, outcome in compiled.outcomes.items()
+        },
+    )
+
+
+def _suite_view(measurement):
+    """Everything deterministic about a suite measurement (not wall-clock)."""
+
+    return measurement.deterministic_view()
+
+
+class TestCachedEqualsFresh:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        procedure=generated_procedures(max_segments=4),
+        target=st.sampled_from(available_targets()),
+        cost_model=st.sampled_from(["jump_edge", "execution_count"]),
+    )
+    def test_cached_compile_bit_identical_to_fresh(
+        self, tmp_path_factory, procedure, target, cost_model
+    ):
+        """The acceptance property, across targets × cost models."""
+
+        directory = tmp_path_factory.mktemp("cache")
+        cache = CompileCache(directory)
+        fresh = compile_procedure(
+            procedure, machine=target, cost_model=cost_model, cache=cache
+        )
+        cached = compile_procedure(
+            procedure, machine=target, cost_model=cost_model, cache=cache
+        )
+        assert cache.stats.hits == 1
+        assert _compiled_view(cached) == _compiled_view(fresh)
+        # A second store instance exercises the disk tier (pickle round trip).
+        reread = compile_procedure(
+            procedure,
+            machine=target,
+            cost_model=cost_model,
+            cache=CompileCache(directory),
+        )
+        assert _compiled_view(reread) == _compiled_view(fresh)
+
+    def test_technique_subset_does_not_alias_full_compile(self, tmp_path):
+        procedure = build_suite(names=["mcf"], scale=SCALE)[0].procedures[0]
+        cache = CompileCache(tmp_path)
+        full = compile_procedure(procedure, cache=cache)
+        subset = compile_procedure(procedure, techniques=("baseline",), cache=cache)
+        assert set(full.outcomes) == set(TECHNIQUES)
+        assert set(subset.outcomes) == {"baseline"}
+
+    def test_warm_suite_bit_identical_to_cold(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        cold = run_suite(names=NAMES, scale=SCALE, cache=cache)
+        warm = run_suite(names=NAMES, scale=SCALE, cache=cache)
+        assert _suite_view(warm) == _suite_view(cold)
+        assert cache.stats.hits > 0
+
+    def test_uncached_run_matches_cached_run(self, tmp_path):
+        plain = run_suite(names=NAMES, scale=SCALE)
+        cached = run_suite(names=NAMES, scale=SCALE, cache=CompileCache(tmp_path))
+        assert _suite_view(plain) == _suite_view(cached)
+
+
+class TestWarmRunsDoNoWork:
+    def test_warm_suite_performs_zero_spill_placement_work(self, tmp_path, monkeypatch):
+        """The ISSUE's acceptance criterion: no placement recomputation."""
+
+        cache = CompileCache(tmp_path)
+        cold = run_suite(names=NAMES, scale=SCALE, cache=cache)
+
+        import repro.pipeline.compiler as compiler_mod
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not be reached
+            raise AssertionError("warm run recomputed a spill placement")
+
+        monkeypatch.setattr(compiler_mod, "place_entry_exit", boom)
+        monkeypatch.setattr(compiler_mod, "place_shrink_wrap", boom)
+        monkeypatch.setattr(compiler_mod, "place_hierarchical", boom)
+        monkeypatch.setattr(compiler_mod, "allocate_registers", boom)
+
+        warm = run_suite(names=NAMES, scale=SCALE, cache=cache)
+        assert _suite_view(warm) == _suite_view(cold)
+
+    def test_changed_configuration_misses(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        run_suite(names=["mcf"], scale=SCALE, cache=cache)
+        hits_before = cache.stats.hits
+        run_suite(names=["mcf"], scale=SCALE, cost_model="execution_count", cache=cache)
+        # A different cost model shares nothing with the first run.
+        assert cache.stats.hits == hits_before
+
+
+class TestCacheAndWorkersCompose:
+    def test_parallel_cold_then_serial_warm(self, tmp_path, monkeypatch):
+        cache = CompileCache(tmp_path)
+        cold = run_suite(names=NAMES, scale=SCALE, workers=2, cache=cache)
+
+        import repro.evaluation.parallel as parallel_mod
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not be reached
+            raise AssertionError("a fully warm run must not touch the pool")
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", boom)
+        warm = run_suite(names=NAMES, scale=SCALE, workers=2, cache=cache)
+        assert _suite_view(warm) == _suite_view(cold)
+
+    def test_partial_warm_shards_only_misses(self, tmp_path):
+        benchmark = build_suite(names=["gzip"], scale=0.2)[0]
+        cache = CompileCache(tmp_path)
+        half = benchmark.procedures[: len(benchmark.procedures) // 2]
+        compile_many(half, cache=cache)
+        stores_before = cache.stats.stores
+        full = compile_many(benchmark.procedures, workers=2, cache=cache)
+        assert [c.name for c in full] == [p.name for p in benchmark.procedures]
+        # Only the uncached half was compiled and written back.
+        assert cache.stats.stores == stores_before + (
+            len(benchmark.procedures) - len(half)
+        )
+
+    def test_compile_many_warm_results_in_input_order(self, tmp_path):
+        procedures = build_suite(names=["mcf"], scale=0.2)[0].procedures
+        cache = CompileCache(tmp_path)
+        cold = compile_many(procedures, cache=cache)
+        warm = compile_many(procedures, workers=2, cache=cache)
+        assert [_compiled_view(c) for c in cold] == [_compiled_view(w) for w in warm]
+
+
+class TestCacheBypass:
+    def test_identity_less_cost_model_bypasses_cache(self, tmp_path):
+        class Anonymous(JumpEdgeCostModel):
+            """Behaviourally jump-edge, but declines a cache identity."""
+
+            name = "anonymous"
+
+            def cache_identity(self):
+                return None
+
+        cache = CompileCache(tmp_path)
+        procedure = build_suite(names=["mcf"], scale=SCALE)[0].procedures[0]
+        compile_procedure(procedure, cost_model=Anonymous(), cache=cache)
+        compile_procedure(procedure, cost_model=Anonymous(), cache=cache)
+        assert cache.stats.lookups == 0 and cache.stats.stores == 0
+
+    def test_no_cache_is_the_default(self, tmp_path):
+        procedure = build_suite(names=["mcf"], scale=SCALE)[0].procedures[0]
+        compiled = compile_procedure(procedure)
+        assert compiled.name == procedure.name
+        assert CompileCache(tmp_path).entry_count() == 0

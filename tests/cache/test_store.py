@@ -1,0 +1,148 @@
+"""Tests for the on-disk compile cache store."""
+
+import pickle
+
+import pytest
+
+from repro.cache.store import CACHE_VERSION, CompileCache, resolve_cache
+
+
+KEY = "ab" + "0" * 62  # hex-digest-shaped key, shard "ab"
+OTHER = "cd" + "1" * 62
+
+
+class TestRoundTrip:
+    def test_get_miss_returns_default(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        assert cache.get(KEY) is None
+        assert cache.get(KEY, default="sentinel") == "sentinel"
+        assert cache.stats.misses == 2 and cache.stats.hits == 0
+
+    def test_put_then_get(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        cache.put(KEY, {"value": 42})
+        assert cache.get(KEY) == {"value": 42}
+        assert cache.stats.hits == 1 and cache.stats.stores == 1
+
+    def test_persists_across_instances(self, tmp_path):
+        CompileCache(tmp_path).put(KEY, [1.5, 2.5])
+        fresh = CompileCache(tmp_path)
+        assert fresh.get(KEY) == [1.5, 2.5]
+        assert fresh.stats.hits == 1  # served from disk, not memory
+
+    def test_sharded_layout_and_version_directory(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        cache.put(KEY, "x")
+        path = tmp_path / f"v{CACHE_VERSION}" / KEY[:2] / f"{KEY}.pkl"
+        assert path.is_file()
+
+    def test_entry_count_and_disk_bytes(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        cache.put(KEY, "x")
+        cache.put(OTHER, "y")
+        assert cache.entry_count() == 2
+        assert cache.disk_bytes() > 0
+
+
+class TestCorruption:
+    def test_garbage_file_is_a_miss(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        cache.put(KEY, "good")
+        path = tmp_path / f"v{CACHE_VERSION}" / KEY[:2] / f"{KEY}.pkl"
+        path.write_bytes(b"this is not a pickle")
+        fresh = CompileCache(tmp_path)
+        assert fresh.get(KEY) is None
+        assert fresh.stats.corrupt == 1
+        assert not path.exists()  # corrupt entries are evicted from disk
+
+    def test_wrong_schema_version_is_a_miss(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        path = cache._path(KEY)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(
+            pickle.dumps({"schema": CACHE_VERSION + 1, "key": KEY, "value": "stale"})
+        )
+        assert cache.get(KEY) is None
+        assert cache.stats.corrupt == 1
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        path = cache._path(KEY)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(
+            pickle.dumps({"schema": CACHE_VERSION, "key": OTHER, "value": "aliased"})
+        )
+        assert cache.get(KEY) is None
+        assert cache.stats.corrupt == 1
+
+    def test_payload_of_wrong_shape_is_a_miss(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        path = cache._path(KEY)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps(["not", "a", "dict"]))
+        assert cache.get(KEY) is None
+        assert cache.stats.corrupt == 1
+
+
+class TestMemoryTier:
+    def test_lru_eviction_counts(self, tmp_path):
+        cache = CompileCache(tmp_path, memory_entries=2)
+        keys = [f"{i:02x}" + "0" * 62 for i in range(3)]
+        for key in keys:
+            cache.put(key, key)
+        assert cache.stats.evictions == 1
+        # The evicted entry is still served — from disk.
+        assert cache.get(keys[0]) == keys[0]
+
+    def test_memory_zero_disables_the_front(self, tmp_path):
+        cache = CompileCache(tmp_path, memory_entries=0)
+        cache.put(KEY, "x")
+        assert cache._memory == {}
+        assert cache.get(KEY) == "x"  # disk still answers
+
+
+class TestClear:
+    def test_clear_removes_all_entries(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        cache.put(KEY, "x")
+        cache.put(OTHER, "y")
+        assert cache.clear() == 2
+        assert cache.entry_count() == 0
+        assert cache.get(KEY) is None
+
+    def test_clear_removes_stale_version_directories(self, tmp_path):
+        stale = tmp_path / "v0" / "ab"
+        stale.mkdir(parents=True)
+        (stale / "old.pkl").write_bytes(b"stale")
+        cache = CompileCache(tmp_path)
+        cache.put(KEY, "x")
+        assert cache.clear() == 2
+        assert not (tmp_path / "v0").exists()
+
+    def test_clear_on_empty_directory(self, tmp_path):
+        assert CompileCache(tmp_path / "never-created").clear() == 0
+
+
+class TestStats:
+    def test_hit_rate(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        cache.put(KEY, "x")
+        cache.get(KEY)
+        cache.get(OTHER)
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+        assert "hit_rate=50.0%" in cache.stats.describe()
+
+
+class TestResolveCache:
+    def test_none_passes_through(self):
+        assert resolve_cache(None) is None
+
+    def test_instance_passes_through(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        assert resolve_cache(cache) is cache
+
+    def test_path_builds_a_store(self, tmp_path):
+        cache = resolve_cache(tmp_path / "cache")
+        assert isinstance(cache, CompileCache)
+        cache.put(KEY, "x")
+        assert cache.get(KEY) == "x"

@@ -44,6 +44,22 @@ class TestRunner:
             assert benchmark.pass_seconds.get("optimized", 0.0) >= 0.0
             assert benchmark.incremental_seconds("optimized") >= 0.0
 
+    def test_wall_clock_and_cpu_totals_tracked_separately(self, measurement):
+        """CPU-seconds are summed worker time; wall-clock is parent-measured.
+
+        A serial run must satisfy cpu <= wall (the passes are a subset of the
+        run), and the measurement must record which worker count produced it.
+        """
+
+        assert measurement.wall_seconds > 0.0
+        assert measurement.workers_used == 1
+        assert 0.0 < measurement.cpu_seconds_total() <= measurement.wall_seconds
+
+    def test_run_benchmark_records_its_own_wall_clock(self):
+        result = run_benchmark(build_benchmark(spec_by_name("mcf"), scale=0.15))
+        assert result.wall_seconds > 0.0
+        assert result.cpu_seconds_total() <= result.wall_seconds
+
     def test_average_ratio(self, measurement):
         average = measurement.average_ratio("optimized")
         assert 0.0 < average <= 1.0 + 1e-9
@@ -117,6 +133,19 @@ class TestTable2:
         text = render_table2(table2(measurement))
         assert "incremental" in text
         assert "Average" in text
+
+    def test_render_labels_pass_times_as_cpu(self, measurement):
+        """Regression: summed worker durations must not be passed off as
+        elapsed time — the columns say CPU and the note reports both."""
+
+        text = render_table2(table2(measurement), measurement)
+        assert "CPU (s)" in text
+        assert "pass CPU total" in text
+        assert "wall-clock elapsed" in text
+        assert f"workers={measurement.workers_used}" in text
+
+    def test_render_without_measurement_omits_the_note(self, measurement):
+        assert "wall-clock elapsed" not in render_table2(table2(measurement))
 
 
 class TestReportingHelpers:

@@ -11,6 +11,7 @@ import pytest
 from repro.evaluation.parallel import (
     ProcedureMeasurement,
     _chunk_plan,
+    effective_workers,
     measure_procedure,
     measure_procedure_groups,
     resolve_workers,
@@ -60,6 +61,98 @@ class TestResolveWorkers:
             resolve_workers(0)
         with pytest.raises(ValueError):
             resolve_workers(-2)
+
+    def test_auto_mode_falls_back_to_serial_on_single_core(self, monkeypatch):
+        """Regression: a pool on one core is pure overhead (0.89x in
+        BENCH_parallel.json), so ``workers=None`` must resolve to serial."""
+
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert resolve_workers(None) == 1
+
+    def test_auto_mode_handles_unknown_cpu_count(self, monkeypatch):
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert resolve_workers(None) == 1
+
+    def test_auto_mode_respects_affinity_mask(self, monkeypatch):
+        """cpu_count reports the *host*; a 1-CPU affinity mask (container
+        quota) must still mean serial."""
+
+        import os
+        import repro.evaluation.parallel as parallel_mod
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        if hasattr(os, "sched_getaffinity"):
+            monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0})
+            assert parallel_mod.available_cpus() == 1
+            assert resolve_workers(None) == 1
+
+    def test_auto_mode_never_spawns_a_pool_on_single_core(self, monkeypatch):
+        import os
+        import repro.evaluation.parallel as parallel_mod
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        if hasattr(os, "sched_getaffinity"):
+            monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0})
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not be reached
+            raise AssertionError("auto mode on a single core must stay serial")
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", boom)
+        benchmark = build_suite(names=["mcf"], scale=SCALE)[0]
+        measurement = run_benchmark(benchmark, workers=None)
+        assert measurement.num_procedures == len(benchmark.procedures)
+
+    def test_explicit_workers_still_shard_on_single_core(self, monkeypatch):
+        """An explicit ``--workers 2`` is honoured even when auto would not."""
+
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert resolve_workers(2) == 2
+
+
+class TestEffectiveWorkers:
+    """``workers_used`` must report what actually ran, not the request."""
+
+    def test_serial_fallbacks_report_one(self):
+        assert effective_workers(1, total=100) == 1
+        assert effective_workers(8, total=1) == 1  # batch too small to shard
+
+    def test_unpicklable_cost_model_reports_one(self):
+        class ClosureModel(JumpEdgeCostModel):
+            name = "closure"
+
+            def __init__(self, machine=None):
+                super().__init__(machine)
+                self.tweak = lambda cost: cost
+
+        assert effective_workers(8, total=100, cost_model=ClosureModel()) == 1
+
+    def test_shardable_batch_reports_the_pool_size(self):
+        assert effective_workers(4, total=100) == 4
+
+    def test_pool_size_capped_by_batch_size(self):
+        """A 3-procedure batch never fills an 8-worker pool — the executor
+        caps at the chunk count, and the honest number must match."""
+
+        assert effective_workers(8, total=3) == 3
+
+    def test_run_suite_records_actual_not_requested_workers(self):
+        class ClosureModel(JumpEdgeCostModel):
+            name = "closure"
+
+            def __init__(self, machine=None):
+                super().__init__(machine)
+                self.tweak = lambda cost: cost
+
+        measurement = run_suite(
+            names=["mcf"], scale=SCALE, cost_model=ClosureModel(), workers=8
+        )
+        assert measurement.workers_used == 1
 
 
 class TestChunkPlan:

@@ -12,6 +12,7 @@ procedures and register allocations:
 from hypothesis import given, settings
 
 from repro.regalloc.allocator import allocate_registers
+from repro.spill.cost_models import make_cost_model
 from repro.spill.entry_exit import place_entry_exit
 from repro.spill.hierarchical import place_hierarchical
 from repro.spill.overhead import placement_dynamic_overhead
@@ -125,6 +126,39 @@ def test_hierarchical_never_worse_on_every_registered_target(registered_machine,
     baseline = total(place_entry_exit(function, usage))
     optimized = total(
         place_hierarchical(function, usage, profile, machine=registered_machine).placement
+    )
+    assert optimized <= baseline + 1e-6 * max(1.0, baseline)
+
+
+@given(generated_procedures(max_segments=4))
+@settings(max_examples=8)
+def test_execution_count_model_never_worse_than_entry_exit_on_any_target(
+    registered_machine, procedure
+):
+    """The paper's Section 4 optimality claim, measured *under the model*.
+
+    With the execution-count cost model the hierarchical algorithm is
+    optimal, so its total placement cost — every save/restore location
+    charged its edge's execution count times the target's instruction
+    weight, exactly what the model minimizes — can never exceed plain
+    entry/exit placement's, on any registered machine description.
+    """
+
+    function, usage = _allocate(procedure, registered_machine)
+    profile = procedure.profile
+    model = make_cost_model("execution_count", registered_machine)
+
+    def model_cost(placement):
+        return sum(
+            model.location_cost(function, profile, location)
+            for location in placement.locations()
+        )
+
+    baseline = model_cost(place_entry_exit(function, usage))
+    optimized = model_cost(
+        place_hierarchical(
+            function, usage, profile, cost_model=model, machine=registered_machine
+        ).placement
     )
     assert optimized <= baseline + 1e-6 * max(1.0, baseline)
 

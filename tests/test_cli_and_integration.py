@@ -74,6 +74,72 @@ class TestCli:
             main(["table1", "--target", "vax"])
 
 
+class TestCliCache:
+    def test_cached_rerun_stdout_byte_identical_with_hits(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["table1", "--scale", "0.1", "--cache-dir", cache_dir]) == 0
+        first = capsys.readouterr()
+        assert main(["table1", "--scale", "0.1", "--cache-dir", cache_dir]) == 0
+        second = capsys.readouterr()
+        # Stats go to stderr precisely so cached stdout stays byte-identical.
+        assert second.out == first.out
+        assert "[cache]" in second.err
+        assert "hits=0 " not in second.err  # the warm run must report hits
+
+    def test_no_cache_flag_disables_the_store(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(
+            ["table1", "--scale", "0.1", "--cache-dir", cache_dir, "--no-cache"]
+        ) == 0
+        output = capsys.readouterr()
+        assert "[cache]" not in output.err
+        assert not (tmp_path / "cache").exists()
+
+    def test_cache_dir_from_environment(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        assert main(["table1", "--scale", "0.1"]) == 0
+        assert "[cache]" in capsys.readouterr().err
+        assert (tmp_path / "envcache").is_dir()
+
+    def test_cache_stats_and_clear_subcommands(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["table1", "--scale", "0.1", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        stats = capsys.readouterr().out
+        assert "entries" in stats
+        assert "entries         : 0" not in stats  # the run above filled it
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "entries         : 0" in capsys.readouterr().out
+
+    def test_cache_subcommand_without_directory_is_an_error(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["cache", "stats"]) == 2
+        assert "no cache directory" in capsys.readouterr().err
+
+    def test_table2_reports_honest_timing_on_stderr(self, capsys):
+        assert main(["table2", "--scale", "0.05", "--workers", "1"]) == 0
+        output = capsys.readouterr()
+        assert "CPU (s)" in output.out
+        assert "wall-clock elapsed" in output.err
+        assert "wall-clock elapsed" not in output.out
+        assert "cache hit" not in output.err  # no cache, no replay caveat
+
+    def test_table2_warm_run_flags_replayed_cpu_timings(self, tmp_path, capsys):
+        """A warm run's CPU total is replayed from the cold run's entries —
+        the note must say so instead of claiming this run spent it."""
+
+        cache_dir = str(tmp_path / "cache")
+        args = ["table2", "--scale", "0.05", "--workers", "1", "--cache-dir", cache_dir]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        err = capsys.readouterr().err
+        assert "replayed" in err and "cache hit" in err
+
+
 class TestEndToEnd:
     def test_full_pipeline_on_the_paper_example_inputs(self):
         """Allocate a realistic procedure, place, insert, and execute."""
