@@ -12,12 +12,14 @@ The script walks the full pipeline on a small hand-written procedure:
 5. materialize the best placement and execute the function in the
    interpreter with poisoned callee-saved registers to prove the calling
    convention is preserved,
-6. scale up: compile a batch of generated procedures through
-   :func:`repro.pipeline.compiler.compile_many` with ``workers=`` sharding
-   the batch over a process pool (results are returned in input order and
-   are identical to a serial run; suite-level drivers take the same
-   ``workers=`` knob — see ``repro.evaluation.run_suite`` and the CLI's
-   ``--workers``).
+6. scale up: pull a batch of diverse workloads from the **scenario
+   registry** (``repro.workloads.scenarios`` — switch dispatch tables,
+   irreducible loops, call webs; see ``docs/workloads.md``) and compile it
+   through :func:`repro.pipeline.compiler.compile_many` with ``workers=``
+   sharding the batch over a process pool (results are returned in input
+   order and are identical to a serial run; suite-level drivers take the
+   same ``workers=`` knob — see ``repro.evaluation.run_suite`` and the
+   CLI's ``--workers``).
 
 Run with::
 
@@ -119,29 +121,23 @@ def main() -> None:
     print(f"interpreter: executed {result.steps} instructions, "
           f"callee-saved registers preserved across the procedure ✔")
 
-    # Scaling up: batch compilation with the parallel engine.  `workers=`
-    # shards the batch over a process pool at procedure granularity;
-    # `workers=1` (or an unpicklable cost model) runs the same path
-    # in-process, with identical results either way.
+    # Scaling up: pull diverse workloads from the scenario registry instead
+    # of hand-picking generator configs — each family is deterministic by
+    # seed and parameterized to the target's register file — then batch
+    # compile with the parallel engine.  `workers=` shards the batch over a
+    # process pool at procedure granularity; `workers=1` (or an unpicklable
+    # cost model) runs the same path in-process, with identical results.
     import os
 
     from repro.pipeline.compiler import compile_many
-    from repro.workloads.generator import GeneratorConfig, generate_procedure
+    from repro.workloads import build_scenario
 
-    batch = [
-        generate_procedure(
-            GeneratorConfig(
-                name=f"batch_{i}",
-                seed=7 * i + 1,
-                num_segments=4 + i % 4,
-                invocations=float(100 * (i + 1)),
-            )
-        )
-        for i in range(8)
-    ]
+    batch = []
+    for family in ("switch_dispatch", "irreducible_loop", "call_web", "classic_mix"):
+        batch.extend(build_scenario(family, seed=1, count=2, machine=machine))
     workers = os.cpu_count() or 1
     compiled = compile_many(batch, machine=machine, workers=workers)
-    print(f"\n=== batch compile ({len(compiled)} procedures, workers={workers}) ===")
+    print(f"\n=== batch compile ({len(compiled)} scenario procedures, workers={workers}) ===")
     for item in compiled:
         print(f"  {item.name}: optimized overhead {item.total_overhead('optimized'):8.1f}"
               f"  (baseline {item.total_overhead('baseline'):8.1f})")

@@ -33,7 +33,13 @@ from repro.analysis.dataflow import (
     solve_dataflow_reference,
 )
 from repro.analysis.liveness import LivenessInfo, compute_liveness
-from repro.analysis.loops import Loop, LoopForest, compute_loop_forest
+from repro.analysis.loops import (
+    Loop,
+    LoopForest,
+    back_edges_of,
+    compute_loop_forest,
+    is_reducible,
+)
 from repro.analysis.pst import ProgramStructureTree, Region, build_pst
 from repro.analysis.sese import SESERegion, find_canonical_regions, find_maximal_regions
 
@@ -52,8 +58,10 @@ __all__ = [
     "ProgramStructureTree",
     "Region",
     "SESERegion",
+    "back_edges_of",
     "build_pst",
     "compute_dominators",
+    "is_reducible",
     "compute_liveness",
     "compute_loop_forest",
     "compute_postdominators",

@@ -1,10 +1,19 @@
-"""Natural loop detection and the loop nesting forest.
+"""Natural loop detection, the loop nesting forest, and irreducibility.
 
 Chow's original shrink-wrapping avoids placing save/restore code inside loops
 by propagating artificial data flow through loop bodies; the reproduction of
 that behaviour (:mod:`repro.spill.shrink_wrap`) needs to know which blocks
 belong to which natural loops.  The workload generator also uses loop
 information to report workload statistics.
+
+Natural loops only cover the *reducible* part of a flowgraph: a cycle entered
+through two different blocks (the classic two-entry loop) has no back edge
+``latch -> header`` with the header dominating the latch, so it appears in no
+:class:`Loop`.  :func:`is_reducible` detects exactly this situation — the
+scenario registry uses it to certify its irreducible workload families, and
+the spill placements treat natural-loop information as a heuristic that may
+under-approximate cycles on irreducible graphs (their soundness does not
+depend on it; see :mod:`repro.spill.shrink_wrap`).
 """
 
 from __future__ import annotations
@@ -98,14 +107,57 @@ def _natural_loop_body(function: Function, header: str, latch: str) -> Set[str]:
     return body
 
 
+def back_edges_of(function: Function, dom: Optional[DominatorTree] = None) -> List[Tuple[str, str]]:
+    """The natural-loop back edges ``(latch, header)``: header dominates latch."""
+
+    dom = dom or compute_dominators(function)
+    return [
+        (edge.src, edge.dst)
+        for edge in function.edges()
+        if edge.src in dom and edge.dst in dom and dom.dominates(edge.dst, edge.src)
+    ]
+
+
+def is_reducible(function: Function, dom: Optional[DominatorTree] = None) -> bool:
+    """Is the function's CFG reducible?
+
+    A flowgraph is reducible iff removing every back edge (``latch ->
+    header`` with the header dominating the latch) leaves an acyclic graph.
+    Irreducible graphs — cycles with several entry blocks — keep a cycle of
+    *forward* edges after the removal; this is the standard dominator-based
+    test.  Only blocks reachable from the entry participate (the verifier
+    rejects unreachable blocks anyway).
+    """
+
+    dom = dom or compute_dominators(function)
+    back = set(back_edges_of(function, dom))
+    reachable = {label for label in function.block_labels if label in dom}
+    forward_succs: Dict[str, List[str]] = {label: [] for label in reachable}
+    in_degree: Dict[str, int] = {label: 0 for label in reachable}
+    for edge in function.edges():
+        if (edge.src, edge.dst) in back:
+            continue
+        if edge.src in reachable and edge.dst in reachable:
+            forward_succs[edge.src].append(edge.dst)
+            in_degree[edge.dst] += 1
+    # Kahn's algorithm: the forward graph is acyclic iff every node drains.
+    ready = [label for label, degree in in_degree.items() if degree == 0]
+    drained = 0
+    while ready:
+        label = ready.pop()
+        drained += 1
+        for succ in forward_succs[label]:
+            in_degree[succ] -= 1
+            if in_degree[succ] == 0:
+                ready.append(succ)
+    return drained == len(reachable)
+
+
 def compute_loop_forest(function: Function, dom: Optional[DominatorTree] = None) -> LoopForest:
     """Find all natural loops (one per header, merging shared-header back edges)."""
 
     dom = dom or compute_dominators(function)
-    back_edges: List[Tuple[str, str]] = []
-    for edge in function.edges():
-        if edge.src in dom and edge.dst in dom and dom.dominates(edge.dst, edge.src):
-            back_edges.append((edge.src, edge.dst))
+    back_edges = back_edges_of(function, dom)
 
     loops_by_header: Dict[str, Loop] = {}
     for latch, header in back_edges:

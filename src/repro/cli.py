@@ -10,6 +10,12 @@ Subcommands::
                           [--cache-dir DIR | --no-cache]
     repro-spill ablation  {cost-model,regions} [--scale S] [--target NAME] [--workers N]
                           [--cache-dir DIR | --no-cache]
+    repro-spill stress    [--target NAME | all targets] [--scenario NAME ...]
+                          [--seed N] [--count N] [--show-programs]
+                                                 # differential stress harness over
+                                                 # the scenario registry (exit 1 on
+                                                 # any violated invariant)
+    repro-spill scenarios                        # list the registered scenario families
     repro-spill example   [--cost-model MODEL]   # the paper's worked example
     repro-spill targets                          # list registered machine descriptions
     repro-spill place     FILE [--cost-model MODEL] [--target NAME]
@@ -150,6 +156,40 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers(ablation)
     _add_cache(ablation)
 
+    stress = subparsers.add_parser(
+        "stress",
+        help="differential stress: every scenario family x target x technique, verified",
+    )
+    stress.add_argument(
+        "--target",
+        choices=available_targets(),
+        default=None,
+        help="restrict to one target (default: every registered target)",
+    )
+    stress.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        metavar="NAME",
+        default=None,
+        help="scenario family to run (repeatable; default: every family)",
+    )
+    stress.add_argument("--seed", type=int, default=0, help="scenario seed (default 0)")
+    stress.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        metavar="N",
+        help="procedures per family (default: each family's own count)",
+    )
+    stress.add_argument(
+        "--show-programs",
+        action="store_true",
+        help="print the textual IR of every procedure that violated an invariant",
+    )
+
+    subparsers.add_parser("scenarios", help="list the registered scenario families")
+
     subparsers.add_parser("example", help="walk through the paper's Figure 2/3 example")
 
     subparsers.add_parser("targets", help="list the registered machine descriptions")
@@ -224,6 +264,43 @@ def _command_place(path: str, cost_model: str, target: str) -> int:
 def _command_targets() -> int:
     for name in available_targets():
         print(f"{name:10s} {get_target(name).describe()}")
+    return 0
+
+
+def _command_stress(args) -> int:
+    from repro.evaluation.differential import render_stress, run_stress
+    from repro.workloads.scenarios import scenario_names
+
+    if args.count is not None and args.count < 1:
+        print(f"error: --count must be >= 1, got {args.count}", file=sys.stderr)
+        return 2
+    unknown = [
+        name for name in (args.scenarios or []) if name not in scenario_names()
+    ]
+    if unknown:
+        print(
+            f"error: unknown scenario(s) {', '.join(unknown)}; "
+            f"expected one of {', '.join(scenario_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    targets = [args.target] if args.target else None
+    report = run_stress(
+        scenarios=args.scenarios,
+        targets=targets,
+        seed=args.seed,
+        count=args.count,
+    )
+    print(render_stress(report, show_programs=args.show_programs))
+    return 0 if report.ok else 1
+
+
+def _command_scenarios() -> int:
+    from repro.workloads.scenarios import SCENARIO_FAMILIES
+
+    for family in SCENARIO_FAMILIES:
+        tags = ",".join(family.tags)
+        print(f"{family.name:18s} [{tags}] {family.description}")
     return 0
 
 
@@ -314,6 +391,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                   "Ablation: SESE region granularity"))
         _report_cache(cache)
         return 0
+    if args.command == "stress":
+        return _command_stress(args)
+    if args.command == "scenarios":
+        return _command_scenarios()
     if args.command == "example":
         return _command_example()
     if args.command == "targets":

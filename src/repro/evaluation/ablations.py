@@ -33,6 +33,8 @@ class AblationRow:
 
     @property
     def ratio(self) -> float:
+        """Variant B's overhead relative to variant A (1.0 when A is zero)."""
+
         if self.variant_a <= 0.0:
             return 1.0
         return self.variant_b / self.variant_a
@@ -99,6 +101,8 @@ def region_granularity_ablation(
 def render_ablation(
     rows: Sequence[AblationRow], variant_a: str, variant_b: str, title: str
 ) -> str:
+    """Plain-text table of an ablation study's rows plus an average line."""
+
     body = [
         (row.benchmark, row.variant_a, row.variant_b, f"{row.ratio:.3f}") for row in rows
     ]

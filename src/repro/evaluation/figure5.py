@@ -28,6 +28,8 @@ class Figure5Row:
     baseline: float
 
     def series(self) -> Sequence[float]:
+        """The three bar heights in the figure's plotting order."""
+
         return (self.optimized, self.shrinkwrap, self.baseline)
 
 

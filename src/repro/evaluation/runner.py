@@ -143,15 +143,21 @@ class SuiteMeasurement:
         return [m.deterministic_view() for m in self.benchmarks]
 
     def benchmark(self, name: str) -> BenchmarkMeasurement:
+        """The measurement of one benchmark, looked up by name."""
+
         for measurement in self.benchmarks:
             if measurement.name == name:
                 return measurement
         raise KeyError(f"no benchmark named {name!r} in this suite run")
 
     def names(self) -> List[str]:
+        """The measured benchmark names, in suite order."""
+
         return [m.name for m in self.benchmarks]
 
     def average_ratio(self, technique: str) -> float:
+        """Mean overhead ratio to the baseline across all benchmarks."""
+
         ratios = [m.ratio_to_baseline(technique) for m in self.benchmarks]
         return sum(ratios) / len(ratios) if ratios else 1.0
 

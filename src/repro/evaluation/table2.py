@@ -39,6 +39,8 @@ class Table2Row:
 
     @property
     def ratio(self) -> float:
+        """Hierarchical vs shrink-wrap incremental time (NaN when undefined)."""
+
         if self.shrinkwrap_seconds <= 0.0:
             return float("nan")
         return self.optimized_seconds / self.shrinkwrap_seconds
@@ -61,6 +63,8 @@ def table2(measurement: Optional[SuiteMeasurement] = None, scale: float = 1.0) -
 
 
 def average_row(rows: Sequence[Table2Row]) -> Table2Row:
+    """The table's summary line: mean incremental times across benchmarks."""
+
     if not rows:
         return Table2Row("Average", 0.0, 0.0)
     return Table2Row(

@@ -153,6 +153,11 @@ class FunctionBuilder:
 
         self.emit(ins.branch(condition, Label(taken_label)))
 
+    def switch(self, selector: Register, target_labels: Sequence[str]) -> None:
+        """Emit a multiway branch over ``target_labels`` (last = default case)."""
+
+        self.emit(ins.switch(selector, [Label(name) for name in target_labels]))
+
     def jump(self, target_label: str) -> None:
         self.emit(ins.jump(Label(target_label)))
 

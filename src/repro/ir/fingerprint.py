@@ -44,8 +44,9 @@ from repro.ir.printer import print_function, print_module
 
 #: Bump whenever the canonical serialization (printer output, profile or
 #: machine encoding, key composition) changes meaning — old cache entries
-#: become unreachable instead of wrong.
-FINGERPRINT_SCHEMA_VERSION = 1
+#: become unreachable instead of wrong.  v2: the IR grew the ``switch``
+#: multiway terminator, which extends the canonical printer grammar.
+FINGERPRINT_SCHEMA_VERSION = 2
 
 
 def _digest(*parts: str) -> str:

@@ -156,6 +156,12 @@ class Function:
             return edges
         if term.opcode is Opcode.JMP:
             edges.append(Edge(label, term.target.name, EdgeKind.JUMP))
+        elif term.opcode is Opcode.SWITCH:
+            seen: Set[str] = set()
+            for case_target in term.targets:
+                if case_target.name not in seen:
+                    seen.add(case_target.name)
+                    edges.append(Edge(label, case_target.name, EdgeKind.JUMP))
         elif term.opcode is Opcode.BR:
             edges.append(Edge(label, term.target.name, EdgeKind.JUMP))
             succ = self.layout_successor(label)

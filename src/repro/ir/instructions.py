@@ -8,12 +8,19 @@ post-register-allocation spill pass has to reason about:
 * memory traffic (``load``, ``store``) with an explicit *purpose* so that
   allocator spill code and callee-saved save/restore code can be told apart,
 * control flow (``br`` conditional branch, ``jmp`` unconditional jump,
-  ``ret`` return, ``call``),
+  ``switch`` multiway branch, ``ret`` return, ``call``),
 * a ``nop`` used by tests and synthetic workloads as ballast.
 
 Branches encode *both* successors: the taken target (a jump edge) and the
 fall-through target.  This is what allows the spill placement pass to reason
 about jump edges exactly as the paper does.
+
+``switch`` carries an ordered tuple of case targets and never falls through:
+the selector value indexes the target list (out-of-range values take the
+last target, which doubles as the default case).  Every switch edge is an
+explicit jump edge, so a switch whose targets also have other predecessors
+produces *critical multiway jump edges* — the control flow where region-based
+spill placement has to materialize jump blocks.
 """
 
 from __future__ import annotations
@@ -61,6 +68,7 @@ class Opcode(enum.Enum):
     # Control flow.
     BR = "br"
     JMP = "jmp"
+    SWITCH = "switch"
     CALL = "call"
     RET = "ret"
 
@@ -107,6 +115,7 @@ OPCODE_INFO: Dict[Opcode, OpcodeInfo] = {
     Opcode.STORE: OpcodeInfo("store", 0, 2, is_memory=True, has_side_effects=True),
     Opcode.BR: OpcodeInfo("br", 0, 1, is_terminator=True, has_side_effects=True),
     Opcode.JMP: OpcodeInfo("jmp", 0, 0, is_terminator=True, has_side_effects=True),
+    Opcode.SWITCH: OpcodeInfo("switch", 0, 1, is_terminator=True, has_side_effects=True),
     Opcode.CALL: OpcodeInfo("call", 0, 0, is_call=True, has_side_effects=True),
     Opcode.RET: OpcodeInfo("ret", 0, 0, is_terminator=True, has_side_effects=True),
 }
@@ -142,6 +151,11 @@ class Instruction:
     target:
         For ``BR``/``JMP``: the *taken* (jump) target label.  For ``CALL``:
         the callee name wrapped in a :class:`Label`.
+    targets:
+        For ``SWITCH``: the ordered tuple of case target labels.  The
+        selector value indexes this tuple; out-of-range values take the
+        last entry (the default case).  Targets must be distinct so the
+        CFG keeps at most one edge per ``(src, dst)`` pair.
     purpose:
         For ``LOAD``/``STORE``: one of :data:`MEMORY_PURPOSES`.  ``program``
         memory traffic belongs to the source program, the other values mark
@@ -152,15 +166,19 @@ class Instruction:
     defs: Tuple[Register, ...] = ()
     uses: Tuple[Operand, ...] = ()
     target: Optional[Label] = None
+    targets: Tuple[Label, ...] = ()
     purpose: str = "program"
     uid: int = field(default_factory=lambda: next(_instruction_ids))
 
     def __post_init__(self) -> None:
         self.defs = tuple(self.defs)
         self.uses = tuple(self.uses)
+        self.targets = tuple(self.targets)
         if self.opcode in (Opcode.LOAD, Opcode.STORE):
             if self.purpose not in MEMORY_PURPOSES:
                 raise ValueError(f"invalid memory purpose {self.purpose!r}")
+        if self.opcode is Opcode.SWITCH and not self.targets:
+            raise ValueError("switch requires at least one target label")
 
     # -- classification helpers -------------------------------------------------
 
@@ -182,6 +200,9 @@ class Instruction:
 
     def is_jump(self) -> bool:
         return self.opcode is Opcode.JMP
+
+    def is_switch(self) -> bool:
+        return self.opcode is Opcode.SWITCH
 
     def is_return(self) -> bool:
         return self.opcode is Opcode.RET
@@ -226,6 +247,7 @@ class Instruction:
             defs=new_defs,
             uses=new_uses,
             target=self.target,
+            targets=self.targets,
             purpose=self.purpose,
         )
 
@@ -235,6 +257,7 @@ class Instruction:
             defs=self.defs,
             uses=self.uses,
             target=self.target,
+            targets=self.targets,
             purpose=self.purpose,
         )
 
@@ -246,6 +269,7 @@ class Instruction:
         operands.extend(str(u) for u in self.uses)
         if self.target is not None:
             operands.append(str(self.target))
+        operands.extend(str(t) for t in self.targets)
         if operands:
             parts.append(", ".join(operands))
         text = " ".join(parts)
@@ -304,6 +328,20 @@ def jump(target: Label) -> Instruction:
     """Build an unconditional jump."""
 
     return Instruction(Opcode.JMP, defs=(), uses=(), target=target)
+
+
+def switch(selector: Register, targets: Sequence[Label]) -> Instruction:
+    """Build a multiway branch dispatching on ``selector``.
+
+    A selector value ``i`` with ``0 <= i < len(targets)`` transfers control
+    to ``targets[i]``; any other value takes the last target (the default
+    case).  Targets must be distinct block labels.
+    """
+
+    targets = tuple(targets)
+    if len({t.name for t in targets}) != len(targets):
+        raise ValueError("switch targets must be distinct")
+    return Instruction(Opcode.SWITCH, defs=(), uses=(selector,), targets=targets)
 
 
 def call(

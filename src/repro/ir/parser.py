@@ -9,8 +9,9 @@ The grammar is line oriented::
 
 Operands: registers (``v3``, ``gr5``), immediates (``#-7``), stack slots
 (``[sp+2]``) and labels (``@loop``).  Calls use
-``call @callee(args) -> (rets)``.  A trailing ``!purpose`` tags overhead
-loads/stores.  ``#`` and ``;`` start comments outside of immediates.
+``call @callee(args) -> (rets)``; multiway branches use
+``switch v0, @case0, @case1, @default``.  A trailing ``!purpose`` tags
+overhead loads/stores.  ``#`` and ``;`` start comments outside of immediates.
 """
 
 from __future__ import annotations
@@ -136,6 +137,21 @@ def parse_instruction(line: str, line_number: Optional[int] = None) -> Instructi
         if not isinstance(label, Label):
             raise IRParseError("br target must be a label", line_number)
         return ins.branch(condition, label)
+    if opcode is Opcode.SWITCH:
+        tokens = _split_operands(rest)
+        if len(tokens) < 2:
+            raise IRParseError("switch expects a selector and at least one label", line_number)
+        selector = parse_register(tokens[0])
+        targets = []
+        for token in tokens[1:]:
+            operand = parse_operand(token)
+            if not isinstance(operand, Label):
+                raise IRParseError("switch targets must be labels", line_number)
+            targets.append(operand)
+        try:
+            return ins.switch(selector, targets)
+        except ValueError as exc:
+            raise IRParseError(str(exc), line_number) from exc
 
     operands = [parse_operand(tok) for tok in _split_operands(rest)]
     info = OPCODE_INFO[opcode]

@@ -94,8 +94,17 @@ def split_edge(function: Function, edge: Edge, label: Optional[str] = None) -> B
     term = src_block.terminator
 
     if edge.kind is EdgeKind.JUMP:
-        if term is None or term.opcode not in (Opcode.BR, Opcode.JMP):
+        if term is None or term.opcode not in (Opcode.BR, Opcode.JMP, Opcode.SWITCH):
             raise ValueError(f"edge {edge} is marked JUMP but {edge.src} has no jump")
+        if term.opcode is Opcode.SWITCH:
+            if all(t.name != dst_label for t in term.targets):
+                raise ValueError(f"switch of {edge.src} does not target {dst_label}")
+            new_block = BasicBlock(new_label, [ins.jump(Label(dst_label))])
+            function.add_block(new_block)
+            term.targets = tuple(
+                Label(new_label) if t.name == dst_label else t for t in term.targets
+            )
+            return new_block
         if term.target.name != dst_label:
             raise ValueError(f"terminator of {edge.src} does not target {dst_label}")
         # Retarget the jump/branch at the new block; the new block jumps on.

@@ -51,6 +51,9 @@ def format_instruction(inst: Instruction) -> str:
         return f"br {_format_operand(inst.uses[0])}, @{inst.target.name}"
     if op is Opcode.JMP:
         return f"jmp @{inst.target.name}"
+    if op is Opcode.SWITCH:
+        cases = ", ".join(f"@{t.name}" for t in inst.targets)
+        return f"switch {_format_operand(inst.uses[0])}, {cases}"
     if op is Opcode.RET:
         if inst.uses:
             return "ret " + ", ".join(_format_operand(u) for u in inst.uses)

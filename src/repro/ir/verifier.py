@@ -46,6 +46,20 @@ def collect_function_errors(function: Function, require_single_exit: bool = Fals
                     f"{function.name}/{block.label}: target {term.target.name!r} "
                     "is not a block label"
                 )
+        # Switch targets must exist and be distinct (the CFG keeps one edge
+        # per (src, dst) pair, so duplicate targets would silently alias).
+        if term is not None and term.opcode is Opcode.SWITCH:
+            for case_target in term.targets:
+                if case_target.name not in labels:
+                    errors.append(
+                        f"{function.name}/{block.label}: switch target "
+                        f"{case_target.name!r} is not a block label"
+                    )
+            names = [t.name for t in term.targets]
+            if len(set(names)) != len(names):
+                errors.append(
+                    f"{function.name}/{block.label}: switch has duplicate targets"
+                )
         # Fall-through off the end of the function is invalid.
         if block.falls_through() and function.layout_successor(block.label) is None:
             errors.append(

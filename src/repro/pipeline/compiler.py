@@ -63,6 +63,8 @@ class PlacementOutcome:
 
     @property
     def callee_saved_overhead(self) -> float:
+        """The technique's total dynamic callee-saved overhead."""
+
         return self.overhead.total
 
 
@@ -84,6 +86,8 @@ class CompiledProcedure:
         return self.allocator_overhead + self.outcomes[technique].callee_saved_overhead
 
     def callee_saved_overhead(self, technique: str) -> float:
+        """One technique's callee-saved overhead (allocator spill excluded)."""
+
         return self.outcomes[technique].callee_saved_overhead
 
 

@@ -39,14 +39,20 @@ class PassManager:
     _passes: List[tuple] = field(default_factory=list)
 
     def add_pass(self, name: str, function_pass: FunctionPass) -> "PassManager":
+        """Append a named pass to the schedule; returns ``self`` for chaining."""
+
         self._passes.append((name, function_pass))
         return self
 
     @property
     def pass_names(self) -> List[str]:
+        """The scheduled pass names, in execution order."""
+
         return [name for name, _ in self._passes]
 
     def run_on_function(self, function: Function) -> List[PassRecord]:
+        """Run every scheduled pass over ``function``, timing each one."""
+
         new_records: List[PassRecord] = []
         for name, function_pass in self._passes:
             start = time.perf_counter()
@@ -60,12 +66,16 @@ class PassManager:
         return new_records
 
     def run_on_module(self, module: Module) -> List[PassRecord]:
+        """Run the schedule over every function of ``module``."""
+
         records: List[PassRecord] = []
         for function in module.functions:
             records.extend(self.run_on_function(function))
         return records
 
     def total_seconds(self, pass_name: Optional[str] = None) -> float:
+        """Accumulated seconds of one pass (or of all passes together)."""
+
         return sum(
             r.seconds for r in self.records if pass_name is None or r.pass_name == pass_name
         )

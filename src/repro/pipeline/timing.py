@@ -50,11 +50,17 @@ class Stopwatch:
             self.durations[name] = self.durations.get(name, 0.0) + elapsed
 
     def get(self, name: str) -> float:
+        """Accumulated seconds recorded under ``name`` (0.0 when absent)."""
+
         return self.durations.get(name, 0.0)
 
     def merge(self, other: "Stopwatch") -> None:
+        """Fold another stopwatch's durations into this one, key by key."""
+
         for name, value in other.durations.items():
             self.durations[name] = self.durations.get(name, 0.0) + value
 
     def total(self) -> float:
+        """Sum of every recorded duration."""
+
         return sum(self.durations.values())

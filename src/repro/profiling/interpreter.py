@@ -176,6 +176,11 @@ class Interpreter:
             return None
         if op is Opcode.JMP:
             return ("branch", inst.target.name)
+        if op is Opcode.SWITCH:
+            selector = self._value(inst.uses[0], frame)
+            if 0 <= selector < len(inst.targets):
+                return ("branch", inst.targets[selector].name)
+            return ("branch", inst.targets[-1].name)
         if op is Opcode.RET:
             return ("return", tuple(self._value(u, frame) for u in inst.uses))
         if op is Opcode.CALL:

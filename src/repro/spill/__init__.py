@@ -28,7 +28,7 @@ from repro.spill.cost_models import (
     JumpEdgeCostModel,
     requires_jump_block,
 )
-from repro.spill.entry_exit import place_entry_exit
+from repro.spill.entry_exit import entry_exit_set, place_entry_exit
 from repro.spill.hierarchical import HierarchicalResult, RegionDecision, place_hierarchical
 from repro.spill.insertion import InsertionResult, apply_placement
 from repro.spill.model import (
@@ -41,7 +41,11 @@ from repro.spill.model import (
 from repro.spill.overhead import placement_dynamic_overhead
 from repro.spill.sets import build_save_restore_sets
 from repro.spill.shrink_wrap import place_shrink_wrap, shrink_wrap_edges
-from repro.spill.verifier import PlacementError, verify_placement
+from repro.spill.verifier import (
+    PlacementError,
+    register_sets_are_sound,
+    verify_placement,
+)
 
 __all__ = [
     "CalleeSavedUsage",
@@ -58,11 +62,13 @@ __all__ = [
     "SpillPlacement",
     "apply_placement",
     "build_save_restore_sets",
+    "entry_exit_set",
     "place_entry_exit",
     "place_hierarchical",
     "place_shrink_wrap",
     "placement_dynamic_overhead",
     "requires_jump_block",
     "shrink_wrap_edges",
+    "register_sets_are_sound",
     "verify_placement",
 ]

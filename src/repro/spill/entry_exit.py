@@ -19,16 +19,25 @@ from repro.spill.model import (
 )
 
 
+def entry_exit_set(function: Function, register) -> SaveRestoreSet:
+    """The always-valid save/restore set: save at entry, restore at exit.
+
+    This is both the baseline placement's building block and the documented
+    fallback the other techniques substitute for a register whose derived
+    locations fail the soundness check (arbitrary, e.g. irreducible, CFGs).
+    """
+
+    save = SpillLocation(register, SpillKind.SAVE, (ENTRY_SENTINEL, function.entry.label))
+    restore = SpillLocation(
+        register, SpillKind.RESTORE, (function.exit.label, EXIT_SENTINEL)
+    )
+    return SaveRestoreSet.from_locations(register, [save, restore], initial=True)
+
+
 def place_entry_exit(function: Function, usage: CalleeSavedUsage) -> SpillPlacement:
     """Save at procedure entry and restore at procedure exit."""
 
     placement = SpillPlacement(function.name, "entry_exit")
-    entry_edge = (ENTRY_SENTINEL, function.entry.label)
-    exit_edge = (function.exit.label, EXIT_SENTINEL)
     for register in usage.used_registers():
-        save = SpillLocation(register, SpillKind.SAVE, entry_edge)
-        restore = SpillLocation(register, SpillKind.RESTORE, exit_edge)
-        placement.add_set(
-            SaveRestoreSet.from_locations(register, [save, restore], initial=True)
-        )
+        placement.add_set(entry_exit_set(function, register))
     return placement

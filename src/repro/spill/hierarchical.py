@@ -30,6 +30,7 @@ from repro.ir.function import Function
 from repro.ir.values import PhysicalRegister
 from repro.profiling.profile_data import EdgeProfile
 from repro.spill.cost_models import CostModel, JumpEdgeCostModel, make_cost_model, requires_jump_block
+from repro.spill.entry_exit import entry_exit_set
 from repro.spill.model import (
     CalleeSavedUsage,
     EdgeKey,
@@ -38,8 +39,9 @@ from repro.spill.model import (
     SpillLocation,
     SpillPlacement,
 )
-from repro.target.machine import MachineDescription
 from repro.spill.shrink_wrap import place_shrink_wrap
+from repro.spill.verifier import register_sets_are_sound
+from repro.target.machine import MachineDescription
 
 
 @dataclass(frozen=True)
@@ -135,6 +137,13 @@ def place_hierarchical(
         Target machine supplying the save/restore/jump cost weights when
         ``cost_model`` is given by name (ignored for instances, which carry
         their own machine).  Omitted, every instruction costs one unit.
+
+    The result is checked per register against the callee-saved convention;
+    a register whose hoisted sets fail the check (possible only outside the
+    paper's structural assumptions, e.g. on irreducible flowgraphs) reverts
+    to its initial shrink-wrapping sets — or, failing those too, to the
+    entry/exit pair — and is recorded in
+    :attr:`~repro.spill.model.SpillPlacement.fallback_registers`.
     """
 
     if isinstance(cost_model, str):
@@ -200,8 +209,22 @@ def place_hierarchical(
             )
             current[register] = remaining + [new_set]
 
+    # Soundness net: the PST traversal is correct whenever the SESE regions
+    # really are single-entry/single-exit, which the cycle-equivalence
+    # machinery guarantees on well-formed flowgraphs.  On shapes outside
+    # those assumptions (degenerate or irreducible graphs) a hoisted set
+    # could still violate the convention — such a register reverts to its
+    # initial (already validated) sets, or to entry/exit as a last resort.
     placement = SpillPlacement(function.name, f"hierarchical[{cost_model.name}]")
+    placement.fallback_registers = list(initial.fallback_registers)
     for register, sets in current.items():
+        used_blocks = usage.blocks_for(register)
+        if not register_sets_are_sound(function, register, used_blocks, sets):
+            sets = initial.sets_for(register)
+            if not register_sets_are_sound(function, register, used_blocks, sets):
+                sets = [entry_exit_set(function, register)]
+            if register not in placement.fallback_registers:
+                placement.fallback_registers.append(register)
         for srset in sets:
             placement.add_set(srset)
     return HierarchicalResult(

@@ -167,6 +167,10 @@ class SpillPlacement:
     function_name: str
     technique: str
     sets: Dict[PhysicalRegister, List[SaveRestoreSet]] = field(default_factory=dict)
+    #: Registers whose derived locations failed the soundness check and were
+    #: replaced by the entry/exit fallback (only ever non-empty on CFG shapes
+    #: outside a technique's structural assumptions, e.g. irreducible loops).
+    fallback_registers: List[PhysicalRegister] = field(default_factory=list)
 
     # -- construction ---------------------------------------------------------------
 

@@ -51,7 +51,9 @@ from repro.spill.model import (
     SpillLocation,
     SpillPlacement,
 )
+from repro.spill.entry_exit import entry_exit_set
 from repro.spill.sets import build_save_restore_sets
+from repro.spill.verifier import register_sets_are_sound
 
 
 @dataclass(frozen=True)
@@ -225,6 +227,13 @@ def place_shrink_wrap(
 
     The defaults reproduce Chow's original technique; pass
     ``allow_jump_edges=True, avoid_loops=False`` for the modified variant.
+
+    The dataflow-derived locations are checked per register against the
+    callee-saved convention; a register whose candidate sets fail the check
+    (possible only on CFG shapes outside the technique's structural
+    assumptions, e.g. irreducible loops) falls back to the always-valid
+    entry/exit pair and is recorded in
+    :attr:`~repro.spill.model.SpillPlacement.fallback_registers`.
     """
 
     if technique_name is None:
@@ -239,6 +248,10 @@ def place_shrink_wrap(
         )
         locations = [SpillLocation(register, SpillKind.SAVE, key) for key in sorted(saves)]
         locations += [SpillLocation(register, SpillKind.RESTORE, key) for key in sorted(restores)]
-        for srset in build_save_restore_sets(function, register, locations, initial=True):
+        sets = build_save_restore_sets(function, register, locations, initial=True)
+        if not register_sets_are_sound(function, register, usage.blocks_for(register), sets):
+            sets = [entry_exit_set(function, register)]
+            placement.fallback_registers.append(register)
+        for srset in sets:
             placement.add_set(srset)
     return placement

@@ -165,3 +165,22 @@ def verify_placement(
     errors = collect_placement_errors(function, usage, placement)
     if errors:
         raise PlacementError(errors)
+
+
+def register_sets_are_sound(function, register, used_blocks, sets) -> bool:
+    """Check one register's save/restore sets against the convention.
+
+    The placement algorithms use this as their safety net: dataflow-derived
+    locations are provably correct on the CFG shapes the paper analyses, but
+    the scenario space includes arbitrary (e.g. irreducible) flowgraphs where
+    the structural assumptions behind a technique may not hold — a register
+    whose candidate sets fail this check falls back to entry/exit placement
+    (see :func:`repro.spill.shrink_wrap.place_shrink_wrap` and
+    :func:`repro.spill.hierarchical.place_hierarchical`).
+    """
+
+    usage = CalleeSavedUsage.from_blocks({register: used_blocks})
+    probe = SpillPlacement(function.name, "soundness-probe")
+    for srset in sets:
+        probe.add_set(srset)
+    return not collect_placement_errors(function, usage, probe)

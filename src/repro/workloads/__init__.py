@@ -11,6 +11,11 @@ the synthetic SPEC CPU2000-integer-like benchmark suite.
   integer benchmark, with generator parameters chosen to mirror each
   program's qualitative characteristics (procedure sizes, loop depth, call
   density, goto frequency, callee-saved pressure).
+* :mod:`repro.workloads.scenarios` — the declarative scenario registry:
+  named, seed-deterministic families covering the control flow the suite
+  does not (switch dispatch tables with critical multiway edges,
+  irreducible two-entry loops, deep loop nests, call webs, pressure sweeps,
+  seeded chaos CFGs).  See ``docs/workloads.md`` for the catalogue.
 """
 
 from repro.workloads.generator import (
@@ -29,6 +34,14 @@ from repro.workloads.programs import (
     loop_function,
     paper_example,
 )
+from repro.workloads.scenarios import (
+    SCENARIO_FAMILIES,
+    ScenarioFamily,
+    build_scenario,
+    build_scenario_suite,
+    get_scenario,
+    scenario_names,
+)
 from repro.workloads.spec_like import (
     BenchmarkSpec,
     SPEC_BENCHMARKS,
@@ -41,6 +54,8 @@ from repro.workloads.spec_like import (
 
 __all__ = [
     "BenchmarkSpec",
+    "SCENARIO_FAMILIES",
+    "ScenarioFamily",
     "GeneratedProcedure",
     "GeneratorConfig",
     "PaperExample",
@@ -48,8 +63,11 @@ __all__ = [
     "SPEC_BENCHMARKS",
     "SyntheticBenchmark",
     "build_benchmark",
+    "build_scenario",
+    "build_scenario_suite",
     "build_suite",
     "call_chain_function",
+    "get_scenario",
     "config_for_target",
     "diamond_function",
     "figure1_function",
@@ -58,5 +76,6 @@ __all__ = [
     "loop_function",
     "paper_example",
     "scale_spec_for_target",
+    "scenario_names",
     "spec_by_name",
 ]

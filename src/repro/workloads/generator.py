@@ -119,6 +119,8 @@ class GeneratedProcedure:
 
     @property
     def name(self) -> str:
+        """The generated function's name (from the config)."""
+
         return self.function.name
 
 

@@ -83,12 +83,18 @@ class SyntheticBenchmark:
 
     @property
     def name(self) -> str:
+        """The benchmark's name (from its spec)."""
+
         return self.spec.name
 
     def num_blocks(self) -> int:
+        """Total basic blocks across the benchmark's procedures."""
+
         return sum(len(p.function) for p in self.procedures)
 
     def num_instructions(self) -> int:
+        """Total instructions across the benchmark's procedures."""
+
         return sum(p.function.instruction_count() for p in self.procedures)
 
 

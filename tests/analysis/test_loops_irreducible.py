@@ -1,0 +1,66 @@
+"""Irreducibility detection and loop analysis on irreducible flowgraphs."""
+
+from __future__ import annotations
+
+from repro.analysis.loops import back_edges_of, compute_loop_forest, is_reducible
+from repro.ir.builder import FunctionBuilder
+from repro.ir.verifier import verify_function
+from repro.workloads.programs import diamond_function, loop_function
+from repro.workloads.scenarios import build_scenario
+
+
+def two_entry_loop():
+    """``entry`` branches into either half of an ``A <-> B`` cycle."""
+
+    builder = FunctionBuilder("two_entry")
+    builder.block("entry")
+    value = builder.const(1)
+    cond = builder.cmp_lt(value, 5)
+    builder.branch(cond, "b_half")
+    builder.block("a_half")
+    builder.add(value, 1, value)
+    leave = builder.cmp_ge(value, 10)
+    builder.branch(leave, "exit")
+    builder.block("b_half")
+    builder.add(value, 2, value)
+    builder.jump("a_half")
+    builder.block("exit")
+    builder.ret([value])
+    function = builder.build()
+    verify_function(function, require_single_exit=True)
+    return function
+
+
+class TestIsReducible:
+    def test_straight_line_and_diamond_are_reducible(self):
+        assert is_reducible(diamond_function())
+
+    def test_natural_loop_is_reducible(self):
+        assert is_reducible(loop_function())
+
+    def test_two_entry_loop_is_irreducible(self):
+        assert not is_reducible(two_entry_loop())
+
+    def test_switch_dispatch_loop_is_reducible(self):
+        # Multiway branches alone do not make a graph irreducible.
+        for procedure in build_scenario("switch_dispatch", seed=0, count=2):
+            assert is_reducible(procedure.function)
+
+    def test_irreducible_family_is_certified(self):
+        for procedure in build_scenario("irreducible_loop", seed=0, count=3):
+            assert not is_reducible(procedure.function)
+
+
+class TestLoopAnalysisOnIrreducibleGraphs:
+    def test_no_natural_loop_covers_the_two_entry_cycle(self):
+        function = two_entry_loop()
+        forest = compute_loop_forest(function)
+        # Neither a_half nor b_half dominates the other, so no back edge and
+        # no natural loop exists even though the graph contains a cycle.
+        assert forest.loops == []
+        assert back_edges_of(function) == []
+
+    def test_reducible_loop_has_back_edge(self):
+        function = loop_function()
+        assert back_edges_of(function)
+        assert compute_loop_forest(function).loops

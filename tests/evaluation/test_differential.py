@@ -1,0 +1,122 @@
+"""The differential stress harness and its CLI subcommand."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.evaluation.differential import (
+    STRESS_COST_MODELS,
+    StressReport,
+    StressViolation,
+    render_stress,
+    run_stress,
+)
+from repro.workloads.scenarios import scenario_names
+
+# A small but representative configuration: one diverse family per axis.
+SMALL = dict(
+    scenarios=["switch_dispatch", "irreducible_loop"],
+    targets=["tiny", "parisc"],
+    count=2,
+)
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    return run_stress(**SMALL)
+
+
+class TestRunStress:
+    def test_small_run_is_clean(self, small_report):
+        assert small_report.ok
+        assert small_report.violations == []
+
+    def test_covers_the_full_matrix(self, small_report):
+        combos = {(r.scenario, r.target, r.cost_model) for r in small_report.rows}
+        assert combos == {
+            (scenario, target, model)
+            for scenario in SMALL["scenarios"]
+            for target in SMALL["targets"]
+            for model in STRESS_COST_MODELS
+        }
+        assert small_report.num_procedures() == 2 * 2 * 2
+
+    def test_every_row_has_every_technique(self, small_report):
+        for row in small_report.rows:
+            assert set(row.overheads) == {"baseline", "shrinkwrap", "optimized"}
+
+    def test_report_is_deterministic(self, small_report):
+        again = run_stress(**SMALL)
+        assert again.rows == small_report.rows
+        assert render_stress(again) == render_stress(small_report)
+
+    def test_default_run_covers_every_family(self):
+        report = run_stress(targets=["tiny"], count=1, check_determinism=False)
+        assert {r.scenario for r in report.rows} == set(scenario_names())
+        assert report.ok
+
+    def test_render_mentions_violations(self):
+        report = StressReport(
+            scenarios=("s",), targets=("t",), techniques=("baseline",), seed=0
+        )
+        report.violations.append(
+            StressViolation("s", "t", "p", "jump_edge", "bad", "detail", "func p() {}")
+        )
+        text = render_stress(report, show_programs=True)
+        assert "VIOLATION" in text
+        assert "func p() {}" in text
+
+    def test_compile_failure_becomes_violation(self, monkeypatch):
+        import repro.evaluation.differential as differential
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(differential, "compile_procedure", explode)
+        report = run_stress(
+            scenarios=["call_web"], targets=["tiny"], count=1, check_determinism=False
+        )
+        assert not report.ok
+        assert all(v.invariant == "compile-or-verify" for v in report.violations)
+        assert all("boom" in v.detail for v in report.violations)
+        # The violation carries the repro program, ready for the corpus.
+        assert all(v.program.startswith("func ") for v in report.violations)
+
+
+class TestStressCli:
+    def test_stress_subcommand_exits_zero(self, capsys):
+        code = main(
+            [
+                "stress",
+                "--target",
+                "tiny",
+                "--scenario",
+                "irreducible_loop",
+                "--count",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "irreducible_loop" in out
+        assert "0 violation(s)" in out
+
+    def test_scenarios_subcommand_lists_families(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_stress_exit_code_reflects_violations(self, monkeypatch, capsys):
+        import repro.evaluation.differential as differential
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(differential, "compile_procedure", explode)
+        code = main(
+            ["stress", "--target", "tiny", "--scenario", "call_web", "--count", "1"]
+        )
+        assert code == 1
+        assert "VIOLATION" in capsys.readouterr().out

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Docstring coverage checker for the public API (standard library only).
+
+Walks the public surface of the packages the user guide documents —
+``repro.workloads``, ``repro.evaluation`` and ``repro.pipeline`` by default —
+and fails when any public module, class, function, method or property lacks a
+docstring.  "Public" means: importable without a leading underscore, reached
+from a package module (submodules included); methods inherited from other
+(already checked or external) classes are skipped, as are dataclass dunder
+machinery and anything named with a leading underscore.
+
+Usage::
+
+    python tools/check_docs.py [DOTTED_MODULE ...]   # default: the three above
+
+Exit status 1 lists every undocumented object.  Run from the repository root
+(the ``src`` layout is put on ``sys.path`` automatically).
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import os
+import pkgutil
+import sys
+from typing import Iterator, List
+
+DEFAULT_PACKAGES = ("repro.workloads", "repro.evaluation", "repro.pipeline")
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+def iter_modules(package_name: str) -> Iterator[str]:
+    """Yield ``package_name`` and every submodule of it."""
+
+    package = importlib.import_module(package_name)
+    yield package_name
+    if hasattr(package, "__path__"):
+        for info in pkgutil.walk_packages(package.__path__, prefix=package_name + "."):
+            yield info.name
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _callable_needs_doc(obj) -> bool:
+    return inspect.isfunction(obj) or inspect.ismethod(obj)
+
+
+def check_module(module_name: str) -> List[str]:
+    """Return the fully qualified names of undocumented public objects."""
+
+    module = importlib.import_module(module_name)
+    missing: List[str] = []
+    if not inspect.getdoc(module):
+        missing.append(module_name)
+
+    for name, obj in vars(module).items():
+        if not _is_public(name):
+            continue
+        # Only report objects defined in this module (imports are reported
+        # where they are defined).
+        if getattr(obj, "__module__", None) != module_name:
+            continue
+        qualified = f"{module_name}.{name}"
+        if inspect.isclass(obj):
+            if not inspect.getdoc(obj):
+                missing.append(qualified)
+            for attr_name, attr in vars(obj).items():
+                if not _is_public(attr_name):
+                    continue
+                member = f"{qualified}.{attr_name}"
+                if isinstance(attr, property):
+                    if not inspect.getdoc(attr.fget):
+                        missing.append(member)
+                elif isinstance(attr, (staticmethod, classmethod)):
+                    if not inspect.getdoc(attr.__func__):
+                        missing.append(member)
+                elif _callable_needs_doc(attr):
+                    if not inspect.getdoc(attr):
+                        missing.append(member)
+        elif _callable_needs_doc(obj):
+            if not inspect.getdoc(obj):
+                missing.append(qualified)
+    return missing
+
+
+def main(argv: List[str] = None) -> int:
+    packages = (argv if argv is not None else sys.argv[1:]) or list(DEFAULT_PACKAGES)
+    missing: List[str] = []
+    checked_modules = 0
+    seen = set()
+    for package in packages:
+        for module_name in iter_modules(package):
+            if module_name in seen:
+                continue
+            seen.add(module_name)
+            checked_modules += 1
+            missing.extend(check_module(module_name))
+    for name in sorted(set(missing)):
+        print(f"undocumented public API: {name}", file=sys.stderr)
+    print(
+        f"checked {checked_modules} module(s), "
+        f"{len(set(missing))} undocumented public object(s)"
+    )
+    return 1 if missing else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
