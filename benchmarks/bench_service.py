@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Compile-service throughput and tail latency under three traffic shapes.
+
+The harness behind ``BENCH_service.json`` (see ``docs/performance.md``).
+Three legs, each against a real server (embedded on a background thread,
+real sockets) driven by the deterministic load generator:
+
+* **cold** — a uniform mix of distinct programs against a fresh cache:
+  every request compiles; the batch-pipeline baseline of the service;
+* **warm** — the *same* plan replayed against the same server and cache:
+  the cache-front path (admission-time hits, no queue, no batch);
+* **skewed** — a zipf-skewed "hot program" mix on a cold server: the
+  coalescing path (identical concurrent requests compile once).
+
+Each leg reports throughput (req/s), latency percentiles (p50/p95/p99 ms),
+and the server's coalesce and cache-hit rates.  The harness fails (exit 1)
+if any leg sees protocol errors or invariant violations, if the warm leg
+reports no cache hits, or if the skewed leg coalesces nothing — those are
+correctness bugs, not performance numbers.
+
+Run from a checkout::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--requests 60] [--clients 6]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.service.embedded import EmbeddedServer  # noqa: E402
+from repro.service.loadgen import build_request_plan, run_load  # noqa: E402
+
+
+def _leg_summary(report, stats) -> dict:
+    requests = stats["requests"]
+    return {
+        "completed": report.completed,
+        "throughput_rps": round(report.throughput_rps, 2),
+        "latency_ms": {
+            "p50": round(report.latency.percentile(50), 3),
+            "p95": round(report.latency.percentile(95), 3),
+            "p99": round(report.latency.percentile(99), 3),
+            "mean": round(report.latency.mean, 3),
+            "max": round(report.latency.maximum or 0.0, 3),
+        },
+        "coalesced": requests["coalesced"],
+        "cache_hits": requests["cache_hits"],
+        "compiled": requests["compiled"],
+        "coalesce_rate": stats["rates"]["coalesce_rate"],
+        "cache_hit_rate": stats["rates"]["cache_hit_rate"],
+        "rejected_overloaded": requests["rejected_overloaded"],
+        "errors": report.error_count,
+        "protocol_errors": report.protocol_errors,
+        "invariant_violations": len(report.invariant_violations),
+        "batches": stats["batches"],
+    }
+
+
+def bench_service(requests: int, clients: int, workers: int, seed: int) -> dict:
+    """Run the three legs; returns the ``BENCH_service.json`` payload body."""
+
+    legs = {}
+    failures = []
+
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-service-")
+    try:
+        uniform_plan = build_request_plan(mix="uniform", requests=requests, seed=seed)
+        with EmbeddedServer(workers=workers, cache=cache_dir) as server:
+            cold = run_load(
+                server.host, server.port, uniform_plan,
+                mode="closed", clients=clients, check_oracle=False,
+            )
+            cold_stats = server.stats()
+        legs["cold"] = _leg_summary(cold, cold_stats)
+        if not cold.ok:
+            failures.append("cold leg had errors or violations")
+
+        # Warm: a fresh server instance over the same cache directory (the
+        # cross-restart case), replaying the identical plan.
+        with EmbeddedServer(workers=workers, cache=cache_dir) as server:
+            warm = run_load(
+                server.host, server.port, uniform_plan,
+                mode="closed", clients=clients, check_oracle=False,
+            )
+            warm_stats = server.stats()
+        legs["warm"] = _leg_summary(warm, warm_stats)
+        if not warm.ok:
+            failures.append("warm leg had errors or violations")
+        if warm_stats["requests"]["cache_hits"] == 0:
+            failures.append("warm leg reported zero cache hits")
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    # Skewed: cold server, no persistent cache — coalescing and in-memory
+    # behaviour only, with the oracle check on (the mix is small).
+    skewed_plan = build_request_plan(mix="hot", requests=requests, seed=seed)
+    with EmbeddedServer(workers=workers, batch_window_ms=30.0) as server:
+        skewed = run_load(
+            server.host, server.port, skewed_plan,
+            mode="closed", clients=clients, check_oracle=True,
+        )
+        skewed_stats = server.stats()
+    legs["skewed"] = _leg_summary(skewed, skewed_stats)
+    if not skewed.ok:
+        failures.append("skewed leg had errors or violations")
+    if skewed_stats["requests"]["coalesced"] == 0:
+        failures.append("skewed leg coalesced nothing")
+
+    return {"legs": legs, "failures": failures}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=60,
+                        help="requests per leg (default 60)")
+    parser.add_argument("--clients", type=int, default=6,
+                        help="concurrent connections (default 6)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="server compile workers (default 1)")
+    parser.add_argument("--seed", type=int, default=0, help="plan seed (default 0)")
+    parser.add_argument("--output", default=os.path.join(_REPO_ROOT, "BENCH_service.json"),
+                        help="output JSON path (default: BENCH_service.json at the repo root)")
+    args = parser.parse_args(argv)
+
+    print(f"service: {args.requests} requests x 3 legs, {args.clients} clients, "
+          f"workers={args.workers} ...")
+    result = bench_service(args.requests, args.clients, args.workers, args.seed)
+    for name, leg in result["legs"].items():
+        lat = leg["latency_ms"]
+        print(f"  {name:6s} {leg['throughput_rps']:8.1f} req/s  "
+              f"p50={lat['p50']:.1f}ms p95={lat['p95']:.1f}ms p99={lat['p99']:.1f}ms  "
+              f"coalesced={leg['coalesced']} hits={leg['cache_hits']} "
+              f"compiled={leg['compiled']}")
+
+    payload = {
+        "schema": "bench_service/v1",
+        "cpu_count": os.cpu_count(),
+        "requests_per_leg": args.requests,
+        "clients": args.clients,
+        "workers": args.workers,
+        "seed": args.seed,
+        "service": result["legs"],
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    for failure in result["failures"]:
+        print(f"ERROR: {failure}", file=sys.stderr)
+    return 1 if result["failures"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

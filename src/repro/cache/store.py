@@ -24,6 +24,11 @@ to pickled values:
 * **Stats** — hits, misses, stores, evictions and corrupt entries are
   counted per :class:`CompileCache` instance (i.e. per process, not
   persisted).
+* **Concurrency** — an internal lock makes one instance safe to share
+  between threads (the compile server's event loop and its batch-dispatch
+  thread use a single store), and every disk path tolerates files or
+  directories vanishing mid-operation: a concurrent ``clear`` makes
+  readers *miss*, never crash.
 
 The store is value-agnostic: it never imports the pipeline layers and will
 hold anything picklable.
@@ -34,6 +39,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -84,6 +90,11 @@ class CompileCache:
         self.memory_entries = max(0, int(memory_entries))
         self._memory: "OrderedDict[str, Any]" = OrderedDict()
         self.stats = CacheStats()
+        # One instance may be shared between threads (the compile server's
+        # event loop does admission-time lookups while its dispatch thread
+        # reads and writes through compile_many): the LRU OrderedDict and
+        # the stats counters are only ever touched under this lock.
+        self._lock = threading.RLock()
 
     # -- key→path mapping ---------------------------------------------------------
 
@@ -96,18 +107,26 @@ class CompileCache:
         """The cached value for ``key``, or ``default`` on a miss.
 
         Any kind of disk trouble — missing file, unreadable pickle, version
-        or key mismatch — is a miss, never an exception.
+        or key mismatch — is a miss, never an exception; in particular a
+        concurrent :meth:`clear` racing this lookup yields a miss.
         """
 
-        if key in self._memory:
-            self._memory.move_to_end(key)
-            self.stats.hits += 1
-            return self._memory[key]
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self.stats.hits += 1
+                return self._memory[key]
+        # The disk read happens *outside* the lock: holding it across a
+        # pickle load would serialize every other thread's lookups behind
+        # this one's I/O (the compile server's event loop must never wait
+        # on its dispatch thread's disk reads).  Two threads racing the
+        # same key both read the same immutable entry — harmless.
         value = self._read_disk(key)
-        if value is _MISSING:
-            self.stats.misses += 1
-            return default
-        self.stats.hits += 1
+        with self._lock:
+            if value is _MISSING:
+                self.stats.misses += 1
+                return default
+            self.stats.hits += 1
         self._remember(key, value)
         return value
 
@@ -121,7 +140,8 @@ class CompileCache:
         except Exception:
             # Torn write survivor, truncated disk, unpicklable garbage, a
             # class that no longer exists ... all of it is just a miss.
-            self.stats.corrupt += 1
+            with self._lock:
+                self.stats.corrupt += 1
             self._discard(path)
             return _MISSING
         if (
@@ -130,7 +150,8 @@ class CompileCache:
             or payload.get("key") != key
             or "value" not in payload
         ):
-            self.stats.corrupt += 1
+            with self._lock:
+                self.stats.corrupt += 1
             self._discard(path)
             return _MISSING
         return payload["value"]
@@ -145,11 +166,12 @@ class CompileCache:
     def _remember(self, key: str, value: Any) -> None:
         if self.memory_entries == 0:
             return
-        self._memory[key] = value
-        self._memory.move_to_end(key)
-        while len(self._memory) > self.memory_entries:
-            self._memory.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._memory[key] = value
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.memory_entries:
+                self._memory.popitem(last=False)
+                self.stats.evictions += 1
 
     # -- stores -------------------------------------------------------------------
 
@@ -181,21 +203,29 @@ class CompileCache:
             except OSError:
                 pass
             return
-        self.stats.stores += 1
+        with self._lock:
+            self.stats.stores += 1
 
     # -- maintenance --------------------------------------------------------------
 
     def _entry_files(self, all_versions: bool = False) -> Iterator[Path]:
+        # Every glob is materialized under a try: a concurrent ``clear``
+        # (or any other writer) may delete shard directories while this
+        # iterates, and a maintenance query must degrade to "fewer
+        # entries", never raise.
         roots: List[Path]
-        if all_versions:
-            if not self.directory.is_dir():
-                return
-            roots = sorted(p for p in self.directory.glob("v*") if p.is_dir())
-        else:
-            roots = [self.root]
-        for root in roots:
-            if root.is_dir():
-                yield from sorted(root.glob("*/*.pkl"))
+        try:
+            if all_versions:
+                if not self.directory.is_dir():
+                    return
+                roots = sorted(p for p in self.directory.glob("v*") if p.is_dir())
+            else:
+                roots = [self.root]
+            for root in roots:
+                if root.is_dir():
+                    yield from sorted(root.glob("*/*.pkl"))
+        except OSError:
+            return
 
     def entry_count(self) -> int:
         """Number of entries on disk for the current cache version."""
@@ -217,7 +247,10 @@ class CompileCache:
         """Delete every entry (all versions, stale ones included).
 
         Returns the number of entry files removed; empty shard and version
-        directories are pruned best-effort.
+        directories are pruned best-effort.  Safe to run while other
+        processes or threads are reading the same directory: their
+        lookups observe misses (never errors), and entries they write
+        concurrently may simply survive the sweep.
         """
 
         removed = 0
@@ -238,7 +271,8 @@ class CompileCache:
                     version_dir.rmdir()
                 except OSError:
                     pass
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
         return removed
 
 

@@ -20,8 +20,17 @@ Subcommands::
     repro-spill targets                          # list registered machine descriptions
     repro-spill place     FILE [--cost-model MODEL] [--target NAME]
                                                  # place spill code for a textual IR file
-    repro-spill cache     {stats,clear} --cache-dir DIR
+    repro-spill cache     {stats,clear} --cache-dir DIR [--json]
                                                  # inspect / empty a compile cache
+    repro-spill serve     [--host H] [--port P] [--workers N] [--cache-dir DIR]
+                          [--max-queue N] [--batch-max N] [--batch-window-ms T]
+                                                 # run the compile server (JSON lines
+                                                 # over TCP; graceful drain on SIGTERM)
+    repro-spill loadgen   [--host H] [--port P | --self-serve] [--mix MIX]
+                          [--mode open|closed] [--requests N] [--clients N]
+                          [--rate R] [--seed N] [--target NAME ...] [--check]
+                          [--expect-coalesced]   # deterministic load harness +
+                                                 # serving-invariant checker
 
 ``--cache-dir`` (or the ``REPRO_CACHE_DIR`` environment variable) enables
 the persistent compile cache: repeated runs of an unchanged suite reuse
@@ -204,6 +213,83 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="cache directory (default: $REPRO_CACHE_DIR)",
     )
+    cache.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (stats only; same shape as the "
+        "service stats snapshot's 'cache' object)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve", help="run the compile server (JSON-lines protocol over TCP)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=7814,
+        help="TCP port (default 7814; 0 = ephemeral, printed on startup)",
+    )
+    _add_workers(serve)
+    _add_cache(serve)
+    serve.add_argument(
+        "--max-queue", type=int, default=None, metavar="N",
+        help="admission-queue bound; beyond it requests are rejected as "
+        "'overloaded' (default 256)",
+    )
+    serve.add_argument(
+        "--batch-max", type=int, default=None, metavar="N",
+        help="micro-batch flush size (default 16)",
+    )
+    serve.add_argument(
+        "--batch-window-ms", type=float, default=None, metavar="T",
+        help="micro-batch flush window in milliseconds (default 10)",
+    )
+
+    loadgen = subparsers.add_parser(
+        "loadgen", help="deterministic load generator + serving-invariant checker"
+    )
+    loadgen.add_argument("--host", default="127.0.0.1", help="server address")
+    loadgen.add_argument("--port", type=int, default=7814, help="server port (default 7814)")
+    loadgen.add_argument(
+        "--self-serve",
+        action="store_true",
+        help="start an embedded server for the duration of the run "
+        "(ignores --host/--port; handy for smokes and benchmarks)",
+    )
+    loadgen.add_argument(
+        "--mix", choices=("uniform", "hot", "mixed"), default="mixed",
+        help="request mix (default: mixed — distinct programs plus a "
+        "zipf-skewed hot set with duplicates)",
+    )
+    loadgen.add_argument(
+        "--mode", choices=("closed", "open"), default="closed",
+        help="closed loop (saturating clients) or open loop (fixed arrival rate)",
+    )
+    loadgen.add_argument("--requests", type=int, default=50, help="plan length (default 50)")
+    loadgen.add_argument("--clients", type=int, default=4, help="concurrent connections (default 4)")
+    loadgen.add_argument(
+        "--rate", type=float, default=100.0,
+        help="open-loop arrivals per second (default 100)",
+    )
+    loadgen.add_argument("--seed", type=int, default=0, help="plan seed (default 0)")
+    loadgen.add_argument(
+        "--target", action="append", dest="targets", metavar="NAME",
+        choices=available_targets(), default=None,
+        help="target(s) the plan cycles through (repeatable; default: parisc)",
+    )
+    loadgen.add_argument(
+        "--check", action="store_true",
+        help="verify every response byte-for-byte against a local "
+        "compile_procedure oracle",
+    )
+    loadgen.add_argument(
+        "--expect-coalesced", action="store_true",
+        help="fail unless the server reports at least one coalesced request",
+    )
+    # Server knobs for --self-serve runs.
+    loadgen.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="workers of the embedded --self-serve server (default 1)")
+    loadgen.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="cache directory of the embedded --self-serve server")
 
     place = subparsers.add_parser(
         "place", help="run the placement pipeline on a textual IR file"
@@ -304,7 +390,7 @@ def _command_scenarios() -> int:
     return 0
 
 
-def _command_cache(action: str, cache_dir: Optional[str]) -> int:
+def _command_cache(action: str, cache_dir: Optional[str], as_json: bool = False) -> int:
     if not cache_dir:
         print(
             "error: no cache directory (pass --cache-dir or set $REPRO_CACHE_DIR)",
@@ -313,6 +399,20 @@ def _command_cache(action: str, cache_dir: Optional[str]) -> int:
         return 2
     cache = CompileCache(cache_dir)
     if action == "stats":
+        if as_json:
+            import json
+
+            from repro.service.metrics import cache_stats_payload
+
+            # The same shape as the service stats snapshot's "cache"
+            # object, so one parser serves dashboards fed by either.
+            payload = {
+                "directory": str(cache.directory),
+                "version": CACHE_VERSION,
+                "cache": cache_stats_payload(cache),
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
         print(f"cache directory : {cache.directory}")
         print(f"store version   : v{CACHE_VERSION}")
         print(f"entries         : {cache.entry_count()}")
@@ -321,6 +421,98 @@ def _command_cache(action: str, cache_dir: Optional[str]) -> int:
     removed = cache.clear()
     print(f"removed {removed} cache entries from {cache.directory}")
     return 0
+
+
+def _command_serve(args) -> int:
+    import asyncio
+
+    from repro.service.server import (
+        DEFAULT_BATCH_MAX_REQUESTS,
+        DEFAULT_BATCH_WINDOW_MS,
+        DEFAULT_MAX_QUEUE,
+        run_server,
+    )
+
+    cache = _make_cache(args)
+
+    def _ready(server) -> None:
+        # Scripts (the CI service job among them) wait for this line.
+        print(f"repro-spill serve: listening on {server.host}:{server.port}", flush=True)
+        print(
+            f"  workers={server.workers if server.workers is not None else 'auto'} "
+            f"max_queue={server.max_queue} batch_max={server.batch_max_requests} "
+            f"batch_window_ms={server.batch_window_ms:g} "
+            f"cache={'on' if server.cache is not None else 'off'}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    try:
+        asyncio.run(
+            run_server(
+                host=args.host,
+                port=args.port,
+                workers=args.workers,
+                cache=cache,
+                max_queue=args.max_queue if args.max_queue is not None else DEFAULT_MAX_QUEUE,
+                batch_max_requests=(
+                    args.batch_max if args.batch_max is not None else DEFAULT_BATCH_MAX_REQUESTS
+                ),
+                batch_window_ms=(
+                    args.batch_window_ms
+                    if args.batch_window_ms is not None
+                    else DEFAULT_BATCH_WINDOW_MS
+                ),
+                ready_callback=_ready,
+            )
+        )
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C without handler
+        pass
+    print("repro-spill serve: drained, bye", file=sys.stderr)
+    return 0
+
+
+def _command_loadgen(args) -> int:
+    from repro.service.embedded import EmbeddedServer
+    from repro.service.loadgen import build_request_plan, render_load_report, run_load
+
+    plan = build_request_plan(
+        mix=args.mix,
+        requests=args.requests,
+        seed=args.seed,
+        targets=tuple(args.targets) if args.targets else ("parisc",),
+    )
+
+    def _run(host: str, port: int):
+        return run_load(
+            host,
+            port,
+            plan,
+            mode=args.mode,
+            clients=args.clients,
+            rate=args.rate,
+            check_oracle=args.check,
+        )
+
+    if args.self_serve:
+        with EmbeddedServer(workers=args.workers, cache=args.cache_dir) as embedded:
+            report = _run(embedded.host, embedded.port)
+    else:
+        report = _run(args.host, args.port)
+
+    print(render_load_report(report))
+    failed = not report.ok
+    if args.expect_coalesced:
+        server_coalesced = 0
+        if report.server_stats is not None:
+            server_coalesced = report.server_stats.get("requests", {}).get("coalesced", 0)
+        coalesced = max(report.coalesced_responses, server_coalesced)
+        if coalesced == 0:
+            print("loadgen: FAILED — expected at least one coalesced request", file=sys.stderr)
+            failed = True
+    if failed and not report.ok:
+        print("loadgen: FAILED — errors or violated invariants (see above)", file=sys.stderr)
+    return 1 if failed else 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -402,7 +594,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "place":
         return _command_place(args.file, args.cost_model, args.target)
     if args.command == "cache":
-        return _command_cache(args.action, args.cache_dir)
+        return _command_cache(args.action, args.cache_dir, getattr(args, "json", False))
+    if args.command == "serve":
+        return _command_serve(args)
+    if args.command == "loadgen":
+        return _command_loadgen(args)
     return 1
 
 

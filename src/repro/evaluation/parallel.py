@@ -26,6 +26,12 @@ is safe to leave enabled everywhere.  ``workers=None`` ("auto") resolves to
 the *available* cores and stays serial on a single-core machine, where a
 pool is pure overhead.
 
+Teardown: the process pool never outlives its batch.  On any failure — a
+procedure that raises in a worker, a ``KeyboardInterrupt`` in the parent —
+pending chunks are cancelled and the pool is shut down (workers joined)
+*before* the exception propagates, so a crashing evaluation cannot leak
+worker processes (regression-tested in ``tests/evaluation/test_parallel.py``).
+
 Compile cache: both sharding entry points accept ``cache=`` (a
 :class:`~repro.cache.store.CompileCache` or a directory).  Cache hits are
 resolved in the parent *before* chunk planning, so only misses are sharded
@@ -359,7 +365,9 @@ def _run_sharded(
     plan = _chunk_plan(sizes, workers)
     results: List[List[object]] = [[None] * size for size in sizes]
     techniques = tuple(techniques)
-    with ProcessPoolExecutor(max_workers=min(workers, max(1, len(plan)))) as pool:
+    pool = ProcessPoolExecutor(max_workers=min(workers, max(1, len(plan))))
+    futures = []
+    try:
         futures = [
             pool.submit(
                 worker_fn,
@@ -379,6 +387,15 @@ def _run_sharded(
         for (g, start, _stop), future in zip(plan, futures):
             chunk = future.result()
             results[g][start : start + len(chunk)] = chunk
+    except BaseException:
+        # A failing chunk (or a KeyboardInterrupt in the parent) must not
+        # leave workers grinding through the rest of the plan:
+        # ``cancel_futures`` drops everything not yet running and
+        # ``wait=True`` joins the worker processes, so no children leak
+        # whatever the failure mode.
+        pool.shutdown(wait=True, cancel_futures=True)
+        raise
+    pool.shutdown(wait=True)
     return results
 
 

@@ -1,0 +1,377 @@
+"""Clients for the compile service: synchronous sockets and asyncio streams.
+
+Both clients speak the JSON-lines protocol of :mod:`repro.service.protocol`,
+perform the version handshake on connect, enforce per-request timeouts and
+retry ``overloaded`` rejections with exponential backoff (the polite
+reaction to admission control: back off, do not hammer).  Any other error
+response raises :class:`ServiceError` with the server's code and message.
+
+The synchronous :class:`ServiceClient` is what tests, the CLI and simple
+scripts use — one blocking request at a time per connection.  The
+:class:`AsyncServiceClient` is the load generator's building block: many
+instances (or one per simulated client) inside one event loop, with
+pipelining left to the caller.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    CompileRequest,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    hello_message,
+    parse_hello,
+)
+
+#: How many times a compile is retried after an ``overloaded`` rejection.
+DEFAULT_RETRIES = 4
+
+#: First backoff sleep in seconds; doubles per retry.
+DEFAULT_BACKOFF = 0.05
+
+
+class ServiceError(RuntimeError):
+    """An error response from the server (or a broken conversation).
+
+    ``code`` is one of :data:`repro.service.protocol.ERROR_CODES` (or
+    ``"transport"`` for connection-level failures).
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.detail = message
+
+
+class OverloadedError(ServiceError):
+    """The server's admission queue was full even after every retry."""
+
+
+def _check_hello(message: Mapping[str, Any]) -> None:
+    """Validate the server's handshake reply (raises :class:`ServiceError`)."""
+
+    if message.get("type") == "error":
+        raise ServiceError(str(message.get("code")), str(message.get("message")))
+    if message.get("type") != "hello":
+        raise ServiceError("protocol", f"expected hello, got {message.get('type')!r}")
+    try:
+        version = parse_hello(message)
+    except ProtocolError as exc:
+        raise ServiceError("protocol", str(exc)) from None
+    if version != PROTOCOL_VERSION:
+        raise ServiceError(
+            "protocol",
+            f"server speaks protocol {version}, client speaks {PROTOCOL_VERSION}",
+        )
+
+
+def _raise_for_error(response: Mapping[str, Any]) -> Mapping[str, Any]:
+    """Pass a non-error response through; raise :class:`ServiceError` otherwise."""
+
+    if response.get("type") == "error":
+        code = str(response.get("code", "internal"))
+        raise ServiceError(code, str(response.get("message", "")))
+    return response
+
+
+def _compile_message(
+    request_id: str,
+    ir: Optional[str],
+    scenario: Optional[str],
+    target: str,
+    cost_model: str,
+    techniques: Optional[Sequence[str]],
+    profile: Optional[Mapping[str, Any]],
+    cache: str,
+) -> Dict[str, Any]:
+    """Build a compile message from keyword convenience arguments."""
+
+    if (ir is None) == (scenario is None):
+        raise ValueError("pass exactly one of ir= or scenario=")
+    from repro.pipeline.compiler import TECHNIQUES
+
+    program = {"ir": ir} if ir is not None else {"scenario": scenario}
+    request = CompileRequest(
+        id=request_id,
+        program=program,
+        target=target,
+        cost_model=cost_model,
+        techniques=tuple(techniques) if techniques is not None else TECHNIQUES,
+        profile=dict(profile) if profile is not None else None,
+        cache=cache,
+    )
+    return request.to_message()
+
+
+class ServiceClient:
+    """A blocking, one-request-at-a-time compile-service client.
+
+    Usable as a context manager; the connection and handshake happen in the
+    constructor.  ``timeout`` bounds every send/receive; ``retries`` and
+    ``backoff`` govern the reaction to ``overloaded`` rejections
+    (``sleep`` is injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 60.0,
+        retries: int = DEFAULT_RETRIES,
+        backoff: float = DEFAULT_BACKOFF,
+        sleep=time.sleep,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self._sleep = sleep
+        self._counter = 0
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._socket.makefile("rb")
+        self._send(hello_message())
+        _check_hello(self._receive())
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+
+        try:
+            self._file.close()
+        except OSError:  # pragma: no cover - best-effort close
+            pass
+        try:
+            self._socket.close()
+        except OSError:  # pragma: no cover - best-effort close
+            pass
+
+    def _next_id(self) -> str:
+        self._counter += 1
+        return f"r{self._counter}"
+
+    def _send(self, message: Mapping[str, Any]) -> None:
+        try:
+            self._socket.sendall(encode_message(message))
+        except OSError as exc:
+            raise ServiceError("transport", f"send failed: {exc}") from None
+
+    def _receive(self) -> Dict[str, Any]:
+        try:
+            line = self._file.readline(MAX_FRAME_BYTES + 1024)
+        except (OSError, socket.timeout) as exc:
+            raise ServiceError("transport", f"receive failed: {exc}") from None
+        if not line:
+            raise ServiceError("transport", "server closed the connection")
+        try:
+            return decode_message(line)
+        except ProtocolError as exc:
+            raise ServiceError("protocol", str(exc)) from None
+
+    def _roundtrip(self, message: Mapping[str, Any]) -> Dict[str, Any]:
+        self._send(message)
+        return self._receive()
+
+    # -- requests -----------------------------------------------------------------
+
+    def compile(
+        self,
+        ir: Optional[str] = None,
+        scenario: Optional[str] = None,
+        target: str = "parisc",
+        cost_model: str = "jump_edge",
+        techniques: Optional[Sequence[str]] = None,
+        profile: Optional[Mapping[str, Any]] = None,
+        cache: str = "use",
+        request_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Compile one program; returns the full ``result`` response message.
+
+        Retries ``overloaded`` rejections up to ``retries`` times with
+        exponential backoff, then raises :class:`OverloadedError`.  Other
+        error responses raise :class:`ServiceError` immediately.
+        """
+
+        message = _compile_message(
+            request_id or self._next_id(),
+            ir,
+            scenario,
+            target,
+            cost_model,
+            techniques,
+            profile,
+            cache,
+        )
+        return self.send_compile_message(message)
+
+    def send_compile_message(self, message: Mapping[str, Any]) -> Dict[str, Any]:
+        """Send a prebuilt compile message with the retry-on-overloaded loop."""
+
+        last: Optional[Mapping[str, Any]] = None
+        for attempt in range(self.retries + 1):
+            response = self._roundtrip(message)
+            if response.get("type") == "error" and response.get("code") == "overloaded":
+                last = response
+                if attempt < self.retries:
+                    self._sleep(self.backoff * (2**attempt))
+                continue
+            return dict(_raise_for_error(response))
+        raise OverloadedError("overloaded", str(last.get("message", "")))
+
+    def stats(self) -> Dict[str, Any]:
+        """Fetch the server's metrics snapshot."""
+
+        response = _raise_for_error(self._roundtrip({"type": "stats", "id": self._next_id()}))
+        return dict(response["stats"])
+
+    def shutdown(self) -> None:
+        """Ask the server to drain gracefully."""
+
+        _raise_for_error(self._roundtrip({"type": "shutdown", "id": self._next_id()}))
+
+
+class AsyncServiceClient:
+    """The asyncio twin of :class:`ServiceClient` (one stream connection).
+
+    Create with :meth:`connect`.  One in-flight request per instance keeps
+    request/response matching trivial; the load generator runs many
+    instances concurrently instead of pipelining one.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        timeout: float = 60.0,
+        retries: int = DEFAULT_RETRIES,
+        backoff: float = DEFAULT_BACKOFF,
+    ):
+        self._reader = reader
+        self._writer = writer
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self._counter = 0
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 60.0,
+        retries: int = DEFAULT_RETRIES,
+        backoff: float = DEFAULT_BACKOFF,
+    ) -> "AsyncServiceClient":
+        """Open a connection and perform the protocol handshake."""
+
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port, limit=MAX_FRAME_BYTES + 1024),
+            timeout=timeout,
+        )
+        client = cls(reader, writer, timeout=timeout, retries=retries, backoff=backoff)
+        await client._send(hello_message())
+        _check_hello(await client._receive())
+        return client
+
+    async def close(self) -> None:
+        """Close the connection (idempotent)."""
+
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (OSError, ConnectionResetError):  # pragma: no cover
+            pass
+
+    def _next_id(self) -> str:
+        self._counter += 1
+        return f"r{self._counter}"
+
+    async def _send(self, message: Mapping[str, Any]) -> None:
+        self._writer.write(encode_message(message))
+        await asyncio.wait_for(self._writer.drain(), timeout=self.timeout)
+
+    async def _receive(self) -> Dict[str, Any]:
+        try:
+            line = await asyncio.wait_for(self._reader.readline(), timeout=self.timeout)
+        except asyncio.TimeoutError:
+            raise ServiceError("transport", "receive timed out") from None
+        except ValueError as exc:
+            # ``readline`` reports an over-limit line as ValueError.
+            raise ServiceError("protocol", f"oversized response frame: {exc}") from None
+        if not line:
+            raise ServiceError("transport", "server closed the connection")
+        try:
+            return decode_message(line)
+        except ProtocolError as exc:
+            raise ServiceError("protocol", str(exc)) from None
+
+    async def _roundtrip(self, message: Mapping[str, Any]) -> Dict[str, Any]:
+        await self._send(message)
+        return await self._receive()
+
+    async def compile(
+        self,
+        ir: Optional[str] = None,
+        scenario: Optional[str] = None,
+        target: str = "parisc",
+        cost_model: str = "jump_edge",
+        techniques: Optional[Sequence[str]] = None,
+        profile: Optional[Mapping[str, Any]] = None,
+        cache: str = "use",
+        request_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Compile one program (same semantics as the sync client)."""
+
+        message = _compile_message(
+            request_id or self._next_id(),
+            ir,
+            scenario,
+            target,
+            cost_model,
+            techniques,
+            profile,
+            cache,
+        )
+        return await self.send_compile_message(message)
+
+    async def send_compile_message(self, message: Mapping[str, Any]) -> Dict[str, Any]:
+        """Send a prebuilt compile message with the retry-on-overloaded loop."""
+
+        last: Optional[Mapping[str, Any]] = None
+        for attempt in range(self.retries + 1):
+            response = await self._roundtrip(message)
+            if response.get("type") == "error" and response.get("code") == "overloaded":
+                last = response
+                if attempt < self.retries:
+                    await asyncio.sleep(self.backoff * (2**attempt))
+                continue
+            return dict(_raise_for_error(response))
+        raise OverloadedError("overloaded", str(last.get("message", "")))
+
+    async def stats(self) -> Dict[str, Any]:
+        """Fetch the server's metrics snapshot."""
+
+        response = _raise_for_error(
+            await self._roundtrip({"type": "stats", "id": self._next_id()})
+        )
+        return dict(response["stats"])
+
+    async def shutdown(self) -> None:
+        """Ask the server to drain gracefully."""
+
+        _raise_for_error(await self._roundtrip({"type": "shutdown", "id": self._next_id()}))

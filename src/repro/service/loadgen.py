@@ -1,0 +1,612 @@
+"""Seed-deterministic load generation for the compile service.
+
+The load generator turns the PR-4 scenario registry into request traffic:
+a **plan** (the exact sequence of compile messages, a pure function of the
+seed and the mix options) plus a **driver** that replays the plan against a
+server in open- or closed-loop mode and verifies invariants on every
+response.
+
+Request mixes
+-------------
+
+``uniform``
+    every request is a distinct program: scenario families round-robin,
+    the index advancing each cycle — the cold-cache, no-duplicate
+    workload;
+``hot``
+    requests drawn zipf-skewed from a small pool of programs (the
+    "everyone compiles the same hot function" shape) — exercises both the
+    cache front (across batches) and in-flight coalescing (within one);
+``mixed``
+    a seeded interleaving of the two, duplicates included — the CI smoke
+    traffic.
+
+The ``hot`` and ``mixed`` plans open with a short **duplicate burst**
+(:data:`WARMUP_BURST` copies of the hottest program at positions 0..2):
+with at least two concurrent clients and a cold server these are in flight
+together before anything is cached, so every cold run deterministically
+exercises the coalescing path — not just when the zipf draw happens to
+cluster.
+
+Driver modes
+------------
+
+``closed``
+    ``clients`` concurrent connections, each submitting its next request
+    as soon as the previous one is answered (throughput-bounded by the
+    server);
+``open``
+    requests fired at a fixed arrival ``rate`` regardless of completions
+    (connections are pipelined; admission control is what protects the
+    server when the rate exceeds capacity).
+
+Invariants checked on every run
+-------------------------------
+
+* zero protocol errors (every response parses and matches a request id);
+* duplicate-request consistency: equal request signatures receive
+  byte-identical ``result`` payloads, coalesced/cached or not;
+* with ``check_oracle=True``, every ``result`` is byte-identical to a
+  local :func:`~repro.pipeline.compiler.compile_procedure` of the same
+  request — the end-to-end serving-correctness invariant.
+
+Every RNG is string-seeded (``random.Random(f"loadgen/...")``), matching
+the scenario registry's determinism contract: the same options always
+produce the same plan, on every host.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import random
+
+from repro.service.metrics import LatencyHistogram
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    hello_message,
+    parse_compile_request,
+    resolve_compile_request,
+    response_result_bytes,
+    result_payload,
+)
+from repro.service.client import _check_hello  # shared handshake validation
+from repro.workloads.scenarios import scenario_names
+
+#: Mix names understood by :func:`build_request_plan`.
+MIXES = ("uniform", "hot", "mixed")
+
+#: Driver modes understood by :func:`run_load`.
+MODES = ("closed", "open")
+
+#: Distinct programs in the zipf pool of the ``hot``/``mixed`` mixes.
+DEFAULT_POOL_SIZE = 6
+
+#: Zipf skew exponent: rank ``r`` is drawn with weight ``1/(r+1)**s``.
+DEFAULT_ZIPF_EXPONENT = 1.2
+
+#: Leading duplicates of the hottest program in ``hot``/``mixed`` plans —
+#: guarantees concurrent identical in-flight requests on a cold server.
+WARMUP_BURST = 3
+
+
+def _scenario_reference(family: str, seed: int, index: int) -> Dict[str, Any]:
+    return {"scenario": f"scenario:{family}:{seed}:{index}"}
+
+
+def build_request_plan(
+    mix: str = "mixed",
+    requests: int = 50,
+    seed: int = 0,
+    targets: Sequence[str] = ("parisc",),
+    cost_model: str = "jump_edge",
+    pool_size: int = DEFAULT_POOL_SIZE,
+    zipf_exponent: float = DEFAULT_ZIPF_EXPONENT,
+    bypass_fraction: float = 0.0,
+) -> List[Dict[str, Any]]:
+    """Build the deterministic request plan: a list of compile messages.
+
+    The plan is a pure function of the arguments (string-seeded RNGs, no
+    global state): the same call always yields the same messages with the
+    same ids (``q0``, ``q1``, ...), so a run can be replayed — and a found
+    interleaving pinned as a regression fixture — by seed alone.
+    """
+
+    if mix not in MIXES:
+        raise ValueError(f"unknown mix {mix!r}; expected one of {MIXES}")
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests!r}")
+    if not targets:
+        raise ValueError("targets must not be empty")
+    families = scenario_names()
+    rng = random.Random(f"loadgen/{mix}/{seed}/{requests}")
+
+    # The zipf pool: ``pool_size`` distinct programs, families round-robin.
+    pool = [
+        (families[rank % len(families)], seed, rank // len(families))
+        for rank in range(pool_size)
+    ]
+    weights = [1.0 / (rank + 1) ** zipf_exponent for rank in range(pool_size)]
+
+    def fresh(position: int) -> Tuple[str, int, int]:
+        """The ``position``-th distinct uniform program (never in the pool)."""
+
+        family = families[position % len(families)]
+        # Offset past the pool's index range so uniform draws stay distinct
+        # from hot-pool programs even within the same family.
+        return family, seed, pool_size + position // len(families)
+
+    plan: List[Dict[str, Any]] = []
+    uniform_cursor = 0
+    for position in range(requests):
+        if mix != "uniform" and position < min(WARMUP_BURST, requests - 1):
+            # The deterministic duplicate burst (see module docstring).
+            family, fam_seed, index = pool[0]
+        elif mix == "uniform":
+            family, fam_seed, index = fresh(uniform_cursor)
+            uniform_cursor += 1
+        elif mix == "hot":
+            family, fam_seed, index = rng.choices(pool, weights=weights, k=1)[0]
+        else:  # mixed
+            if rng.random() < 0.5:
+                family, fam_seed, index = rng.choices(pool, weights=weights, k=1)[0]
+            else:
+                family, fam_seed, index = fresh(uniform_cursor)
+                uniform_cursor += 1
+        cache = "bypass" if rng.random() < bypass_fraction else "use"
+        message = {
+            "type": "compile",
+            "id": f"q{position}",
+            "program": _scenario_reference(family, fam_seed, index),
+            "target": targets[position % len(targets)],
+            "cost_model": cost_model,
+            "cache": cache,
+        }
+        plan.append(message)
+    return plan
+
+
+def plan_signature(message: Mapping[str, Any]) -> str:
+    """The canonical work-identity of one plan message (id excluded).
+
+    Validates the message on the way — a malformed plan entry fails here,
+    not against the server.
+    """
+
+    return parse_compile_request(message).signature()
+
+
+def oracle_results(plan: Sequence[Mapping[str, Any]]) -> Dict[str, bytes]:
+    """Locally compiled ground truth: signature -> canonical result bytes.
+
+    One :func:`~repro.pipeline.compiler.compile_procedure` per *unique*
+    request signature — what every served response must match
+    byte-for-byte.
+    """
+
+    from repro.pipeline.compiler import compile_procedure
+
+    truth: Dict[str, bytes] = {}
+    for message in plan:
+        request = parse_compile_request(message)
+        signature = request.signature()
+        if signature in truth:
+            continue
+        resolved = resolve_compile_request(request)
+        compiled = compile_procedure(
+            (resolved.function, resolved.profile),
+            machine=request.target,
+            cost_model=request.cost_model,
+            techniques=list(request.techniques),
+            verify=True,
+        )
+        truth[signature] = json.dumps(
+            result_payload(resolved, compiled), sort_keys=True
+        ).encode("utf-8")
+    return truth
+
+
+# ---------------------------------------------------------------------------
+# The pipelined connection (open-loop driver building block).
+# ---------------------------------------------------------------------------
+
+
+class _PipelinedClient:
+    """One connection with id-demultiplexed concurrent requests.
+
+    Unlike :class:`~repro.service.client.AsyncServiceClient` this allows
+    many requests in flight at once on a single connection: a reader task
+    routes every response to its request's future by id.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._pending: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
+        self._protocol_errors = 0
+        self._reader_task: Optional[asyncio.Task] = None
+
+    @classmethod
+    async def connect(cls, host: str, port: int, timeout: float) -> "_PipelinedClient":
+        """Open, handshake and start the response demultiplexer."""
+
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port, limit=MAX_FRAME_BYTES + 1024),
+            timeout=timeout,
+        )
+        client = cls(reader, writer)
+        writer.write(encode_message(hello_message()))
+        await writer.drain()
+        line = await asyncio.wait_for(reader.readline(), timeout=timeout)
+        _check_hello(decode_message(line))
+        client._reader_task = asyncio.ensure_future(client._read_loop())
+        return client
+
+    async def _read_loop(self) -> None:
+        while True:
+            try:
+                line = await self._reader.readline()
+            except (ConnectionResetError, asyncio.CancelledError):
+                break
+            except ValueError:
+                # Over-limit frame: the stream cannot be re-synchronized.
+                self._protocol_errors += 1
+                break
+            if not line:
+                break
+            try:
+                message = decode_message(line)
+            except ProtocolError:
+                self._protocol_errors += 1
+                continue
+            request_id = message.get("id")
+            future = self._pending.pop(request_id, None)
+            if future is None or future.done():
+                self._protocol_errors += 1
+                continue
+            future.set_result(message)
+        # Fail anything still outstanding so callers do not hang.
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(
+                    ConnectionError("connection closed with requests in flight")
+                )
+        self._pending.clear()
+
+    @property
+    def protocol_errors(self) -> int:
+        """Responses that failed to parse or matched no pending request."""
+
+        return self._protocol_errors
+
+    async def request(
+        self, message: Mapping[str, Any], timeout: float
+    ) -> Dict[str, Any]:
+        """Send one message and await the response with the matching id."""
+
+        request_id = message["id"]
+        future: "asyncio.Future[Dict[str, Any]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending[request_id] = future
+        self._writer.write(encode_message(message))
+        await self._writer.drain()
+        return await asyncio.wait_for(future, timeout=timeout)
+
+    async def close(self) -> None:
+        """Stop the demultiplexer and close the connection."""
+
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):  # pragma: no cover
+                pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (OSError, ConnectionResetError):  # pragma: no cover
+            pass
+
+
+# ---------------------------------------------------------------------------
+# The driver.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LoadReport:
+    """Everything one load run measured and verified."""
+
+    mode: str
+    requests_planned: int
+    completed: int = 0
+    retries: int = 0
+    #: Terminal error responses by code (after the retry loop gave up).
+    errors: Dict[str, int] = field(default_factory=dict)
+    protocol_errors: int = 0
+    transport_errors: int = 0
+    #: Responses whose ``result`` bytes disagreed with a duplicate or with
+    #: the local oracle — each entry names the offending request.
+    invariant_violations: List[str] = field(default_factory=list)
+    coalesced_responses: int = 0
+    cache_hit_responses: int = 0
+    wall_seconds: float = 0.0
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    #: The server's metrics snapshot fetched after the run (None if the
+    #: stats request failed).
+    server_stats: Optional[Dict[str, Any]] = None
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per wall-clock second."""
+
+        return self.completed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def error_count(self) -> int:
+        """Total terminal error responses."""
+
+        return sum(self.errors.values())
+
+    @property
+    def ok(self) -> bool:
+        """Did the run finish with zero errors and zero violated invariants?"""
+
+        return (
+            self.completed == self.requests_planned
+            and not self.error_count
+            and not self.protocol_errors
+            and not self.transport_errors
+            and not self.invariant_violations
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        """A JSON-serializable summary (the benchmark harness's raw material)."""
+
+        return {
+            "mode": self.mode,
+            "requests_planned": self.requests_planned,
+            "completed": self.completed,
+            "retries": self.retries,
+            "errors": dict(self.errors),
+            "protocol_errors": self.protocol_errors,
+            "transport_errors": self.transport_errors,
+            "invariant_violations": len(self.invariant_violations),
+            "coalesced_responses": self.coalesced_responses,
+            "cache_hit_responses": self.cache_hit_responses,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "throughput_rps": round(self.throughput_rps, 3),
+            "latency_ms": self.latency.summary(),
+        }
+
+
+class _Checker:
+    """Response verification shared by both driver modes."""
+
+    def __init__(
+        self,
+        report: LoadReport,
+        signatures: Dict[str, str],
+        oracle: Optional[Dict[str, bytes]],
+    ):
+        self.report = report
+        self.signatures = signatures
+        self.oracle = oracle
+        self._seen: Dict[str, bytes] = {}
+
+    def verify(self, request_id: str, response: Mapping[str, Any]) -> None:
+        """Check one result response against duplicates and the oracle."""
+
+        if response.get("type") != "result" or "result" not in response:
+            self.report.protocol_errors += 1
+            return
+        self.report.completed += 1
+        service = response.get("service", {})
+        if service.get("coalesced"):
+            self.report.coalesced_responses += 1
+        if service.get("cache") == "hit":
+            self.report.cache_hit_responses += 1
+        signature = self.signatures[request_id]
+        body = response_result_bytes(response)
+        previous = self._seen.setdefault(signature, body)
+        if previous != body:
+            self.report.invariant_violations.append(
+                f"{request_id}: result differs from an identical earlier request"
+            )
+        if self.oracle is not None and self.oracle[signature] != body:
+            self.report.invariant_violations.append(
+                f"{request_id}: result differs from the local compile_procedure oracle"
+            )
+
+
+async def _drive(
+    host: str,
+    port: int,
+    plan: Sequence[Mapping[str, Any]],
+    mode: str,
+    clients: int,
+    rate: float,
+    timeout: float,
+    retries: int,
+    backoff: float,
+    checker: _Checker,
+    report: LoadReport,
+) -> None:
+    """Replay the plan against the server in the requested mode."""
+
+    connections = [
+        await _PipelinedClient.connect(host, port, timeout) for _ in range(clients)
+    ]
+    loop = asyncio.get_running_loop()
+
+    async def submit(connection: _PipelinedClient, message: Mapping[str, Any]) -> None:
+        started = loop.time()
+        try:
+            response = await connection.request(message, timeout)
+            attempt = 0
+            while (
+                response.get("type") == "error"
+                and response.get("code") == "overloaded"
+                and attempt < retries
+            ):
+                report.retries += 1
+                await asyncio.sleep(backoff * (2**attempt))
+                attempt += 1
+                response = await connection.request(message, timeout)
+        except (ConnectionError, asyncio.TimeoutError):
+            report.transport_errors += 1
+            return
+        report.latency.record((loop.time() - started) * 1000.0)
+        if response.get("type") == "error":
+            code = str(response.get("code", "internal"))
+            report.errors[code] = report.errors.get(code, 0) + 1
+            return
+        checker.verify(message["id"], response)
+
+    try:
+        if mode == "closed":
+            cursor = 0
+
+            async def worker(connection: _PipelinedClient) -> None:
+                nonlocal cursor
+                while cursor < len(plan):
+                    message = plan[cursor]
+                    cursor += 1
+                    await submit(connection, message)
+
+            await asyncio.gather(*(worker(connection) for connection in connections))
+        else:  # open loop
+            start = loop.time()
+
+            async def fire(position: int, message: Mapping[str, Any]) -> None:
+                delay = start + position / rate - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                await submit(connections[position % len(connections)], message)
+
+            await asyncio.gather(
+                *(fire(position, message) for position, message in enumerate(plan))
+            )
+    finally:
+        for connection in connections:
+            report.protocol_errors += connection.protocol_errors
+        # Fetch the server's own view before closing (stats ride one of the
+        # load connections, so no extra connection skews the counters).
+        # Short timeout: if the connection died mid-run the response will
+        # never come, and the report must not stall for the full request
+        # timeout on optional telemetry.
+        try:
+            response = await connections[0].request(
+                {"type": "stats", "id": "loadgen-stats"}, min(timeout, 10.0)
+            )
+            if response.get("type") == "stats":
+                report.server_stats = response.get("stats")
+        except Exception:
+            report.server_stats = None
+        for connection in connections:
+            await connection.close()
+
+
+def run_load(
+    host: str,
+    port: int,
+    plan: Sequence[Mapping[str, Any]],
+    mode: str = "closed",
+    clients: int = 4,
+    rate: float = 100.0,
+    timeout: float = 120.0,
+    retries: int = 6,
+    backoff: float = 0.05,
+    check_oracle: bool = False,
+) -> LoadReport:
+    """Replay a request plan against a running server and verify it.
+
+    ``mode="closed"`` keeps ``clients`` connections saturated; ``"open"``
+    fires requests at ``rate`` per second across pipelined connections.
+    With ``check_oracle=True`` every response is additionally compared
+    byte-for-byte against a local compile of the same request (computed
+    once per unique request before the load starts, so oracle time never
+    pollutes the measured window).
+    """
+
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients!r}")
+    if mode == "open" and rate <= 0:
+        raise ValueError(f"open-loop rate must be > 0, got {rate!r}")
+
+    signatures = {message["id"]: plan_signature(message) for message in plan}
+    oracle = oracle_results(plan) if check_oracle else None
+    report = LoadReport(mode=mode, requests_planned=len(plan))
+    checker = _Checker(report, signatures, oracle)
+
+    started = time.perf_counter()
+    asyncio.run(
+        _drive(
+            host,
+            port,
+            plan,
+            mode,
+            clients,
+            rate,
+            timeout,
+            retries,
+            backoff,
+            checker,
+            report,
+        )
+    )
+    report.wall_seconds = time.perf_counter() - started
+    return report
+
+
+def render_load_report(report: LoadReport) -> str:
+    """Human-readable summary of one load run."""
+
+    lines = [
+        f"loadgen: {report.completed}/{report.requests_planned} completed "
+        f"({report.mode} loop), {report.wall_seconds:.3f}s wall, "
+        f"{report.throughput_rps:.1f} req/s",
+        f"  latency ms      : p50={report.latency.percentile(50):.2f} "
+        f"p95={report.latency.percentile(95):.2f} "
+        f"p99={report.latency.percentile(99):.2f} "
+        f"max={report.latency.maximum or 0.0:.2f}",
+        f"  coalesced       : {report.coalesced_responses}",
+        f"  cache hits      : {report.cache_hit_responses}",
+        f"  retries         : {report.retries}",
+        f"  errors          : "
+        + (
+            ", ".join(f"{code}={count}" for code, count in sorted(report.errors.items()))
+            or "none"
+        ),
+        f"  protocol errors : {report.protocol_errors}",
+        f"  transport errors: {report.transport_errors}",
+        f"  invariants      : "
+        + (
+            f"{len(report.invariant_violations)} VIOLATED"
+            if report.invariant_violations
+            else "all held"
+        ),
+    ]
+    for violation in report.invariant_violations[:10]:
+        lines.append(f"    ! {violation}")
+    if report.server_stats is not None:
+        requests = report.server_stats.get("requests", {})
+        lines.append(
+            "  server          : "
+            f"completed={requests.get('completed')} "
+            f"coalesced={requests.get('coalesced')} "
+            f"cache_hits={requests.get('cache_hits')} "
+            f"compiled={requests.get('compiled')} "
+            f"overloaded={requests.get('rejected_overloaded')}"
+        )
+    return "\n".join(lines)

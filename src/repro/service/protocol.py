@@ -1,0 +1,577 @@
+"""The compile service wire protocol: versioned JSON-lines messages.
+
+The server (:mod:`repro.service.server`) and clients
+(:mod:`repro.service.client`) speak newline-delimited JSON over a stream
+socket.  Every connection opens with a **handshake**: the client's first
+message must be a ``hello`` carrying :data:`PROTOCOL_VERSION`; the server
+answers with its own ``hello`` (or a ``protocol`` error, closing the
+connection, on a version mismatch).  After the handshake the client sends
+request messages and the server answers each one — responses to *compile*
+requests may arrive in a different order than the requests were sent
+(batching reorders work), so every request carries a client-chosen ``id``
+that the matching response echoes.
+
+Message types
+-------------
+
+``hello``
+    handshake (both directions);
+``compile``
+    compile one procedure — either inline textual IR or a reference into
+    the scenario registry (``scenario:<family>:<seed>[:<index>]``) — on a
+    named target with a named cost model; answered by ``result`` or
+    ``error``;
+``stats``
+    fetch the server's metrics snapshot (:mod:`repro.service.metrics`);
+``shutdown``
+    ask the server to drain gracefully (stop admitting, finish queued
+    work, close);
+``result`` / ``error``
+    server answers.  ``error`` codes: ``bad_request`` (malformed or
+    unresolvable request), ``overloaded`` (admission queue full — retry
+    later), ``shutting_down`` (server is draining), ``protocol``
+    (handshake violation), ``internal`` (unexpected server failure).
+
+Determinism contract
+--------------------
+
+The ``result`` field of a compile response is **bit-identical** to what a
+direct :func:`repro.pipeline.compiler.compile_many` call produces for the
+same (program, target, techniques, profile): it is built by
+:func:`result_payload` from the same :class:`CompiledProcedure`, and JSON
+round-trips Python floats exactly (shortest-repr encoding), so equality
+survives the wire.  Timing and service metadata (queue latency, cache and
+coalesce status) live *outside* ``result`` — they legitimately differ
+between a compiled, a cached and a coalesced answer to the same request.
+
+Everything here is standard library only and validation is strict: unknown
+message types, unknown fields, wrong value types and out-of-range values
+are all :class:`ProtocolError`\\ s, never silently ignored.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.ir.fingerprint import (
+    compile_options_token,
+    fingerprint_function,
+    fingerprint_profile,
+    procedure_cache_key,
+)
+from repro.ir.function import Function
+from repro.ir.parser import IRParseError, parse_module
+from repro.ir.passes import ensure_single_exit
+from repro.ir.verifier import IRVerificationError, verify_function
+from repro.pipeline.compiler import TECHNIQUES, CompiledProcedure
+from repro.profiling.profile_data import EdgeProfile, ProfileError
+from repro.profiling.synthetic import (
+    profile_from_branch_probabilities,
+    uniform_profile,
+)
+from repro.spill.cost_models import make_cost_model
+from repro.target.machine import MachineDescription
+from repro.target.registry import DEFAULT_TARGET, available_targets, resolve_target
+from repro.workloads.scenarios import get_scenario, scenario_names
+
+#: Bump on any incompatible wire-format change; the handshake rejects
+#: mismatched peers instead of misreading their messages.
+PROTOCOL_VERSION = 1
+
+#: Schema tag carried inside every compile ``result`` payload.
+RESULT_SCHEMA = "service-result/v1"
+
+#: Cost models a request may name (the registered, cache-keyable ones).
+COST_MODELS = ("jump_edge", "execution_count")
+
+#: Cache policies a compile request may ask for.
+CACHE_POLICIES = ("use", "bypass")
+
+#: Invocation count assumed for inline-IR requests without a profile.
+DEFAULT_INVOCATIONS = 1000.0
+
+#: Error codes the server may answer with.
+ERROR_CODES = (
+    "bad_request",
+    "overloaded",
+    "shutting_down",
+    "protocol",
+    "internal",
+)
+
+
+class ProtocolError(ValueError):
+    """A malformed or invalid protocol message.
+
+    ``code`` is the error code the server reports it under (usually
+    ``bad_request``; ``protocol`` for handshake violations).
+    """
+
+    def __init__(self, message: str, code: str = "bad_request"):
+        super().__init__(message)
+        self.code = code
+
+
+# ---------------------------------------------------------------------------
+# Framing.
+# ---------------------------------------------------------------------------
+
+
+#: Upper bound on one JSON-lines frame (guards the server against a client
+#: streaming an unbounded line into memory).
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+
+def encode_message(message: Mapping[str, Any]) -> bytes:
+    """Serialize one message to a JSON line (UTF-8, trailing newline).
+
+    Keys are sorted so identical messages are byte-identical on the wire —
+    the property the duplicate-response consistency checks rely on.
+    """
+
+    return (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Parse one JSON line into a message dict (strictly an object)."""
+
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame exceeds {MAX_FRAME_BYTES} bytes")
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable message: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("message must be a JSON object")
+    return message
+
+
+# ---------------------------------------------------------------------------
+# Field validation helpers.
+# ---------------------------------------------------------------------------
+
+
+def _require_str(message: Mapping[str, Any], key: str, default: Optional[str] = None) -> str:
+    value = message.get(key, default)
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(f"field {key!r} must be a non-empty string")
+    return value
+
+
+def _check_fields(message: Mapping[str, Any], allowed: Sequence[str], kind: str) -> None:
+    unknown = sorted(set(message) - set(allowed) - {"type"})
+    if unknown:
+        raise ProtocolError(f"{kind} request has unknown field(s): {', '.join(unknown)}")
+
+
+# ---------------------------------------------------------------------------
+# Requests.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompileRequest:
+    """One validated compile request (wire form, not yet resolved to IR).
+
+    ``program`` is exactly one of ``{"ir": <text>}`` or
+    ``{"scenario": "family:seed[:index]"}``.  ``profile`` (inline-IR
+    programs only) follows the corpus sidecar shape:
+    ``{"invocations": <float>, "probabilities": {"src->dst": <p>, ...}}``.
+    """
+
+    id: str
+    program: Mapping[str, Any]
+    target: str = DEFAULT_TARGET
+    cost_model: str = "jump_edge"
+    techniques: Tuple[str, ...] = TECHNIQUES
+    profile: Optional[Mapping[str, Any]] = None
+    cache: str = "use"
+
+    def to_message(self) -> Dict[str, Any]:
+        """The wire form of this request."""
+
+        message: Dict[str, Any] = {
+            "type": "compile",
+            "id": self.id,
+            "program": dict(self.program),
+            "target": self.target,
+            "cost_model": self.cost_model,
+            "techniques": list(self.techniques),
+            "cache": self.cache,
+        }
+        if self.profile is not None:
+            message["profile"] = dict(self.profile)
+        return message
+
+    def signature(self) -> str:
+        """A canonical byte-stable identity of the request *work* (id excluded).
+
+        Two requests with equal signatures must receive byte-identical
+        ``result`` payloads — the consistency invariant the load harness
+        checks across duplicates, coalesced answers and cache replays.
+        """
+
+        payload = self.to_message()
+        del payload["id"]
+        return json.dumps(payload, sort_keys=True)
+
+
+def parse_compile_request(message: Mapping[str, Any]) -> CompileRequest:
+    """Strictly validate a ``compile`` message into a :class:`CompileRequest`."""
+
+    _check_fields(
+        message,
+        ("id", "program", "target", "cost_model", "techniques", "profile", "cache"),
+        "compile",
+    )
+    request_id = _require_str(message, "id")
+    program = message.get("program")
+    if not isinstance(program, Mapping):
+        raise ProtocolError("field 'program' must be an object")
+    keys = sorted(program)
+    if keys not in (["ir"], ["scenario"]):
+        raise ProtocolError(
+            "field 'program' must have exactly one of the keys 'ir' or 'scenario'"
+        )
+    if not isinstance(program[keys[0]], str) or not program[keys[0]]:
+        raise ProtocolError(f"program {keys[0]!r} must be a non-empty string")
+
+    target = _require_str(message, "target", DEFAULT_TARGET)
+    if target not in available_targets():
+        raise ProtocolError(
+            f"unknown target {target!r}; expected one of {', '.join(available_targets())}"
+        )
+    cost_model = _require_str(message, "cost_model", "jump_edge")
+    if cost_model not in COST_MODELS:
+        raise ProtocolError(
+            f"unknown cost model {cost_model!r}; expected one of {', '.join(COST_MODELS)}"
+        )
+    techniques = message.get("techniques", list(TECHNIQUES))
+    if (
+        not isinstance(techniques, (list, tuple))
+        or not techniques
+        or not all(isinstance(t, str) for t in techniques)
+    ):
+        raise ProtocolError("field 'techniques' must be a non-empty list of strings")
+    unknown = [t for t in techniques if t not in TECHNIQUES]
+    if unknown:
+        raise ProtocolError(
+            f"unknown technique(s) {', '.join(unknown)}; expected a subset of "
+            + ", ".join(TECHNIQUES)
+        )
+    if len(set(techniques)) != len(techniques):
+        raise ProtocolError("field 'techniques' must not repeat entries")
+
+    cache = _require_str(message, "cache", "use")
+    if cache not in CACHE_POLICIES:
+        raise ProtocolError(
+            f"unknown cache policy {cache!r}; expected one of {', '.join(CACHE_POLICIES)}"
+        )
+
+    profile = message.get("profile")
+    if profile is not None:
+        if "ir" not in program:
+            raise ProtocolError("field 'profile' is only valid for inline-IR programs")
+        if not isinstance(profile, Mapping):
+            raise ProtocolError("field 'profile' must be an object")
+        extra = sorted(set(profile) - {"invocations", "probabilities"})
+        if extra:
+            raise ProtocolError(f"profile has unknown field(s): {', '.join(extra)}")
+        invocations = profile.get("invocations", DEFAULT_INVOCATIONS)
+        if not isinstance(invocations, (int, float)) or isinstance(invocations, bool):
+            raise ProtocolError("profile 'invocations' must be a number")
+        if invocations <= 0:
+            raise ProtocolError("profile 'invocations' must be positive")
+        probabilities = profile.get("probabilities", {})
+        if not isinstance(probabilities, Mapping):
+            raise ProtocolError("profile 'probabilities' must be an object")
+        for key, value in probabilities.items():
+            if not isinstance(key, str) or "->" not in key:
+                raise ProtocolError(
+                    f"profile probability key {key!r} must look like 'src->dst'"
+                )
+            if (
+                not isinstance(value, (int, float))
+                or isinstance(value, bool)
+                or not 0.0 <= float(value) <= 1.0
+            ):
+                raise ProtocolError(
+                    f"profile probability for {key!r} must be a number in [0, 1]"
+                )
+
+    return CompileRequest(
+        id=request_id,
+        program=dict(program),
+        target=target,
+        cost_model=cost_model,
+        techniques=tuple(techniques),
+        profile=dict(profile) if profile is not None else None,
+        cache=cache,
+    )
+
+
+def parse_hello(message: Mapping[str, Any]) -> int:
+    """Validate a ``hello`` message; returns the peer's protocol version."""
+
+    _check_fields(message, ("protocol", "server", "client"), "hello")
+    version = message.get("protocol")
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise ProtocolError("hello 'protocol' must be an integer", code="protocol")
+    return version
+
+
+def hello_message(server_info: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+    """Build a ``hello`` message (client side when ``server_info`` is None)."""
+
+    message: Dict[str, Any] = {"type": "hello", "protocol": PROTOCOL_VERSION}
+    if server_info is not None:
+        message["server"] = dict(server_info)
+    return message
+
+
+def error_message(
+    code: str, message: str, request_id: Optional[str] = None
+) -> Dict[str, Any]:
+    """Build an ``error`` response."""
+
+    assert code in ERROR_CODES, code
+    payload: Dict[str, Any] = {"type": "error", "code": code, "message": message}
+    if request_id is not None:
+        payload["id"] = request_id
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Request resolution: wire form -> compilable work.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResolvedCompile:
+    """A compile request resolved to concrete pipeline inputs.
+
+    Shared by the server, the test oracle and the load generator's
+    ``--check`` mode, so all three agree byte-for-byte on what a request
+    means.  ``options_key`` groups requests that can share one
+    :func:`~repro.pipeline.compiler.compile_many` batch; ``cache_key`` is
+    the content address (and in-flight coalescing key) of the work;
+    ``coalesce_key`` additionally namespaces the cache policy so a
+    ``bypass`` request never rides a ``use`` entry (results would be
+    identical, but the service metadata must stay truthful).
+    """
+
+    request: CompileRequest
+    function: Function
+    profile: EdgeProfile
+    machine: MachineDescription
+    cache_key: str
+    function_fingerprint: str
+    profile_fingerprint: str
+
+    @property
+    def options_key(self) -> Tuple[str, str, Tuple[str, ...], str]:
+        """Batch-grouping key: requests sharing it compile in one batch."""
+
+        return (
+            self.request.target,
+            self.request.cost_model,
+            tuple(self.request.techniques),
+            self.request.cache,
+        )
+
+    @property
+    def coalesce_key(self) -> str:
+        """In-flight coalescing key (cache key namespaced by cache policy)."""
+
+        return f"{self.request.cache}:{self.cache_key}"
+
+
+def _parse_scenario_reference(reference: str) -> Tuple[str, int, int]:
+    """Split ``scenario:<family>:<seed>[:<index>]`` (prefix optional)."""
+
+    parts = reference.split(":")
+    if parts and parts[0] == "scenario":
+        parts = parts[1:]
+    if len(parts) not in (2, 3):
+        raise ProtocolError(
+            f"scenario reference {reference!r} must look like "
+            "'scenario:<family>:<seed>[:<index>]'"
+        )
+    family = parts[0]
+    if family not in scenario_names():
+        raise ProtocolError(
+            f"unknown scenario family {family!r}; expected one of "
+            + ", ".join(scenario_names())
+        )
+    try:
+        seed = int(parts[1])
+        index = int(parts[2]) if len(parts) == 3 else 0
+    except ValueError:
+        raise ProtocolError(
+            f"scenario reference {reference!r} has a non-integer seed/index"
+        ) from None
+    if index < 0:
+        raise ProtocolError(f"scenario index must be >= 0, got {index}")
+    return family, seed, index
+
+
+def resolve_compile_request(request: CompileRequest) -> ResolvedCompile:
+    """Turn a validated request into concrete, fingerprinted pipeline inputs.
+
+    Raises :class:`ProtocolError` (``bad_request``) for IR that does not
+    parse or verify, profiles whose flow equations are inconsistent, and
+    malformed scenario references.  The resolution is deterministic: the
+    same request always resolves to a function/profile pair with the same
+    fingerprints, on every host — that is what makes the cache key a
+    correct coalescing key.
+    """
+
+    machine = resolve_target(request.target)
+    if "scenario" in request.program:
+        family_name, seed, index = _parse_scenario_reference(request.program["scenario"])
+        generated = get_scenario(family_name).builder(seed, index, machine)
+        function, profile = generated.function, generated.profile
+    else:
+        try:
+            module = parse_module(request.program["ir"])
+        except IRParseError as exc:
+            raise ProtocolError(f"IR does not parse: {exc}") from None
+        if len(module.functions) != 1:
+            raise ProtocolError(
+                f"program must contain exactly one function, got {len(module.functions)}"
+            )
+        function = module.functions[0]
+        ensure_single_exit(function)
+        try:
+            verify_function(function, require_single_exit=True)
+        except IRVerificationError as exc:
+            raise ProtocolError(f"IR does not verify: {exc}") from None
+        try:
+            if request.profile is not None:
+                probabilities = {
+                    tuple(key.split("->", 1)): float(value)
+                    for key, value in request.profile.get("probabilities", {}).items()
+                }
+                profile = profile_from_branch_probabilities(
+                    function,
+                    invocations=float(
+                        request.profile.get("invocations", DEFAULT_INVOCATIONS)
+                    ),
+                    probabilities=probabilities,
+                )
+            else:
+                profile = uniform_profile(function, invocations=DEFAULT_INVOCATIONS)
+        except ProfileError as exc:
+            raise ProtocolError(f"profile is inconsistent: {exc}") from None
+
+    cost_model = make_cost_model(request.cost_model, machine)
+    token = compile_options_token(
+        machine, cost_model, request.techniques, True, True
+    )
+    # Named cost models always have an identity, so the token never misses.
+    assert token is not None
+    key = procedure_cache_key(function, profile, token, kind="compile")
+    return ResolvedCompile(
+        request=request,
+        function=function,
+        profile=profile,
+        machine=machine,
+        cache_key=key,
+        function_fingerprint=fingerprint_function(function),
+        profile_fingerprint=fingerprint_profile(profile),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Responses.
+# ---------------------------------------------------------------------------
+
+
+def result_payload(resolved: ResolvedCompile, compiled: CompiledProcedure) -> Dict[str, Any]:
+    """The deterministic ``result`` payload of one compile.
+
+    Built from the same :class:`CompiledProcedure` a direct
+    :func:`~repro.pipeline.compiler.compile_many` produces, and containing
+    only deterministic quantities — overheads, fingerprints, structure
+    counts — never timing.  This function *is* the bit-identity contract:
+    the property tests compare the server's payload against one computed
+    locally through this same function.
+    """
+
+    request = resolved.request
+    techniques_overhead: Dict[str, Any] = {}
+    for technique in request.techniques:
+        overhead = compiled.outcomes[technique].overhead
+        techniques_overhead[technique] = {
+            "save_count": overhead.save_count,
+            "restore_count": overhead.restore_count,
+            "jump_count": overhead.jump_count,
+            "num_jump_blocks": overhead.num_jump_blocks,
+            "callee_saved_total": overhead.total,
+            "total_overhead": compiled.total_overhead(technique),
+        }
+    return {
+        "schema": RESULT_SCHEMA,
+        "name": compiled.name,
+        "target": request.target,
+        "cost_model": request.cost_model,
+        "techniques": list(request.techniques),
+        "fingerprints": {
+            "function": resolved.function_fingerprint,
+            "profile": resolved.profile_fingerprint,
+            "cache_key": resolved.cache_key,
+        },
+        "num_blocks": len(compiled.allocation.function),
+        "num_instructions": compiled.allocation.function.instruction_count(),
+        "allocator_overhead": compiled.allocator_overhead,
+        "techniques_overhead": techniques_overhead,
+    }
+
+
+@dataclass(frozen=True)
+class CompileAnswer:
+    """One server-side answer to a compile request, ready to serialize.
+
+    ``result`` is the deterministic payload; ``pass_seconds`` the compile's
+    pass timings (cold timings replayed on a cache hit); the remaining
+    fields are per-request service metadata.
+    """
+
+    result: Dict[str, Any]
+    pass_seconds: Dict[str, float] = field(default_factory=dict)
+    cache_status: str = "miss"
+    coalesced: bool = False
+    batch_size: int = 0
+    queue_ms: float = 0.0
+    compile_ms: float = 0.0
+
+    def to_message(self, request_id: str) -> Dict[str, Any]:
+        """The wire form of the response to request ``request_id``."""
+
+        return {
+            "type": "result",
+            "id": request_id,
+            "result": self.result,
+            "timing": {
+                "pass_seconds": dict(self.pass_seconds),
+                "queue_ms": round(self.queue_ms, 3),
+                "compile_ms": round(self.compile_ms, 3),
+            },
+            "service": {
+                "cache": self.cache_status,
+                "coalesced": self.coalesced,
+                "batch_size": self.batch_size,
+            },
+        }
+
+
+def response_result_bytes(response: Mapping[str, Any]) -> bytes:
+    """Canonical bytes of a response's deterministic ``result`` payload.
+
+    What "byte-identical" means precisely, everywhere it is asserted: two
+    responses agree iff these bytes are equal.
+    """
+
+    return json.dumps(response["result"], sort_keys=True).encode("utf-8")

@@ -1,0 +1,735 @@
+"""The asyncio compile server: admission control, micro-batching, coalescing.
+
+One resident :class:`CompileServer` process amortizes everything the batch
+pipeline already built — the parallel sharding engine, the content-addressed
+compile cache, the interned scenario registry — across a stream of
+concurrent JSON-lines connections (:mod:`repro.service.protocol`):
+
+* **Admission control** — a bounded queue (``max_queue``).  When it is
+  full, new work is rejected *immediately* with an ``overloaded`` error;
+  the server never buffers unbounded request state.  Clients retry with
+  backoff (:mod:`repro.service.client`).
+* **Micro-batching** — a single dispatcher collects admitted entries until
+  ``batch_max_requests`` are waiting or ``batch_window_ms`` has passed
+  since the first one, then compiles the whole batch through
+  :func:`repro.pipeline.compiler.compile_many` (``workers=`` shards big
+  batches over the process pool) off the event loop.  Batches execute one
+  at a time; the queue absorbs arrivals in the meantime.
+* **In-flight coalescing** — entries are keyed by their
+  :func:`~repro.ir.fingerprint.procedure_cache_key`.  A request identical
+  to one already admitted (same program, profile, target, techniques and
+  cache policy) attaches to the existing entry instead of consuming a
+  queue slot or a compile: one compile fans out to every waiter, each
+  response marked ``coalesced``.
+* **Shared cache front** — a single :class:`~repro.cache.store.CompileCache`
+  serves every connection: admitted-but-cached work is answered at
+  admission time (status ``hit``) without touching the queue, and batch
+  dispatch passes the same store to ``compile_many`` so fresh results are
+  written back for the next caller.  Requests may opt out per-request
+  (``cache: "bypass"``).
+* **Graceful drain** — on SIGTERM/SIGINT (or a ``shutdown`` request) the
+  server stops admitting (``shutting_down`` errors), finishes every queued
+  and in-flight compile, flushes the responses, then closes.
+
+Served results are **bit-identical** to a direct ``compile_many`` on the
+same inputs: the pipeline is deterministic and both sides build the
+response payload with :func:`repro.service.protocol.result_payload` — the
+property the serving test suite (``tests/service/``) pins down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cache.store import CacheSpec, resolve_cache
+from repro.service.metrics import ServiceMetrics, cache_stats_payload
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    CompileAnswer,
+    ProtocolError,
+    ResolvedCompile,
+    decode_message,
+    encode_message,
+    error_message,
+    hello_message,
+    parse_compile_request,
+    parse_hello,
+    resolve_compile_request,
+    result_payload,
+)
+
+#: Default bound on admitted-but-undispatched entries.
+DEFAULT_MAX_QUEUE = 256
+
+#: Default micro-batch flush bounds: dispatch when this many unique entries
+#: are waiting ...
+DEFAULT_BATCH_MAX_REQUESTS = 16
+
+#: ... or when this much time has passed since the first waiting entry.
+DEFAULT_BATCH_WINDOW_MS = 10.0
+
+#: Bound on one response write.  A client that stops reading fills its
+#: transport buffer and would otherwise block ``writer.drain()`` forever —
+#: keeping its requests "active" and wedging a graceful drain.  Past this
+#: deadline the connection is closed instead.
+SEND_TIMEOUT_SECONDS = 30.0
+
+
+def _check_admin_fields(message: Dict[str, Any], kind: str) -> None:
+    """Strictly validate a ``stats``/``shutdown`` message (``id`` only)."""
+
+    unknown = sorted(set(message) - {"type", "id"})
+    if unknown:
+        raise ProtocolError(
+            f"{kind} request has unknown field(s): {', '.join(unknown)}"
+        )
+    request_id = message.get("id")
+    if request_id is not None and not isinstance(request_id, str):
+        raise ProtocolError(f"{kind} request 'id' must be a string")
+
+
+@dataclass
+class _PendingEntry:
+    """One admitted unit of unique compile work and its waiters' future."""
+
+    resolved: ResolvedCompile
+    future: "asyncio.Future[CompileAnswer]"
+    enqueued_at: float
+
+
+@dataclass(eq=False)
+class _Connection:
+    """Per-connection state: the writer, its lock, and handshake status."""
+
+    reader: asyncio.StreamReader
+    writer: asyncio.StreamWriter
+    write_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    greeted: bool = False
+
+
+class CompileServer:
+    """A compile-as-a-service endpoint over asyncio streams.
+
+    Construct, then either ``await start()`` + ``await serve_forever()``
+    inside an event loop, or use the synchronous embedding helper
+    (:class:`repro.service.embedded.EmbeddedServer`) from ordinary code.
+    ``port=0`` binds an ephemeral port; :attr:`port` holds the real one
+    after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: Optional[int] = 1,
+        cache: CacheSpec = None,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        batch_max_requests: int = DEFAULT_BATCH_MAX_REQUESTS,
+        batch_window_ms: float = DEFAULT_BATCH_WINDOW_MS,
+    ):
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue!r}")
+        if batch_max_requests < 1:
+            raise ValueError(
+                f"batch_max_requests must be >= 1, got {batch_max_requests!r}"
+            )
+        if batch_window_ms < 0:
+            raise ValueError(f"batch_window_ms must be >= 0, got {batch_window_ms!r}")
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.cache = resolve_cache(cache)
+        self.max_queue = max_queue
+        self.batch_max_requests = batch_max_requests
+        self.batch_window_ms = batch_window_ms
+        self.metrics = ServiceMetrics()
+
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._queue: "asyncio.Queue[Optional[_PendingEntry]]" = asyncio.Queue()
+        self._inflight: Dict[str, _PendingEntry] = {}
+        self._connections: set = set()
+        self._batcher_task: Optional[asyncio.Task] = None
+        self._draining = False
+        self._active_requests = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._closed = asyncio.Event()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket and start the batch dispatcher."""
+
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=MAX_FRAME_BYTES + 1024
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._batcher_task = asyncio.ensure_future(self._batcher())
+
+    async def serve_forever(self) -> None:
+        """Block until the server has fully drained and closed."""
+
+        await self._closed.wait()
+
+    def install_signal_handlers(self) -> None:
+        """Drain gracefully on SIGTERM/SIGINT (POSIX event loops only)."""
+
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.request_drain)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+
+    def request_drain(self) -> None:
+        """Schedule a graceful drain from synchronous context (signal-safe)."""
+
+        asyncio.ensure_future(self.drain())
+
+    async def drain(self) -> None:
+        """Stop admitting, finish all queued/in-flight work, close everything.
+
+        Idempotent: concurrent callers all wait for the same shutdown to
+        complete.
+        """
+
+        if self._draining:
+            await self._closed.wait()
+            return
+        self._draining = True
+        if self._server is not None:
+            # Stop accepting.  ``wait_closed`` is deliberately NOT awaited
+            # here: on Python >= 3.12 it blocks until every accepted
+            # connection has finished, so awaiting it before we close the
+            # client connections below would deadlock against any idle
+            # client that simply stays connected.
+            self._server.close()
+        # Every admitted request completes: the batcher keeps dispatching
+        # until it sees the sentinel, which is queued *behind* all work.
+        await self._idle.wait()
+        await self._queue.put(None)
+        if self._batcher_task is not None:
+            await self._batcher_task
+        for connection in list(self._connections):
+            try:
+                connection.writer.close()
+            except Exception:  # pragma: no cover - best-effort close
+                pass
+        if self._server is not None:
+            try:
+                # All transports are closed now, so this resolves promptly;
+                # the timeout is a belt against handler stragglers.
+                await asyncio.wait_for(self._server.wait_closed(), timeout=5.0)
+            except asyncio.TimeoutError:  # pragma: no cover - defensive
+                pass
+        self._closed.set()
+
+    @property
+    def draining(self) -> bool:
+        """Whether the server has begun a graceful drain."""
+
+        return self._draining
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """The metrics snapshot a ``stats`` request is answered with.
+
+        Synchronous variant: the cache disk sweep (a glob plus a ``stat``
+        per entry) runs inline, so call this from tests/tools, not from
+        the event loop — the wire handler and the embedded helper use
+        :meth:`stats_snapshot_async` instead.
+        """
+
+        snapshot = self.metrics.snapshot(queue_depth=self._queue.qsize())
+        if self.cache is not None:
+            snapshot["cache"] = cache_stats_payload(self.cache)
+        return snapshot
+
+    async def stats_snapshot_async(self) -> Dict[str, Any]:
+        """:meth:`stats_snapshot` with the cache disk sweep off the loop."""
+
+        snapshot = self.metrics.snapshot(queue_depth=self._queue.qsize())
+        if self.cache is not None:
+            snapshot["cache"] = await asyncio.to_thread(
+                cache_stats_payload, self.cache
+            )
+        return snapshot
+
+    def describe(self) -> Dict[str, Any]:
+        """The server-info dict sent in the handshake ``hello``."""
+
+        return {
+            "max_queue": self.max_queue,
+            "batch_max_requests": self.batch_max_requests,
+            "batch_window_ms": self.batch_window_ms,
+            "workers": self.workers if self.workers is not None else 0,
+            "cache": self.cache is not None,
+        }
+
+    # -- request bookkeeping ------------------------------------------------------
+
+    def _request_started(self) -> None:
+        self._active_requests += 1
+        self._idle.clear()
+
+    def _request_finished(self) -> None:
+        self._active_requests -= 1
+        if self._active_requests == 0:
+            self._idle.set()
+
+    # -- the connection handler ---------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection = _Connection(reader=reader, writer=writer)
+        self._connections.add(connection)
+        # Completed tasks discard themselves: a long-lived connection must
+        # not accumulate one Task object per request it ever served.
+        tasks: set = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ConnectionResetError:
+                    break
+                except (ValueError, asyncio.IncompleteReadError):
+                    # ``readline`` reports an over-limit line as ValueError
+                    # (it wraps LimitOverrunError).  The stream cannot be
+                    # re-synchronized after that, so report and drop the
+                    # connection.
+                    self.metrics.protocol_errors += 1
+                    self.metrics.errors += 1
+                    await self._send(
+                        connection,
+                        error_message(
+                            "protocol",
+                            f"frame exceeds {MAX_FRAME_BYTES} bytes or the "
+                            "stream is malformed; closing",
+                        ),
+                    )
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    message = decode_message(line)
+                except ProtocolError as exc:
+                    self.metrics.protocol_errors += 1
+                    self.metrics.errors += 1
+                    await self._send(connection, error_message("bad_request", str(exc)))
+                    continue
+                if not connection.greeted:
+                    if not await self._handshake(connection, message):
+                        break
+                    continue
+                kind = message.get("type")
+                if kind == "compile":
+                    # Handled concurrently so one long compile does not
+                    # stall pipelined requests on the same connection.
+                    task = asyncio.ensure_future(
+                        self._handle_compile(connection, message)
+                    )
+                    tasks.add(task)
+                    task.add_done_callback(tasks.discard)
+                elif kind in ("stats", "shutdown"):
+                    try:
+                        _check_admin_fields(message, kind)
+                    except ProtocolError as exc:
+                        self.metrics.protocol_errors += 1
+                        self.metrics.errors += 1
+                        await self._send(
+                            connection,
+                            error_message("bad_request", str(exc), message.get("id")),
+                        )
+                        continue
+                    if kind == "stats":
+                        await self._send(
+                            connection,
+                            {
+                                "type": "stats",
+                                "id": message.get("id"),
+                                "stats": await self.stats_snapshot_async(),
+                            },
+                        )
+                    else:
+                        await self._send(
+                            connection, {"type": "ok", "id": message.get("id")}
+                        )
+                        self.request_drain()
+                else:
+                    self.metrics.protocol_errors += 1
+                    self.metrics.errors += 1
+                    await self._send(
+                        connection,
+                        error_message(
+                            "bad_request",
+                            f"unknown message type {kind!r}",
+                            message.get("id") if isinstance(message.get("id"), str) else None,
+                        ),
+                    )
+        except ConnectionResetError:  # pragma: no cover - peer vanished
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*list(tasks), return_exceptions=True)
+            self._connections.discard(connection)
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - best-effort close
+                pass
+
+    async def _handshake(self, connection: _Connection, message: Dict[str, Any]) -> bool:
+        """Process the first client message; returns False to drop the link."""
+
+        try:
+            if message.get("type") != "hello":
+                raise ProtocolError(
+                    "first message must be a 'hello' handshake", code="protocol"
+                )
+            version = parse_hello(message)
+        except ProtocolError as exc:
+            self.metrics.protocol_errors += 1
+            self.metrics.errors += 1
+            await self._send(connection, error_message("protocol", str(exc)))
+            return False
+        if version != PROTOCOL_VERSION:
+            self.metrics.protocol_errors += 1
+            self.metrics.errors += 1
+            await self._send(
+                connection,
+                error_message(
+                    "protocol",
+                    f"protocol version mismatch: client speaks {version}, "
+                    f"server speaks {PROTOCOL_VERSION}",
+                ),
+            )
+            return False
+        connection.greeted = True
+        await self._send(connection, hello_message(server_info=self.describe()))
+        return True
+
+    async def _send(self, connection: _Connection, message: Dict[str, Any]) -> None:
+        """Serialize and write one message under the connection's lock.
+
+        Bounded: a peer that stops reading cannot block the server — after
+        :data:`SEND_TIMEOUT_SECONDS` the connection is closed and the
+        write abandoned (the request still counts as finished, so a stuck
+        client can never wedge a graceful drain).
+        """
+
+        payload = encode_message(message)
+        async with connection.write_lock:
+            try:
+                connection.writer.write(payload)
+                await asyncio.wait_for(
+                    connection.writer.drain(), timeout=SEND_TIMEOUT_SECONDS
+                )
+            except asyncio.TimeoutError:
+                try:
+                    connection.writer.close()
+                except Exception:  # pragma: no cover - best-effort close
+                    pass
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    # -- compile requests ---------------------------------------------------------
+
+    async def _handle_compile(
+        self, connection: _Connection, message: Dict[str, Any]
+    ) -> None:
+        self.metrics.received += 1
+        self._request_started()
+        arrived = time.monotonic()
+        request_id = message.get("id") if isinstance(message.get("id"), str) else None
+        try:
+            try:
+                request = parse_compile_request(message)
+                request_id = request.id
+                # Resolution can be real work (IR parsing/verification,
+                # scenario generation, fingerprinting): keep it off the
+                # event loop so big requests do not stall other
+                # connections.
+                resolved = await asyncio.to_thread(resolve_compile_request, request)
+            except ProtocolError as exc:
+                self.metrics.protocol_errors += 1
+                self.metrics.errors += 1
+                await self._send(
+                    connection, error_message(exc.code, str(exc), request_id)
+                )
+                return
+            except Exception as exc:
+                # A resolution bug must answer the request, not strand the
+                # client until its timeout.
+                self.metrics.errors += 1
+                await self._send(
+                    connection,
+                    error_message(
+                        "internal",
+                        f"request resolution failed: {type(exc).__name__}: {exc}",
+                        request_id,
+                    ),
+                )
+                return
+
+            if self._draining:
+                self.metrics.rejected_shutting_down += 1
+                self.metrics.errors += 1
+                await self._send(
+                    connection,
+                    error_message(
+                        "shutting_down", "server is draining; try another replica",
+                        request_id,
+                    ),
+                )
+                return
+
+            # Cache front: answer admitted-but-already-compiled work
+            # immediately, without a queue slot or a batch.  The lookup
+            # (a pickle read on a miss-from-memory) runs off the loop; the
+            # store is thread-safe.
+            if request.cache == "use" and self.cache is not None:
+                cached = await asyncio.to_thread(self.cache.get, resolved.cache_key)
+                if cached is not None:
+                    answer = CompileAnswer(
+                        result=result_payload(resolved, cached),
+                        pass_seconds=dict(cached.pass_seconds),
+                        cache_status="hit",
+                        queue_ms=0.0,
+                        compile_ms=0.0,
+                    )
+                    self.metrics.cache_hits += 1
+                    self._complete(arrived)
+                    await self._send(connection, answer.to_message(request_id))
+                    return
+
+            coalesced = False
+            entry = self._inflight.get(resolved.coalesce_key)
+            if entry is not None:
+                # Identical in-flight work: attach, compile nothing.
+                coalesced = True
+            else:
+                if self._queue.qsize() >= self.max_queue:
+                    self.metrics.rejected_overloaded += 1
+                    self.metrics.errors += 1
+                    await self._send(
+                        connection,
+                        error_message(
+                            "overloaded",
+                            f"admission queue is full ({self.max_queue} entries); "
+                            "retry with backoff",
+                            request_id,
+                        ),
+                    )
+                    return
+                entry = _PendingEntry(
+                    resolved=resolved,
+                    future=asyncio.get_running_loop().create_future(),
+                    enqueued_at=arrived,
+                )
+                self._inflight[resolved.coalesce_key] = entry
+                self._queue.put_nowait(entry)
+                self.metrics.observe_queue_depth(self._queue.qsize())
+
+            try:
+                answer = await entry.future
+            except Exception as exc:
+                self.metrics.errors += 1
+                await self._send(
+                    connection,
+                    error_message("internal", f"compile failed: {exc}", request_id),
+                )
+                return
+            if coalesced:
+                answer = CompileAnswer(
+                    result=answer.result,
+                    pass_seconds=answer.pass_seconds,
+                    cache_status=answer.cache_status,
+                    coalesced=True,
+                    batch_size=answer.batch_size,
+                    queue_ms=answer.queue_ms,
+                    compile_ms=answer.compile_ms,
+                )
+                self.metrics.coalesced += 1
+            self._complete(arrived)
+            await self._send(connection, answer.to_message(request_id))
+        finally:
+            self._request_finished()
+
+    def _complete(self, arrived: float) -> None:
+        """Account a successfully answered compile request."""
+
+        self.metrics.completed += 1
+        self.metrics.latency_ms.record((time.monotonic() - arrived) * 1000.0)
+
+    # -- the batch dispatcher -----------------------------------------------------
+
+    async def _batcher(self) -> None:
+        """Collect entries into micro-batches and dispatch them, forever.
+
+        One batch at a time: while a batch compiles (off the event loop, in
+        a worker thread; ``compile_many`` may shard it further over the
+        process pool), new arrivals accumulate in the queue for the next
+        one.  Exits on the ``None`` sentinel :meth:`drain` enqueues after
+        the last admitted entry.
+        """
+
+        while True:
+            first = await self._queue.get()
+            if first is None:
+                return
+            batch = [first]
+            deadline = time.monotonic() + self.batch_window_ms / 1000.0
+            sentinel_seen = False
+            while len(batch) < self.batch_max_requests:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    entry = await asyncio.wait_for(self._queue.get(), timeout=remaining)
+                except asyncio.TimeoutError:
+                    break
+                if entry is None:
+                    sentinel_seen = True
+                    break
+                batch.append(entry)
+            await self._dispatch(batch)
+            if sentinel_seen:
+                return
+
+    async def _dispatch(self, batch: List[_PendingEntry]) -> None:
+        """Compile one batch off the event loop and fan results out.
+
+        Every entry's future is *guaranteed* to resolve — per-entry
+        payload bugs become that entry's exception, and a failure of the
+        dispatch itself fails the whole batch — so a bug can strand
+        neither a client nor the batcher loop (see :meth:`_batcher`).
+        """
+
+        dispatch_start = time.monotonic()
+        self.metrics.record_batch(len(batch))
+        for entry in batch:
+            self.metrics.queue_ms.record((dispatch_start - entry.enqueued_at) * 1000.0)
+
+        try:
+            # Group by compile options: one compile_many call per distinct
+            # (target, cost model, techniques, cache policy) combination.
+            groups: Dict[Tuple, List[_PendingEntry]] = {}
+            for entry in batch:
+                groups.setdefault(entry.resolved.options_key, []).append(entry)
+            grouped = list(groups.items())
+
+            outcomes = await asyncio.to_thread(self._compile_groups, grouped)
+
+            compile_ms = (time.monotonic() - dispatch_start) * 1000.0
+            for (options, entries), outcome in zip(grouped, outcomes):
+                kind, value = outcome
+                for position, entry in enumerate(entries):
+                    self._inflight.pop(entry.resolved.coalesce_key, None)
+                    self.metrics.compile_ms.record(compile_ms)
+                    if entry.future.done():  # pragma: no cover - defensive
+                        continue
+                    if kind == "error":
+                        entry.future.set_exception(RuntimeError(str(value)))
+                        continue
+                    try:
+                        compiled = value[position]
+                        answer = CompileAnswer(
+                            result=result_payload(entry.resolved, compiled),
+                            pass_seconds=dict(compiled.pass_seconds),
+                            cache_status=(
+                                "miss"
+                                if entry.resolved.request.cache == "use"
+                                else "bypass"
+                            ),
+                            batch_size=len(batch),
+                            queue_ms=(dispatch_start - entry.enqueued_at) * 1000.0,
+                            compile_ms=compile_ms,
+                        )
+                    except Exception as exc:
+                        entry.future.set_exception(
+                            RuntimeError(f"result fan-out failed: {exc}")
+                        )
+                        continue
+                    self.metrics.compiled += 1
+                    entry.future.set_result(answer)
+        except Exception as exc:
+            # Never let a dispatch bug strand the batch (or, worse, kill
+            # the batcher): fail every unresolved future.
+            for entry in batch:
+                self._inflight.pop(entry.resolved.coalesce_key, None)
+                if not entry.future.done():
+                    entry.future.set_exception(
+                        RuntimeError(f"batch dispatch failed: {exc}")
+                    )
+
+    def _compile_groups(self, grouped) -> List[Tuple[str, Any]]:
+        """Worker-thread body: run ``compile_many`` for every option group.
+
+        Returns one ``("ok", [CompiledProcedure, ...])`` or
+        ``("error", message)`` outcome per group — a failing group turns
+        into per-request ``internal`` errors without taking down its batch
+        siblings or the server.
+        """
+
+        from repro.pipeline.compiler import compile_many
+
+        outcomes: List[Tuple[str, Any]] = []
+        for (target, cost_model, techniques, policy), entries in grouped:
+            procedures = [
+                (entry.resolved.function, entry.resolved.profile) for entry in entries
+            ]
+            try:
+                compiled = compile_many(
+                    procedures,
+                    machine=target,
+                    cost_model=cost_model,
+                    techniques=list(techniques),
+                    verify=True,
+                    maximal_regions=True,
+                    workers=self.workers,
+                    cache=self.cache if policy == "use" else None,
+                )
+            except Exception as exc:
+                outcomes.append(("error", f"{type(exc).__name__}: {exc}"))
+            else:
+                outcomes.append(("ok", compiled))
+        return outcomes
+
+
+async def run_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: Optional[int] = 1,
+    cache: CacheSpec = None,
+    max_queue: int = DEFAULT_MAX_QUEUE,
+    batch_max_requests: int = DEFAULT_BATCH_MAX_REQUESTS,
+    batch_window_ms: float = DEFAULT_BATCH_WINDOW_MS,
+    ready_callback=None,
+) -> None:
+    """Start a :class:`CompileServer` and run it until it drains.
+
+    The coroutine the CLI ``serve`` subcommand drives.  ``ready_callback``
+    (if given) is called with the server once it is listening — used to
+    print the bound port and by the embedding helper.
+    """
+
+    server = CompileServer(
+        host=host,
+        port=port,
+        workers=workers,
+        cache=cache,
+        max_queue=max_queue,
+        batch_max_requests=batch_max_requests,
+        batch_window_ms=batch_window_ms,
+    )
+    await server.start()
+    server.install_signal_handlers()
+    if ready_callback is not None:
+        ready_callback(server)
+    await server.serve_forever()

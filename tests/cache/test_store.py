@@ -146,3 +146,106 @@ class TestResolveCache:
         assert isinstance(cache, CompileCache)
         cache.put(KEY, "x")
         assert cache.get(KEY) == "x"
+
+
+class TestConcurrentClearVsReaders:
+    """``clear`` racing readers yields misses, never crashes (PR-5 satellite)."""
+
+    def test_reader_misses_after_entry_vanishes(self, tmp_path):
+        store = CompileCache(tmp_path, memory_entries=0)
+        key = "ab" + "0" * 62
+        store.put(key, {"v": 1})
+        # Simulate the race: the entry disappears between put and get.
+        CompileCache(tmp_path).clear()
+        assert store.get(key) is None
+        assert store.stats.misses == 1
+        assert store.stats.corrupt == 0
+
+    def test_maintenance_queries_survive_concurrent_clear(self, tmp_path):
+        import threading
+
+        store = CompileCache(tmp_path, memory_entries=0)
+        for i in range(64):
+            store.put(f"{i:02x}" + "0" * 62, {"v": i})
+        clearer = CompileCache(tmp_path)
+        errors = []
+
+        def clear_loop():
+            try:
+                for _ in range(5):
+                    clearer.clear()
+            except Exception as exc:  # pragma: no cover - the failure we test for
+                errors.append(exc)
+
+        def read_loop():
+            try:
+                for i in range(200):
+                    store.get(f"{i % 64:02x}" + "0" * 62)
+                    store.entry_count()
+                    store.disk_bytes()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=clear_loop)] + [
+            threading.Thread(target=read_loop) for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        assert errors == []
+
+    def test_put_during_clear_never_raises(self, tmp_path):
+        import threading
+
+        store = CompileCache(tmp_path)
+        clearer = CompileCache(tmp_path)
+        errors = []
+
+        def put_loop():
+            try:
+                for i in range(200):
+                    store.put(f"{i % 16:02x}" + "1" * 62, {"v": i})
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def clear_loop():
+            try:
+                for _ in range(5):
+                    clearer.clear()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=put_loop), threading.Thread(target=clear_loop)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        assert errors == []
+
+    def test_shared_instance_is_thread_safe(self, tmp_path):
+        """One store instance shared by threads (the compile server's event
+        loop + dispatch thread): memory LRU and stats stay consistent."""
+
+        import threading
+
+        store = CompileCache(tmp_path, memory_entries=8)
+        errors = []
+
+        def hammer(base):
+            try:
+                for i in range(300):
+                    key = f"{(base + i) % 32:02x}" + "2" * 62
+                    if store.get(key) is None:
+                        store.put(key, {"v": key})
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(i * 7,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        assert errors == []
+        assert store.stats.lookups == 1200
+        assert len(store._memory) <= 8

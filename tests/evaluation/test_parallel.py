@@ -274,3 +274,54 @@ class TestMeasureProcedure:
         assert summary.callee_saved_overhead == {
             t: compiled.callee_saved_overhead(t) for t in ("baseline", "shrinkwrap", "optimized")
         }
+
+
+class TestPoolTeardown:
+    """A failing procedure must never leak worker processes (PR-5 satellite)."""
+
+    def test_worker_failure_propagates_and_leaves_no_children(self):
+        import multiprocessing
+        import time
+
+        procedures = list(build_suite(names=["mcf"], scale=SCALE)[0].procedures)
+        # A picklable "procedure" that explodes inside the worker: the
+        # pair unpacks, but allocation chokes on the non-IR payload.
+        poisoned = procedures[:3] + [("not a function", "not a profile")] + procedures[3:]
+        with pytest.raises(Exception):
+            compile_many(poisoned, workers=2)
+        # The pool was shut down with its workers joined: no child
+        # processes survive the failure (allow a moment for reaping).
+        deadline = time.monotonic() + 10.0
+        while multiprocessing.active_children() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert multiprocessing.active_children() == []
+
+    def test_keyboard_interrupt_tears_the_pool_down(self, monkeypatch):
+        """Simulated ^C while collecting results: the engine must cancel
+        pending chunks and join every worker before re-raising."""
+
+        import multiprocessing
+        import time
+
+        from repro.evaluation import parallel as parallel_mod
+
+        procedures = list(build_suite(names=["gzip"], scale=0.2)[0].procedures)
+
+        original_chunk = parallel_mod._compile_chunk
+
+        def interrupting_result(self, timeout=None):
+            raise KeyboardInterrupt
+
+        # Interrupt the parent at the first result collection.
+        monkeypatch.setattr(
+            "concurrent.futures.Future.result", interrupting_result
+        )
+        with pytest.raises(KeyboardInterrupt):
+            compile_many(procedures, workers=2)
+        monkeypatch.undo()
+
+        deadline = time.monotonic() + 10.0
+        while multiprocessing.active_children() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert multiprocessing.active_children() == []
+        assert original_chunk is parallel_mod._compile_chunk  # sanity

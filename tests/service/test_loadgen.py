@@ -1,0 +1,134 @@
+"""Load-generator tests: plan determinism, driver modes, invariant checking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.loadgen import (
+    WARMUP_BURST,
+    build_request_plan,
+    oracle_results,
+    plan_signature,
+    render_load_report,
+    run_load,
+)
+
+
+class TestPlanDeterminism:
+    @pytest.mark.parametrize("mix", ("uniform", "hot", "mixed"))
+    def test_same_seed_same_plan(self, mix):
+        a = build_request_plan(mix=mix, requests=24, seed=5)
+        b = build_request_plan(mix=mix, requests=24, seed=5)
+        assert a == b
+
+    def test_different_seed_different_plan(self):
+        a = build_request_plan(mix="hot", requests=24, seed=1)
+        b = build_request_plan(mix="hot", requests=24, seed=2)
+        assert a != b
+
+    def test_ids_are_sequential(self):
+        plan = build_request_plan(mix="uniform", requests=5, seed=0)
+        assert [m["id"] for m in plan] == ["q0", "q1", "q2", "q3", "q4"]
+
+    def test_uniform_mix_has_no_duplicates(self):
+        plan = build_request_plan(mix="uniform", requests=30, seed=0)
+        signatures = [plan_signature(m) for m in plan]
+        assert len(set(signatures)) == len(signatures)
+
+    @pytest.mark.parametrize("mix", ("hot", "mixed"))
+    def test_skewed_mixes_open_with_a_duplicate_burst(self, mix):
+        plan = build_request_plan(mix=mix, requests=20, seed=0)
+        head = {plan_signature(m) for m in plan[:WARMUP_BURST]}
+        assert len(head) == 1  # the first requests are the same hot program
+        signatures = [plan_signature(m) for m in plan]
+        assert len(set(signatures)) < len(signatures)  # duplicates exist
+
+    def test_every_plan_entry_is_protocol_valid(self):
+        for mix in ("uniform", "hot", "mixed"):
+            for message in build_request_plan(mix=mix, requests=12, seed=3):
+                plan_signature(message)  # parse_compile_request under the hood
+
+    def test_targets_cycle(self):
+        plan = build_request_plan(
+            mix="uniform", requests=6, seed=0, targets=("parisc", "tiny")
+        )
+        assert [m["target"] for m in plan] == ["parisc", "tiny"] * 3
+
+    def test_invalid_options_rejected(self):
+        with pytest.raises(ValueError):
+            build_request_plan(mix="bursty")
+        with pytest.raises(ValueError):
+            build_request_plan(requests=0)
+        with pytest.raises(ValueError):
+            build_request_plan(targets=())
+
+
+class TestOracle:
+    def test_oracle_computed_once_per_unique_signature(self):
+        plan = build_request_plan(mix="hot", requests=12, seed=1)
+        truth = oracle_results(plan)
+        assert set(truth) == {plan_signature(m) for m in plan}
+
+
+class TestDriving:
+    def test_closed_loop_with_oracle_check(self, embedded_server, tmp_path):
+        plan = build_request_plan(mix="mixed", requests=16, seed=7)
+        with embedded_server(cache=str(tmp_path / "cache")) as emb:
+            report = run_load(
+                emb.host, emb.port, plan, mode="closed", clients=4, check_oracle=True
+            )
+        assert report.ok, report.invariant_violations
+        assert report.completed == 16
+        assert report.protocol_errors == 0
+        assert report.server_stats is not None
+        assert report.server_stats["requests"]["completed"] >= 16
+
+    def test_open_loop_smoke(self, embedded_server):
+        plan = build_request_plan(mix="uniform", requests=8, seed=2)
+        with embedded_server() as emb:
+            report = run_load(
+                emb.host, emb.port, plan, mode="open", clients=2, rate=200.0
+            )
+        assert report.ok
+        assert report.completed == 8
+        assert report.throughput_rps > 0
+
+    def test_cold_burst_coalesces(self, embedded_server):
+        """The warmup burst + concurrent clients on a cold server must
+        register at least one coalesced response (the CI smoke invariant)."""
+
+        plan = build_request_plan(mix="hot", requests=12, seed=9)
+        with embedded_server(batch_window_ms=60.0) as emb:
+            report = run_load(emb.host, emb.port, plan, mode="closed", clients=4)
+        assert report.ok
+        server_coalesced = report.server_stats["requests"]["coalesced"]
+        assert max(report.coalesced_responses, server_coalesced) > 0
+
+    def test_render_report_mentions_the_essentials(self, embedded_server):
+        plan = build_request_plan(mix="uniform", requests=4, seed=0)
+        with embedded_server() as emb:
+            report = run_load(emb.host, emb.port, plan, clients=2)
+        text = render_load_report(report)
+        assert "4/4 completed" in text
+        assert "invariants      : all held" in text
+        assert "protocol errors : 0" in text
+
+    def test_report_json_summary_is_serializable(self, embedded_server):
+        import json
+
+        plan = build_request_plan(mix="uniform", requests=4, seed=0)
+        with embedded_server() as emb:
+            report = run_load(emb.host, emb.port, plan, clients=2)
+        payload = report.to_json()
+        json.dumps(payload)
+        assert payload["completed"] == 4
+        assert "latency_ms" in payload
+
+    def test_invalid_driver_options_rejected(self):
+        plan = build_request_plan(mix="uniform", requests=2, seed=0)
+        with pytest.raises(ValueError):
+            run_load("127.0.0.1", 1, plan, mode="sideways")
+        with pytest.raises(ValueError):
+            run_load("127.0.0.1", 1, plan, clients=0)
+        with pytest.raises(ValueError):
+            run_load("127.0.0.1", 1, plan, mode="open", rate=0.0)

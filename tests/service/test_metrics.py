@@ -1,0 +1,117 @@
+"""Metrics-layer tests: histograms, counters, snapshot and shared shapes."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cache.store import CompileCache
+from repro.service.metrics import (
+    MAX_SAMPLES,
+    LatencyHistogram,
+    ServiceMetrics,
+    cache_stats_payload,
+)
+
+
+class TestLatencyHistogram:
+    def test_empty_histogram_reports_zeros(self):
+        histogram = LatencyHistogram()
+        assert histogram.count == 0
+        assert histogram.percentile(50) == 0.0
+        summary = histogram.summary()
+        assert summary["count"] == 0
+        assert summary["p50"] == 0.0
+
+    def test_percentiles_on_known_data(self):
+        histogram = LatencyHistogram()
+        for value in range(1, 101):  # 1..100 ms
+            histogram.record(float(value))
+        assert histogram.percentile(50) == 50.0
+        assert histogram.percentile(95) == 95.0
+        assert histogram.percentile(99) == 99.0
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 100.0
+        assert histogram.mean == 50.5
+
+    def test_reservoir_decimation_bounds_memory_but_keeps_exact_count(self):
+        histogram = LatencyHistogram()
+        total = MAX_SAMPLES * 3
+        for value in range(total):
+            histogram.record(float(value))
+        assert histogram.count == total
+        assert len(histogram._samples) <= MAX_SAMPLES
+        assert histogram.minimum == 0.0
+        assert histogram.maximum == float(total - 1)
+        # Percentiles stay representative after decimation (±2%).
+        assert abs(histogram.percentile(50) - total / 2) < total * 0.02
+
+    def test_summary_keys(self):
+        histogram = LatencyHistogram()
+        histogram.record(5.0)
+        assert sorted(histogram.summary()) == sorted(
+            ["count", "mean", "min", "max", "p50", "p95", "p99"]
+        )
+
+
+class TestServiceMetrics:
+    def test_snapshot_shape_and_serializability(self):
+        metrics = ServiceMetrics()
+        metrics.received = 10
+        metrics.completed = 8
+        metrics.coalesced = 3
+        metrics.cache_hits = 2
+        metrics.record_batch(4)
+        metrics.record_batch(2)
+        metrics.observe_queue_depth(5)
+        metrics.latency_ms.record(12.0)
+        snapshot = metrics.snapshot(queue_depth=1)
+        assert snapshot["schema"] == "service-stats/v1"
+        assert snapshot["requests"]["coalesced"] == 3
+        assert snapshot["rates"]["coalesce_rate"] == round(3 / 8, 4)
+        assert snapshot["rates"]["cache_hit_rate"] == round(2 / 8, 4)
+        assert snapshot["batches"] == {"dispatched": 2, "mean_size": 3.0, "max_size": 4}
+        assert snapshot["queue"] == {"depth": 1, "peak_depth": 5}
+        assert "cache" not in snapshot  # cacheless server omits the section
+        json.dumps(snapshot)
+
+    def test_rates_with_zero_completed_do_not_divide_by_zero(self):
+        snapshot = ServiceMetrics().snapshot()
+        assert snapshot["rates"]["coalesce_rate"] == 0.0
+        assert snapshot["rates"]["cache_hit_rate"] == 0.0
+
+
+class TestCacheStatsPayload:
+    def test_shape_matches_cli_json_contract(self, tmp_path):
+        cache = CompileCache(tmp_path / "store")
+        cache.put("ab" + "0" * 62, {"x": 1})
+        cache.get("ab" + "0" * 62)
+        cache.get("cd" + "0" * 62)  # miss
+        payload = cache_stats_payload(cache)
+        assert sorted(payload) == sorted(
+            [
+                "hits",
+                "misses",
+                "hit_rate",
+                "stores",
+                "evictions",
+                "corrupt",
+                "entries",
+                "disk_bytes",
+            ]
+        )
+        assert payload["hits"] == 1
+        assert payload["misses"] == 1
+        assert payload["stores"] == 1
+        assert payload["entries"] == 1
+        assert payload["disk_bytes"] > 0
+
+    def test_cli_cache_stats_json_uses_the_same_shape(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = CompileCache(tmp_path / "store")
+        cache.put("ab" + "0" * 62, {"x": 1})
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "store"), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["directory"] == str(tmp_path / "store")
+        assert sorted(payload["cache"]) == sorted(cache_stats_payload(cache))
+        assert payload["cache"]["entries"] == 1

@@ -1,0 +1,233 @@
+"""Protocol-layer tests: framing, strict validation, resolution, payloads."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.ir.fingerprint import fingerprint_function
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    CompileRequest,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_message,
+    hello_message,
+    parse_compile_request,
+    parse_hello,
+    resolve_compile_request,
+)
+
+
+def compile_message(**overrides):
+    """A valid baseline compile message, with overrides."""
+
+    message = {
+        "type": "compile",
+        "id": "r1",
+        "program": {"scenario": "scenario:call_web:0:0"},
+    }
+    message.update(overrides)
+    return message
+
+
+class TestFraming:
+    def test_encode_decode_round_trip(self):
+        message = compile_message()
+        assert decode_message(encode_message(message)) == message
+
+    def test_encoding_is_key_sorted_and_stable(self):
+        a = encode_message({"b": 1, "a": 2})
+        b = encode_message({"a": 2, "b": 1})
+        assert a == b
+        assert a.endswith(b"\n")
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"[1, 2, 3]\n")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"{nope\n")
+
+
+class TestHello:
+    def test_hello_round_trip(self):
+        assert parse_hello(hello_message()) == PROTOCOL_VERSION
+
+    def test_hello_with_server_info(self):
+        message = hello_message(server_info={"max_queue": 4})
+        assert message["server"] == {"max_queue": 4}
+
+    def test_non_integer_version_rejected_with_protocol_code(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_hello({"type": "hello", "protocol": "1"})
+        assert excinfo.value.code == "protocol"
+
+    def test_error_message_shape(self):
+        message = error_message("overloaded", "full", request_id="r9")
+        assert message == {
+            "type": "error",
+            "code": "overloaded",
+            "message": "full",
+            "id": "r9",
+        }
+
+
+class TestCompileRequestValidation:
+    def test_minimal_message_fills_defaults(self):
+        request = parse_compile_request(compile_message())
+        assert request.target == "parisc"
+        assert request.cost_model == "jump_edge"
+        assert request.techniques == ("baseline", "shrinkwrap", "optimized")
+        assert request.cache == "use"
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"id": ""},
+            {"id": 7},
+            {"program": "not-an-object"},
+            {"program": {}},
+            {"program": {"ir": "x", "scenario": "y"}},
+            {"program": {"scenario": ""}},
+            {"target": "vax"},
+            {"cost_model": "psychic"},
+            {"techniques": []},
+            {"techniques": ["baseline", "baseline"]},
+            {"techniques": ["warp"]},
+            {"techniques": "baseline"},
+            {"cache": "sometimes"},
+            {"surprise": True},
+        ],
+    )
+    def test_invalid_fields_rejected(self, mutation):
+        with pytest.raises(ProtocolError):
+            parse_compile_request(compile_message(**mutation))
+
+    @pytest.mark.parametrize(
+        "profile",
+        [
+            "not-an-object",
+            {"invocations": "many"},
+            {"invocations": -3.0},
+            {"invocations": True},
+            {"probabilities": {"no-arrow": 0.5}},
+            {"probabilities": {"a->b": 1.5}},
+            {"probabilities": {"a->b": "half"}},
+            {"unknown_knob": 1},
+        ],
+    )
+    def test_invalid_profiles_rejected(self, profile, sample_ir):
+        message = compile_message(program={"ir": sample_ir}, profile=profile)
+        with pytest.raises(ProtocolError):
+            parse_compile_request(message)
+
+    def test_profile_on_scenario_program_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_compile_request(compile_message(profile={"invocations": 10.0}))
+
+    def test_signature_ignores_id_but_not_work(self):
+        a = parse_compile_request(compile_message(id="r1")).signature()
+        b = parse_compile_request(compile_message(id="r2")).signature()
+        c = parse_compile_request(compile_message(target="tiny")).signature()
+        assert a == b
+        assert a != c
+
+
+class TestResolution:
+    def test_scenario_reference_resolves_deterministically(self):
+        message = compile_message()
+        first = resolve_compile_request(parse_compile_request(message))
+        second = resolve_compile_request(parse_compile_request(message))
+        assert first.cache_key == second.cache_key
+        assert first.function_fingerprint == fingerprint_function(second.function)
+
+    def test_scenario_prefix_is_optional(self):
+        bare = compile_message(program={"scenario": "call_web:0:0"})
+        prefixed = compile_message(program={"scenario": "scenario:call_web:0:0"})
+        assert (
+            resolve_compile_request(parse_compile_request(bare)).cache_key
+            == resolve_compile_request(parse_compile_request(prefixed)).cache_key
+        )
+
+    def test_scenario_index_defaults_to_zero(self):
+        short = compile_message(program={"scenario": "call_web:0"})
+        long = compile_message(program={"scenario": "call_web:0:0"})
+        assert (
+            resolve_compile_request(parse_compile_request(short)).cache_key
+            == resolve_compile_request(parse_compile_request(long)).cache_key
+        )
+
+    @pytest.mark.parametrize(
+        "reference",
+        ["call_web", "call_web:zero", "call_web:0:-1", "no_such_family:0"],
+    )
+    def test_bad_scenario_references_rejected(self, reference):
+        message = compile_message(program={"scenario": reference})
+        with pytest.raises(ProtocolError):
+            parse_compile_request(message) and resolve_compile_request(
+                parse_compile_request(message)
+            )
+
+    def test_inline_ir_resolves_and_fingerprints(self, sample_ir):
+        message = compile_message(program={"ir": sample_ir})
+        resolved = resolve_compile_request(parse_compile_request(message))
+        assert resolved.function.name == "sample"
+        assert resolved.profile.invocations == 1000.0
+
+    def test_inline_ir_with_profile_changes_the_key(self, sample_ir):
+        plain = compile_message(program={"ir": sample_ir})
+        profiled = compile_message(
+            program={"ir": sample_ir},
+            profile={"invocations": 500.0, "probabilities": {"entry->merge": 0.9}},
+        )
+        key_a = resolve_compile_request(parse_compile_request(plain)).cache_key
+        key_b = resolve_compile_request(parse_compile_request(profiled)).cache_key
+        assert key_a != key_b
+
+    def test_unparsable_ir_rejected(self):
+        message = compile_message(program={"ir": "func broken ("})
+        with pytest.raises(ProtocolError):
+            resolve_compile_request(parse_compile_request(message))
+
+    def test_multi_function_module_rejected(self, sample_ir):
+        two = sample_ir + sample_ir.replace("sample", "second")
+        message = compile_message(program={"ir": two})
+        with pytest.raises(ProtocolError):
+            resolve_compile_request(parse_compile_request(message))
+
+    def test_cache_policy_namespaces_the_coalesce_key(self):
+        use = resolve_compile_request(parse_compile_request(compile_message()))
+        bypass = resolve_compile_request(
+            parse_compile_request(compile_message(cache="bypass"))
+        )
+        assert use.cache_key == bypass.cache_key
+        assert use.coalesce_key != bypass.coalesce_key
+
+    def test_options_differ_the_cache_key(self):
+        base = resolve_compile_request(parse_compile_request(compile_message()))
+        other_model = resolve_compile_request(
+            parse_compile_request(compile_message(cost_model="execution_count"))
+        )
+        fewer = resolve_compile_request(
+            parse_compile_request(compile_message(techniques=["baseline"]))
+        )
+        assert len({base.cache_key, other_model.cache_key, fewer.cache_key}) == 3
+
+
+class TestWireRoundTrip:
+    def test_request_to_message_parses_back_equal(self):
+        request = CompileRequest(
+            id="r7",
+            program={"scenario": "scenario:classic_mix:3:1"},
+            target="tiny",
+            cost_model="execution_count",
+            techniques=("baseline", "optimized"),
+            cache="bypass",
+        )
+        # Through JSON, as the wire would carry it.
+        parsed = parse_compile_request(json.loads(encode_message(request.to_message())))
+        assert parsed == request

@@ -119,6 +119,48 @@ class TestCliCache:
         assert main(["cache", "stats"]) == 2
         assert "no cache directory" in capsys.readouterr().err
 
+    def test_cache_stats_json_output(self, tmp_path, capsys):
+        import json
+
+        cache_dir = str(tmp_path / "cache")
+        assert main(["table1", "--scale", "0.1", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["directory"] == cache_dir
+        assert payload["cache"]["entries"] > 0
+        assert payload["cache"]["disk_bytes"] > 0
+        # The same schema the service stats snapshot's "cache" object uses.
+        for key in ("hits", "misses", "hit_rate", "stores", "evictions", "corrupt"):
+            assert key in payload["cache"]
+
+    def test_serve_and_loadgen_subcommands_in_parser(self):
+        parser = build_parser()
+        help_text = parser.format_help()
+        assert "serve" in help_text
+        assert "loadgen" in help_text
+
+    def test_loadgen_self_serve_smoke(self, capsys):
+        code = main(
+            [
+                "loadgen",
+                "--self-serve",
+                "--mix",
+                "hot",
+                "--requests",
+                "10",
+                "--clients",
+                "3",
+                "--seed",
+                "4",
+                "--expect-coalesced",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0, output
+        assert "10/10 completed" in output
+        assert "invariants      : all held" in output
+
     def test_table2_reports_honest_timing_on_stderr(self, capsys):
         assert main(["table2", "--scale", "0.05", "--workers", "1"]) == 0
         output = capsys.readouterr()

@@ -2,7 +2,8 @@
 """Docstring coverage checker for the public API (standard library only).
 
 Walks the public surface of the packages the user guide documents —
-``repro.workloads``, ``repro.evaluation`` and ``repro.pipeline`` by default —
+``repro.workloads``, ``repro.evaluation``, ``repro.pipeline`` and
+``repro.service`` by default —
 and fails when any public module, class, function, method or property lacks a
 docstring.  "Public" means: importable without a leading underscore, reached
 from a package module (submodules included); methods inherited from other
@@ -26,7 +27,12 @@ import pkgutil
 import sys
 from typing import Iterator, List
 
-DEFAULT_PACKAGES = ("repro.workloads", "repro.evaluation", "repro.pipeline")
+DEFAULT_PACKAGES = (
+    "repro.workloads",
+    "repro.evaluation",
+    "repro.pipeline",
+    "repro.service",
+)
 
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 if _SRC not in sys.path:
