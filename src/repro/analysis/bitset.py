@@ -18,7 +18,7 @@ indexes it, so callers that only touch a few blocks never pay for the rest.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (
     Dict,
     Hashable,
@@ -28,8 +28,11 @@ from typing import (
     Mapping,
     Optional,
     Set,
+    Tuple,
     TypeVar,
 )
+
+from repro.ir.values import VirtualRegister, vreg
 
 T = TypeVar("T", bound=Hashable)
 
@@ -46,11 +49,14 @@ class RegisterIndex:
     reaching-definition triples as well.
     """
 
-    __slots__ = ("_bit_of", "_fact_at")
+    __slots__ = ("_bit_of", "_fact_at", "_virtual_mask")
 
     def __init__(self, facts: Iterable[Hashable] = ()):
         self._bit_of: Dict[Hashable, int] = {}
         self._fact_at: List[Hashable] = []
+        #: Mask over all bits whose fact is a :class:`VirtualRegister`;
+        #: maintained incrementally so consumers never enumerate the index.
+        self._virtual_mask = 0
         for fact in facts:
             self.add(fact)
 
@@ -60,6 +66,26 @@ class RegisterIndex:
     def __contains__(self, fact: Hashable) -> bool:
         return fact in self._bit_of
 
+    def fork(self) -> "RegisterIndex":
+        """An independent copy sharing no mutable state.
+
+        Used by the persistent per-worker base indexes: the per-target base
+        index pre-interns the facts every compile needs, and each compile
+        forks it so function-local interning never leaks across compiles.
+        """
+
+        clone = RegisterIndex.__new__(RegisterIndex)
+        clone._bit_of = dict(self._bit_of)
+        clone._fact_at = list(self._fact_at)
+        clone._virtual_mask = self._virtual_mask
+        return clone
+
+    @property
+    def virtual_mask(self) -> int:
+        """Mask over all interned bits that denote virtual registers."""
+
+        return self._virtual_mask
+
     def add(self, fact: Hashable) -> int:
         """Intern ``fact`` and return its bit position."""
 
@@ -68,6 +94,8 @@ class RegisterIndex:
             bit = len(self._fact_at)
             self._bit_of[fact] = bit
             self._fact_at.append(fact)
+            if isinstance(fact, VirtualRegister):
+                self._virtual_mask |= 1 << bit
         return bit
 
     def bit_of(self, fact: Hashable) -> int:
@@ -91,13 +119,10 @@ class RegisterIndex:
 
         mask = 0
         bit_of = self._bit_of
-        fact_at = self._fact_at
         for fact in facts:
             bit = bit_of.get(fact)
             if bit is None:
-                bit = len(fact_at)
-                bit_of[fact] = bit
-                fact_at.append(fact)
+                bit = self.add(fact)
             mask |= 1 << bit
         return mask
 
@@ -120,6 +145,42 @@ class RegisterIndex:
             low = mask & -mask
             yield fact_at[low.bit_length() - 1]
             mask ^= low
+
+
+# Persistent per-worker base indexes, keyed by target identity.  Every compile
+# for a target interns the same machine registers and the same low-numbered
+# virtual registers; building that prefix once per (process, target) and
+# forking it per compile removes the repeated interning from the hot path.
+# Keys are ``id(machine)`` with the machine kept alive in the entry, so a
+# recycled id can never alias a collected target; the registry is bounded —
+# a worker only ever sees a handful of targets.
+_BASE_INDEXES: Dict[int, Tuple[object, RegisterIndex]] = {}
+_BASE_INDEX_LIMIT = 8
+#: Virtual registers ``v0 .. v63`` cover the scenario generator's range sizes;
+#: higher-numbered registers simply intern on demand.
+_BASE_VREG_COUNT = 64
+
+
+def base_register_index(machine) -> RegisterIndex:
+    """The persistent base :class:`RegisterIndex` for ``machine``.
+
+    The returned index is shared — callers must :meth:`~RegisterIndex.fork`
+    it before interning anything function-specific.
+    """
+
+    key = id(machine)
+    entry = _BASE_INDEXES.get(key)
+    if entry is None or entry[0] is not machine:
+        index = RegisterIndex()
+        for register in machine.registers:
+            index.add(register)
+        for i in range(_BASE_VREG_COUNT):
+            index.add(vreg(i))
+        if len(_BASE_INDEXES) >= _BASE_INDEX_LIMIT:
+            _BASE_INDEXES.clear()
+        _BASE_INDEXES[key] = (machine, index)
+        return index
+    return entry[1]
 
 
 class MaskSetView(Mapping[str, Set[T]]):
@@ -202,14 +263,15 @@ def solve_bit_dataflow(function, problem: BitDataflowProblem) -> BitDataflowResu
     blocks appended so their facts stay defined.
     """
 
-    from repro.analysis.graph import function_cfg
-
-    # One CFG construction serves both the neighbour lists and the iteration
-    # order (the set-based reference builds them separately).
+    # The function's cached CFG snapshot serves both the neighbour lists and
+    # the iteration order (the set-based reference builds them separately).
     labels = function.block_labels
-    graph, entry_label, _ = function_cfg(function)
-    succs: Dict[str, List[str]] = {label: graph.successors(label) for label in labels}
-    preds: Dict[str, List[str]] = {label: graph.predecessors(label) for label in labels}
+    cfg = function.cfg()
+    entry_label = cfg.entry_label
+    graph_succs = cfg.graph_succs
+    graph_preds = cfg.graph_preds
+    succs: Dict[str, List[str]] = {label: graph_succs[label] for label in labels}
+    preds: Dict[str, List[str]] = {label: graph_preds[label] for label in labels}
 
     if problem.universe is not None:
         universe = problem.universe
@@ -226,9 +288,9 @@ def solve_bit_dataflow(function, problem: BitDataflowProblem) -> BitDataflowResu
 
     forward = problem.forward
     union = problem.union
-    exit_labels = {b.label for b in function.exit_blocks()}
+    exit_labels = set(cfg.exit_labels)
 
-    order = graph.reverse_postorder(entry_label)
+    order = list(cfg.reverse_postorder())
     # Include blocks unreachable from the entry at the end so their facts are
     # still defined (they simply keep pessimistic values).
     reached = set(order)
@@ -307,17 +369,62 @@ class BitLiveness:
     live_out: Dict[str, int]
     uses: Dict[str, int]
     defs: Dict[str, int]
+    #: Per-block ``[(write_mask, read_mask)]`` instruction masks, built once
+    #: and shared by every consumer walking the instructions (live ranges,
+    #: interference, per-instruction liveness refinement).
+    _inst_masks: Dict[str, List[Tuple[int, int]]] = field(default_factory=dict)
 
     def virtual_register_mask(self) -> int:
-        """Mask over all interned bits that denote virtual registers."""
+        """Mask over all interned bits that denote virtual registers.
 
-        from repro.ir.values import VirtualRegister
+        With a forked per-target base index the index may carry virtual
+        registers the function never mentions; intersect with
+        :meth:`mentioned_mask` when enumerating a function's registers.
+        """
 
-        mask = 0
-        for bit, reg in enumerate(self.index.facts):
-            if isinstance(reg, VirtualRegister):
-                mask |= 1 << bit
-        return mask
+        return self.index.virtual_mask
+
+    def mentioned_mask(self, function) -> int:
+        """Mask over the registers the function actually mentions.
+
+        Block-level ``uses``/``defs`` cover exactly the registers read or
+        written by the block's instructions, so their union over all blocks
+        plus the parameters reproduces the historical "walk every
+        instruction" enumeration — without the walk, and unpolluted by
+        whatever else a shared base index happens to carry.
+        """
+
+        mentioned = self.index.mask_of(function.params)
+        for mask in self.uses.values():
+            mentioned |= mask
+        for mask in self.defs.values():
+            mentioned |= mask
+        # Hand-built solutions (bit_liveness_from_sets) may carry registers
+        # that are live at a boundary without being mentioned in a block;
+        # computed solutions add nothing here (live sets are unions of uses).
+        for mask in self.live_in.values():
+            mentioned |= mask
+        for mask in self.live_out.values():
+            mentioned |= mask
+        return mentioned
+
+    def instruction_masks(self, function, label: str) -> List[Tuple[int, int]]:
+        """``(write_mask, read_mask)`` per instruction of block ``label``.
+
+        Cached on the solution object: live-range construction and
+        interference building walk the same blocks and would otherwise pack
+        the same operand tuples twice.
+        """
+
+        cached = self._inst_masks.get(label)
+        if cached is None:
+            mask_of = self.index.mask_of
+            cached = [
+                (mask_of(inst.registers_written()), mask_of(inst.registers_read()))
+                for inst in function.block(label).instructions
+            ]
+            self._inst_masks[label] = cached
+        return cached
 
 
 def bit_liveness_from_sets(function, liveness) -> BitLiveness:
@@ -352,13 +459,11 @@ def live_masks_at_each_instruction(function, bits: BitLiveness, label: str) -> L
     allocator hot path to avoid materializing one set per instruction.
     """
 
-    block = function.block(label)
-    index = bits.index
+    masks = bits.instruction_masks(function, label)
     live = bits.live_out[label]
-    after: List[int] = [0] * len(block.instructions)
-    for i in range(len(block.instructions) - 1, -1, -1):
+    after: List[int] = [0] * len(masks)
+    for i in range(len(masks) - 1, -1, -1):
         after[i] = live
-        inst = block.instructions[i]
-        live &= ~index.mask_of(inst.registers_written())
-        live |= index.mask_of(inst.registers_read())
+        write_mask, read_mask = masks[i]
+        live = (live & ~write_mask) | read_mask
     return after

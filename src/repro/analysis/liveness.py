@@ -23,6 +23,7 @@ from repro.analysis.bitset import (
     BitLiveness,
     MaskSetView,
     RegisterIndex,
+    base_register_index,
     bit_liveness_from_sets,
     live_masks_at_each_instruction,
     solve_bit_dataflow,
@@ -117,17 +118,26 @@ def liveness_dataflow_problem(function: Function) -> DataflowProblem:
 def compute_liveness(
     function: Function,
     call_clobbers: Optional[Dict[str, Set[Register]]] = None,
+    machine=None,
 ) -> LivenessInfo:
     """Compute block-level liveness.
 
     ``call_clobbers`` optionally maps block labels to registers additionally
     *defined* (clobbered) within the block — used when reasoning about
     physical registers around calls.
+
+    ``machine`` optionally selects the persistent per-target base index
+    (:func:`repro.analysis.bitset.base_register_index`), forked per call so
+    per-function interning never leaks; the solution is independent of the
+    resulting bit order either way.
     """
 
-    index = RegisterIndex()
-    # Parameters first so entry-live registers get the low bits; purely
-    # cosmetic for debugging, the solution is independent of bit order.
+    if machine is None:
+        index = RegisterIndex()
+    else:
+        index = base_register_index(machine).fork()
+    # Parameters next so entry-live registers get low bits; purely cosmetic
+    # for debugging, the solution is independent of bit order.
     for param in function.params:
         index.add(param)
 

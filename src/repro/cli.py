@@ -20,6 +20,10 @@ Subcommands::
     repro-spill targets                          # list registered machine descriptions
     repro-spill place     FILE [--cost-model MODEL] [--target NAME]
                                                  # place spill code for a textual IR file
+    repro-spill profile   [--target NAME] [--scenario NAME ...] [--seed N]
+                          [--count N] [--top N] [--json] [--output FILE]
+                                                 # cProfile a seeded cold compile leg
+                                                 # (the hot-path measurement tool)
     repro-spill cache     {stats,clear} --cache-dir DIR [--json]
                                                  # inspect / empty a compile cache
     repro-spill serve     [--host H] [--port P] [--workers N] [--cache-dir DIR]
@@ -297,6 +301,46 @@ def build_parser() -> argparse.ArgumentParser:
     place.add_argument("file", help="path to a textual IR module")
     _add_cost_model(place)
     _add_target(place)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="cProfile a seeded cold compile_many leg (the hot-path measurement tool)",
+    )
+    _add_target(profile)
+    profile.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        metavar="NAME",
+        default=None,
+        help="scenario family to compile (repeatable; default: every family)",
+    )
+    profile.add_argument("--seed", type=int, default=0, help="scenario seed (default 0)")
+    profile.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        metavar="N",
+        help="procedures per family (default: each family's own count)",
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rows reported, sorted by cumulative time (default 30)",
+    )
+    profile.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable report for trend tracking (see docs/performance.md)",
+    )
+    profile.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the report to FILE instead of stdout",
+    )
     return parser
 
 
@@ -420,6 +464,45 @@ def _command_cache(action: str, cache_dir: Optional[str], as_json: bool = False)
         return 0
     removed = cache.clear()
     print(f"removed {removed} cache entries from {cache.directory}")
+    return 0
+
+
+def _command_profile(args) -> int:
+    from repro.evaluation.profile_compile import DEFAULT_TOP, render_report, run_profile
+    from repro.workloads.scenarios import scenario_names
+
+    unknown = [
+        name for name in (args.scenarios or []) if name not in scenario_names()
+    ]
+    if unknown:
+        print(
+            f"error: unknown scenario(s) {', '.join(unknown)}; "
+            f"expected one of {', '.join(scenario_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.count is not None and args.count < 1:
+        print(f"error: --count must be >= 1, got {args.count}", file=sys.stderr)
+        return 2
+    report = run_profile(
+        families=args.scenarios,
+        seed=args.seed,
+        count=args.count,
+        target=args.target,
+        top=args.top if args.top is not None else DEFAULT_TOP,
+    )
+    if args.json:
+        import json
+
+        text = json.dumps(report.as_dict(), indent=2, sort_keys=True)
+    else:
+        text = render_report(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"profile written to {args.output}", file=sys.stderr)
+    else:
+        print(text)
     return 0
 
 
@@ -595,6 +678,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_place(args.file, args.cost_model, args.target)
     if args.command == "cache":
         return _command_cache(args.action, args.cache_dir, getattr(args, "json", False))
+    if args.command == "profile":
+        return _command_profile(args)
     if args.command == "serve":
         return _command_serve(args)
     if args.command == "loadgen":

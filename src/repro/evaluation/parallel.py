@@ -190,12 +190,16 @@ def _measure_chunk(payload) -> List[ProcedureMeasurement]:
     """Worker: compile a chunk of procedures, return their summaries."""
 
     procedures, machine, cost_model, techniques, verify, maximal_regions = payload
+    from repro.analysis.bitset import base_register_index
     from repro.spill.cost_models import make_cost_model
     from repro.target.registry import resolve_target
 
     machine = resolve_target(machine)
     if isinstance(cost_model, str):
         cost_model = make_cost_model(cost_model, machine)
+    # Prime the per-process interning index once; every compile in this
+    # worker forks it instead of re-interning the register universe.
+    base_register_index(machine)
     return [
         measure_procedure(
             procedure,
@@ -213,6 +217,7 @@ def _compile_chunk(payload) -> list:
     """Worker: compile a chunk of procedures, return the full artifacts."""
 
     procedures, machine, cost_model, techniques, verify, maximal_regions = payload
+    from repro.analysis.bitset import base_register_index
     from repro.pipeline.compiler import compile_procedure
     from repro.spill.cost_models import make_cost_model
     from repro.target.registry import resolve_target
@@ -220,6 +225,7 @@ def _compile_chunk(payload) -> list:
     machine = resolve_target(machine)
     if isinstance(cost_model, str):
         cost_model = make_cost_model(cost_model, machine)
+    base_register_index(machine)
     return [
         compile_procedure(
             procedure,

@@ -1,0 +1,178 @@
+"""cProfile harness for the cold compile path (``repro-spill profile``).
+
+The allocator-wide performance work is profile driven: every optimization in
+the hot path (packed bitsets through regalloc and spill placement, the
+per-compile CFG snapshot, the slotted IR) starts from a hotspot surfaced by
+this harness and ends with a before/after pair of its reports committed next
+to the change (``profiles/`` at the repository root).
+
+The measured leg is deliberately *cold* and *serial*: a seeded scenario
+suite — every registered family unless restricted — is compiled with
+``compile_many(workers=1, cache=None)`` under :mod:`cProfile`, so the report
+shows exactly the per-procedure pipeline cost the service's cold path and
+the evaluation's first run pay, with no pool or cache noise on top.
+
+Output is either the classic ``pstats`` table (top N by cumulative time) or
+a JSON document with the same rows, for trend tracking across commits:
+
+.. code-block:: json
+
+    {
+      "meta": {"target": "parisc", "seed": 0, "families": [...],
+               "procedures": 64, "instructions": 9000},
+      "total_seconds": 0.41,
+      "total_calls": 1200000,
+      "rows": [{"function": "src/repro/ir/function.py:146(block_out_edges)",
+                "calls": 60234, "tottime": 0.11, "cumtime": 0.33}, ...]
+    }
+
+``tools/profile_compile.py`` is the standalone wrapper around the same
+entry points for use without installing the package.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+#: Default number of rows reported (top N by cumulative time).
+DEFAULT_TOP = 30
+
+
+@dataclass
+class ProfileRow:
+    """One ``pstats`` line: a function and its call/time aggregates."""
+
+    function: str
+    calls: int
+    tottime: float
+    cumtime: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """The row as a JSON-ready mapping (times rounded to microseconds)."""
+
+        return {
+            "function": self.function,
+            "calls": self.calls,
+            "tottime": round(self.tottime, 6),
+            "cumtime": round(self.cumtime, 6),
+        }
+
+
+@dataclass
+class ProfileReport:
+    """The outcome of one profiled cold-compile leg."""
+
+    target: str
+    seed: int
+    families: List[str]
+    procedures: int
+    instructions: int
+    total_seconds: float
+    total_calls: int
+    rows: List[ProfileRow] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        """The report as a JSON-ready mapping (the ``--json`` document)."""
+
+        return {
+            "meta": {
+                "target": self.target,
+                "seed": self.seed,
+                "families": list(self.families),
+                "procedures": self.procedures,
+                "instructions": self.instructions,
+            },
+            "total_seconds": round(self.total_seconds, 6),
+            "total_calls": self.total_calls,
+            "rows": [row.as_dict() for row in self.rows],
+        }
+
+
+def _format_location(func_key) -> str:
+    """Render a pstats function key as ``path:line(name)`` with short paths."""
+
+    filename, line, name = func_key
+    if filename.startswith("~"):
+        # Built-ins print as "~:0(<built-in method ...>)" in pstats.
+        return name
+    for marker in ("/src/", "/lib/"):
+        position = filename.rfind(marker)
+        if position >= 0:
+            filename = filename[position + 1 :]
+            break
+    return f"{filename}:{line}({name})"
+
+
+def run_profile(
+    families: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    count: Optional[int] = None,
+    target: str = "parisc",
+    top: int = DEFAULT_TOP,
+    sort: str = "cumulative",
+) -> ProfileReport:
+    """Profile one seeded cold ``compile_many`` leg and return the report.
+
+    The workload is deterministic in ``(families, seed, count, target)``, so
+    two runs on the same machine profile the same instruction stream and
+    their reports are directly comparable.
+    """
+
+    from repro.pipeline.compiler import compile_many
+    from repro.target.registry import get_target
+    from repro.workloads.scenarios import build_scenario_suite
+
+    machine = get_target(target)
+    suite = build_scenario_suite(names=families, seed=seed, count=count, machine=machine)
+    procedures = [p for group in suite.values() for p in group]
+    instructions = sum(p.function.instruction_count() for p in procedures)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    compile_many(procedures, machine=machine, workers=1, cache=None)
+    profiler.disable()
+
+    stats = pstats.Stats(profiler, stream=io.StringIO())
+    stats.sort_stats(sort)
+    rows: List[ProfileRow] = []
+    for func_key in stats.fcn_list[: max(0, top)]:  # sorted key list
+        cc, ncalls, tottime, cumtime, _callers = stats.stats[func_key]
+        rows.append(
+            ProfileRow(
+                function=_format_location(func_key),
+                calls=ncalls,
+                tottime=tottime,
+                cumtime=cumtime,
+            )
+        )
+    return ProfileReport(
+        target=target,
+        seed=seed,
+        families=sorted(suite.keys()),
+        procedures=len(procedures),
+        instructions=instructions,
+        total_seconds=stats.total_tt,
+        total_calls=stats.total_calls,
+        rows=rows,
+    )
+
+
+def render_report(report: ProfileReport) -> str:
+    """The human-readable table (stable column layout, top rows first)."""
+
+    lines = [
+        f"cold compile profile: target={report.target} seed={report.seed} "
+        f"procedures={report.procedures} instructions={report.instructions}",
+        f"total: {report.total_seconds:.3f}s over {report.total_calls} calls",
+        "",
+        f"{'calls':>10s} {'tottime':>9s} {'cumtime':>9s}  function",
+    ]
+    for row in report.rows:
+        lines.append(
+            f"{row.calls:>10d} {row.tottime:>9.4f} {row.cumtime:>9.4f}  {row.function}"
+        )
+    return "\n".join(lines)

@@ -19,11 +19,29 @@ class BasicBlock:
     and layout order; blocks themselves only store instructions and a label.
     """
 
+    __slots__ = ("label", "instructions")
+
     def __init__(self, label: str, instructions: Optional[Iterable[Instruction]] = None):
         if not label:
             raise ValueError("basic block label must be non-empty")
         self.label = label
         self.instructions: List[Instruction] = list(instructions or [])
+
+    # -- pickling --------------------------------------------------------------
+
+    def __getstate__(self):
+        return {"label": self.label, "instructions": self.instructions}
+
+    def __setstate__(self, state) -> None:
+        # Accept the pre-slots dict state as well as the ``(dict, slots)``
+        # two-tuple, so old cache payloads keep loading.
+        if isinstance(state, tuple):
+            dict_state, slot_state = state
+            merged = dict(dict_state or {})
+            merged.update(slot_state or {})
+            state = merged
+        for key, value in state.items():
+            setattr(self, key, value)
 
     # -- terminators -----------------------------------------------------------
 
@@ -31,8 +49,9 @@ class BasicBlock:
     def terminator(self) -> Optional[Instruction]:
         """The trailing terminator instruction, if any."""
 
-        if self.instructions and self.instructions[-1].is_terminator():
-            return self.instructions[-1]
+        instructions = self.instructions
+        if instructions and instructions[-1].opcode.info.is_terminator:
+            return instructions[-1]
         return None
 
     def has_terminator(self) -> bool:

@@ -5,16 +5,17 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.ir.basic_block import BasicBlock
-from repro.ir.cfg import Edge, EdgeKind
+from repro.ir.cfg import ENTRY_SENTINEL, EXIT_SENTINEL, Edge, EdgeKind, FunctionCFG
 from repro.ir.instructions import Instruction, Opcode
 from repro.ir.values import PhysicalRegister, Register, VirtualRegister
 
-#: Sentinel labels used for the virtual procedure-entry and procedure-exit
-#: edges.  Spill locations "at procedure entry" live on the edge
-#: ``(ENTRY_SENTINEL, entry_block)`` and locations "at procedure exit" on the
-#: edge ``(exit_block, EXIT_SENTINEL)``.
-ENTRY_SENTINEL = "__entry__"
-EXIT_SENTINEL = "__exit__"
+__all__ = [
+    "ENTRY_SENTINEL",
+    "EXIT_SENTINEL",
+    "Function",
+    "blocks_reaching_exit",
+    "reachable_blocks",
+]
 
 
 class Function:
@@ -38,6 +39,8 @@ class Function:
         #: Next free stack-slot index; bumped by the allocator and the spill
         #: insertion pass.
         self.next_stack_slot = 0
+        #: Cached CFG snapshot (see :meth:`cfg`); never pickled.
+        self._cfg: Optional[FunctionCFG] = None
 
     # -- block management --------------------------------------------------------
 
@@ -52,6 +55,7 @@ class Function:
         else:
             index = self._layout.index(after)
             self._layout.insert(index + 1, block.label)
+        self._cfg = None
         return block
 
     def new_block(self, prefix: str = "bb", after: Optional[str] = None) -> BasicBlock:
@@ -71,6 +75,7 @@ class Function:
     def remove_block(self, label: str) -> None:
         del self._blocks[label]
         self._layout.remove(label)
+        self._cfg = None
 
     def block(self, label: str) -> BasicBlock:
         return self._blocks[label]
@@ -108,7 +113,7 @@ class Function:
     def exit_blocks(self) -> List[BasicBlock]:
         """Blocks terminated by ``ret``."""
 
-        return [b for b in self.blocks if b.terminator is not None and b.terminator.is_return()]
+        return [self._blocks[label] for label in self.cfg().exit_labels]
 
     @property
     def exit(self) -> BasicBlock:
@@ -127,6 +132,79 @@ class Function:
 
     # -- CFG derivation ----------------------------------------------------------
 
+    def cfg(self) -> FunctionCFG:
+        """The cached :class:`~repro.ir.cfg.FunctionCFG` snapshot.
+
+        The snapshot is revalidated against the current terminator signature
+        on every call, so callers always observe the live CFG even after
+        in-place terminator mutation (which the function cannot otherwise
+        detect).  Passes that query the CFG many times between mutations
+        should fetch the snapshot once and use its tables directly.
+        """
+
+        cfg = self._cfg
+        if cfg is not None and self._cfg_signature_matches(cfg.signature):
+            return cfg
+        cfg = FunctionCFG(self.name, self._cfg_signature())
+        self._cfg = cfg
+        return cfg
+
+    def _cfg_signature(self):
+        """Per-block ``(label, terminator opcode, target, targets)`` tuples."""
+
+        items = []
+        blocks = self._blocks
+        for label in self._layout:
+            instructions = blocks[label].instructions
+            term = instructions[-1] if instructions else None
+            if term is None or not term.opcode.info.is_terminator:
+                items.append((label, None, None, ()))
+                continue
+            target = term.target
+            items.append(
+                (
+                    label,
+                    term.opcode,
+                    target.name if target is not None else None,
+                    tuple(t.name for t in term.targets) if term.targets else (),
+                )
+            )
+        return tuple(items)
+
+    def _cfg_signature_matches(self, signature) -> bool:
+        """Allocation-free comparison of ``signature`` against the live IR."""
+
+        layout = self._layout
+        if len(signature) != len(layout):
+            return False
+        blocks = self._blocks
+        for i, label in enumerate(layout):
+            item = signature[i]
+            if item[0] != label:
+                return False
+            instructions = blocks[label].instructions
+            term = instructions[-1] if instructions else None
+            if term is None or not term.opcode.info.is_terminator:
+                if item[1] is not None:
+                    return False
+                continue
+            if item[1] is not term.opcode:
+                return False
+            target = term.target
+            if target is None:
+                if item[2] is not None:
+                    return False
+            elif item[2] != target.name:
+                return False
+            targets = term.targets
+            names = item[3]
+            if len(targets) != len(names):
+                return False
+            for t, name in zip(targets, names):
+                if t.name != name:
+                    return False
+        return True
+
     def layout_successor(self, label: str) -> Optional[str]:
         """The next block in layout order, or ``None`` for the last block."""
 
@@ -136,61 +214,28 @@ class Function:
         return None
 
     def edges(self) -> List[Edge]:
-        """Derive all CFG edges from terminators and layout order."""
+        """All CFG edges, derived from terminators and layout order."""
 
-        result: List[Edge] = []
-        for block in self.blocks:
-            result.extend(self.block_out_edges(block.label))
-        return result
+        return list(self.cfg().edges)
 
     def block_out_edges(self, label: str) -> List[Edge]:
         """Out edges of one block, taken (jump) edges first."""
 
-        block = self._blocks[label]
-        term = block.terminator
-        edges: List[Edge] = []
-        if term is None:
-            succ = self.layout_successor(label)
-            if succ is not None:
-                edges.append(Edge(label, succ, EdgeKind.FALLTHROUGH))
-            return edges
-        if term.opcode is Opcode.JMP:
-            edges.append(Edge(label, term.target.name, EdgeKind.JUMP))
-        elif term.opcode is Opcode.SWITCH:
-            seen: Set[str] = set()
-            for case_target in term.targets:
-                if case_target.name not in seen:
-                    seen.add(case_target.name)
-                    edges.append(Edge(label, case_target.name, EdgeKind.JUMP))
-        elif term.opcode is Opcode.BR:
-            edges.append(Edge(label, term.target.name, EdgeKind.JUMP))
-            succ = self.layout_successor(label)
-            if succ is not None:
-                edges.append(Edge(label, succ, EdgeKind.FALLTHROUGH))
-        elif term.opcode is Opcode.RET:
-            pass
-        return edges
+        return list(self.cfg().out_edges[label])
 
     def successors(self, label: str) -> List[str]:
-        return [e.dst for e in self.block_out_edges(label)]
+        return list(self.cfg().succs[label])
 
     def predecessors(self, label: str) -> List[str]:
-        preds: List[str] = []
-        for edge in self.edges():
-            if edge.dst == label:
-                preds.append(edge.src)
-        return preds
+        return list(self.cfg().preds.get(label, ()))
 
     def edge(self, src: str, dst: str) -> Edge:
         """The edge ``src -> dst``; raises ``KeyError`` when absent."""
 
-        for e in self.block_out_edges(src):
-            if e.dst == dst:
-                return e
-        raise KeyError(f"no edge {src} -> {dst} in function {self.name!r}")
+        return self.cfg().edge(src, dst)
 
     def has_edge(self, src: str, dst: str) -> bool:
-        return any(e.dst == dst for e in self.block_out_edges(src))
+        return self.cfg().has_edge(src, dst)
 
     def entry_edge(self) -> Edge:
         """The virtual procedure-entry edge."""
@@ -205,7 +250,7 @@ class Function:
     def edge_map(self) -> Dict[Tuple[str, str], Edge]:
         """All edges keyed by ``(src, dst)``."""
 
-        return {e.key: e for e in self.edges()}
+        return dict(self.cfg().edge_map())
 
     # -- instructions and registers ----------------------------------------------
 
@@ -236,6 +281,20 @@ class Function:
         slot = StackSlot(self.next_stack_slot, purpose)
         self.next_stack_slot += 1
         return slot
+
+    # -- pickling ----------------------------------------------------------------
+
+    def __getstate__(self):
+        """Drop the CFG snapshot: it is derived state, rebuilt on demand."""
+
+        state = self.__dict__.copy()
+        state["_cfg"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        # Payloads pickled before the snapshot existed carry no ``_cfg`` key.
+        self.__dict__.setdefault("_cfg", None)
 
     # -- cloning -----------------------------------------------------------------
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.ir.values import Immediate, Label, Operand, Register, StackSlot
@@ -129,6 +129,14 @@ COMPARISONS = {
     Opcode.CMP_GE,
 }
 
+# Attach each opcode's info to the enum member itself.  ``inst.opcode.info``
+# is a plain attribute read, where the ``OPCODE_INFO[...]`` lookup paid an
+# ``Enum.__hash__`` call — a measurable cost at ~100k classification queries
+# per cold compile leg.
+for _opcode in Opcode:
+    _opcode.info = OPCODE_INFO[_opcode]
+del _opcode
+
 #: Purposes a load/store instruction may carry; used by the overhead
 #: accounting to classify memory traffic.
 MEMORY_PURPOSES = ("program", "spill", "callee_save", "callee_restore")
@@ -136,9 +144,14 @@ MEMORY_PURPOSES = ("program", "spill", "callee_save", "callee_restore")
 _instruction_ids = itertools.count()
 
 
-@dataclass
 class Instruction:
     """One IR instruction.
+
+    A hand-slotted class (not a dataclass): instructions are the most numerous
+    IR objects and the per-instance ``__dict__`` dominated the allocator's
+    allocation profile.  Equality is identity — the generated field comparison
+    included the unique ``uid``, so two distinct instructions never compared
+    equal anyway.
 
     Parameters
     ----------
@@ -162,38 +175,62 @@ class Instruction:
         compiler-inserted overhead.
     """
 
-    opcode: Opcode
-    defs: Tuple[Register, ...] = ()
-    uses: Tuple[Operand, ...] = ()
-    target: Optional[Label] = None
-    targets: Tuple[Label, ...] = ()
-    purpose: str = "program"
-    uid: int = field(default_factory=lambda: next(_instruction_ids))
+    __slots__ = ("opcode", "defs", "uses", "target", "targets", "purpose", "uid")
 
-    def __post_init__(self) -> None:
-        self.defs = tuple(self.defs)
-        self.uses = tuple(self.uses)
-        self.targets = tuple(self.targets)
-        if self.opcode in (Opcode.LOAD, Opcode.STORE):
-            if self.purpose not in MEMORY_PURPOSES:
-                raise ValueError(f"invalid memory purpose {self.purpose!r}")
-        if self.opcode is Opcode.SWITCH and not self.targets:
+    def __init__(
+        self,
+        opcode: Opcode,
+        defs: Tuple[Register, ...] = (),
+        uses: Tuple[Operand, ...] = (),
+        target: Optional[Label] = None,
+        targets: Tuple[Label, ...] = (),
+        purpose: str = "program",
+        uid: Optional[int] = None,
+    ):
+        self.opcode = opcode
+        self.defs = tuple(defs)
+        self.uses = tuple(uses)
+        self.target = target
+        self.targets = tuple(targets)
+        self.purpose = purpose
+        self.uid = next(_instruction_ids) if uid is None else uid
+        if opcode is Opcode.LOAD or opcode is Opcode.STORE:
+            if purpose not in MEMORY_PURPOSES:
+                raise ValueError(f"invalid memory purpose {purpose!r}")
+        if opcode is Opcode.SWITCH and not self.targets:
             raise ValueError("switch requires at least one target label")
+
+    # -- pickling ---------------------------------------------------------------
+
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in Instruction.__slots__}
+
+    def __setstate__(self, state) -> None:
+        # Accept both the historical dataclass dict state and the default
+        # ``(dict, slots)`` two-tuple, so cache payloads pickled before the
+        # class was slotted still load as hits.
+        if isinstance(state, tuple):
+            dict_state, slot_state = state
+            merged = dict(dict_state or {})
+            merged.update(slot_state or {})
+            state = merged
+        for key, value in state.items():
+            setattr(self, key, value)
 
     # -- classification helpers -------------------------------------------------
 
     @property
     def info(self) -> OpcodeInfo:
-        return OPCODE_INFO[self.opcode]
+        return self.opcode.info
 
     def is_terminator(self) -> bool:
-        return self.info.is_terminator
+        return self.opcode.info.is_terminator
 
     def is_call(self) -> bool:
         return self.opcode is Opcode.CALL
 
     def is_memory(self) -> bool:
-        return self.info.is_memory
+        return self.opcode.info.is_memory
 
     def is_branch(self) -> bool:
         return self.opcode is Opcode.BR

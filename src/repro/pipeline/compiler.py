@@ -150,6 +150,10 @@ def compile_procedure(
         allocation = allocate_registers(function, machine, profile)
     allocated = allocation.function
     usage = allocation.usage
+    # One validated CFG snapshot for the whole placement phase: every
+    # technique, the verifier and the overhead accounting share it instead of
+    # re-deriving (and re-validating) the flowgraph per query.
+    cfg = allocated.cfg()
 
     result = CompiledProcedure(
         name=function.name,
@@ -165,7 +169,7 @@ def compile_procedure(
                 placement = place_entry_exit(allocated, usage)
             elif technique == "shrinkwrap":
                 placement = place_shrink_wrap(
-                    allocated, usage, allow_jump_edges=False, avoid_loops=True
+                    allocated, usage, allow_jump_edges=False, avoid_loops=True, cfg=cfg
                 )
             elif technique == "optimized":
                 placement = place_hierarchical(
@@ -174,12 +178,15 @@ def compile_procedure(
                     profile,
                     cost_model=cost_model,
                     maximal_regions=maximal_regions,
+                    cfg=cfg,
                 ).placement
             else:
                 raise ValueError(f"unknown technique {technique!r}")
         if verify:
-            verify_placement(allocated, usage, placement)
-        overhead = placement_dynamic_overhead(allocated, profile, placement, machine)
+            verify_placement(allocated, usage, placement, cfg=cfg)
+        overhead = placement_dynamic_overhead(
+            allocated, profile, placement, machine, cfg=cfg
+        )
         result.outcomes[technique] = PlacementOutcome(
             technique=technique, placement=placement, overhead=overhead
         )

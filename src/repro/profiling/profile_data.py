@@ -51,7 +51,20 @@ class EdgeProfile:
         return total
 
     def block_counts(self, function: Function) -> Dict[str, float]:
-        return {label: self.block_count(function, label) for label in function.block_labels}
+        """Execution counts of every block, in one pass over the edges.
+
+        Equivalent to ``block_count`` per label — the per-label addition
+        order (invocations first at the entry, then incoming edges in
+        ``function.edges()`` order) is identical, so the floats are bit-equal
+        — but O(B + E) instead of O(B * E).
+        """
+
+        counts = {label: 0.0 for label in function.block_labels}
+        counts[function.entry.label] += self.invocations
+        for edge in function.edges():
+            if edge.dst in counts:
+                counts[edge.dst] += self.edge_count(edge.key)
+        return counts
 
     def total_edge_count(self) -> float:
         return sum(self.edge_counts.values())

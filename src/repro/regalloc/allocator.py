@@ -100,7 +100,7 @@ def allocate_registers(
                 f"register allocation of {function.name!r} did not converge after "
                 f"{max_rounds} rounds"
             )
-        ranges = compute_live_ranges(work, profile)
+        ranges = compute_live_ranges(work, profile, machine=machine)
         graph = build_interference_graph(work, ranges.liveness)
         coloring = color_graph(graph, ranges, machine)
         if coloring.is_complete:

@@ -17,6 +17,7 @@ and are returned to the driver, which inserts spill code and repeats.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -88,7 +89,16 @@ def color_graph(
     ranges: LiveRangeInfo,
     machine: MachineDescription,
 ) -> ColoringResult:
-    """Colour the interference graph; uncolourable nodes become spill candidates."""
+    """Colour the interference graph; uncolourable nodes become spill candidates.
+
+    Selection order is identical to :func:`color_graph_reference` — the
+    reference picks the first satisfying node of a ``(degree, name)``-sorted
+    scan, which equals the minimum over satisfying nodes by that key.  The
+    per-iteration sorts are replaced by a lazily-invalidated heap of
+    ``(degree, name)`` entries: stale entries (node already removed, or its
+    degree has since changed) are discarded on pop, and entries whose node
+    does not satisfy its class bound are set aside and re-pushed.
+    """
 
     result = ColoringResult()
     nodes = sorted(graph.nodes, key=lambda r: r.name)
@@ -99,7 +109,6 @@ def color_graph(
         node: _allowed_registers(node, ranges, machine) for node in nodes
     }
     degrees: Dict[Register, int] = {node: graph.degree(node) for node in nodes}
-    removed: Set[Register] = set()
     stack: List[Register] = []
 
     def spill_metric(node: Register) -> float:
@@ -114,8 +123,107 @@ def color_graph(
         degree = max(degrees[node], 1)
         return cost / degree
 
-    # Simplify: repeatedly remove a node with degree < k (its register-class
-    # size); when none exists, remove the cheapest node optimistically.
+    # Simplify: repeatedly remove the (degree, name)-minimal node with degree
+    # < k (its register-class size); when none exists, remove the cheapest
+    # node optimistically (ties broken by name).
+    work = set(nodes)
+    heap: List[Tuple[int, str, Register]] = [
+        (degrees[node], node.name, node) for node in nodes
+    ]
+    heapq.heapify(heap)
+    while work:
+        candidate = None
+        over_bound: List[Tuple[int, str, Register]] = []
+        while heap:
+            entry = heapq.heappop(heap)
+            degree, _, node = entry
+            if node not in work or degrees[node] != degree:
+                continue
+            if degree < len(allowed[node]):
+                candidate = node
+                break
+            over_bound.append(entry)
+        for entry in over_bound:
+            heapq.heappush(heap, entry)
+        if candidate is None:
+            best_key = None
+            for node in work:
+                key = (spill_metric(node), node.name)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    candidate = node
+        work.remove(candidate)
+        stack.append(candidate)
+        for neighbour in graph.adjacency(candidate):
+            if neighbour in work:
+                degree = degrees[neighbour] - 1
+                degrees[neighbour] = degree
+                heapq.heappush(heap, (degree, neighbour.name, neighbour))
+
+    # Select: pop nodes and colour them (Briggs' optimistic colouring).
+    assignment = result.assignment
+    while stack:
+        node = stack.pop()
+        taken = set()
+        for n in graph.adjacency(node):
+            colour = assignment.get(n)
+            if colour is not None:
+                taken.add(colour)
+        chosen: Optional[PhysicalRegister] = None
+        # Move-related hint: try to reuse a partner's colour first.
+        for partner in graph.move_partners(node):
+            partner_colour = assignment.get(partner)
+            if (
+                partner_colour is not None
+                and partner_colour not in taken
+                and partner_colour in allowed[node]
+            ):
+                chosen = partner_colour
+                break
+        if chosen is None:
+            for candidate in allowed[node]:
+                if candidate not in taken:
+                    chosen = candidate
+                    break
+        if chosen is None:
+            result.spilled.append(node)
+        else:
+            assignment[node] = chosen
+
+    return result
+
+
+def color_graph_reference(
+    graph: InterferenceGraph,
+    ranges: LiveRangeInfo,
+    machine: MachineDescription,
+) -> ColoringResult:
+    """The original sort-based colouring, kept as the differential reference.
+
+    The property tests in ``tests/regalloc`` assert that :func:`color_graph`
+    produces an identical assignment and spill list on generated scenarios.
+    """
+
+    result = ColoringResult()
+    nodes = sorted(graph.nodes, key=lambda r: r.name)
+    if not nodes:
+        return result
+
+    allowed: Dict[Register, Tuple[PhysicalRegister, ...]] = {
+        node: _allowed_registers(node, ranges, machine) for node in nodes
+    }
+    degrees: Dict[Register, int] = {node: graph.degree(node) for node in nodes}
+    removed: Set[Register] = set()
+    stack: List[Register] = []
+
+    def spill_metric(node: Register) -> float:
+        if is_spill_temp(node):
+            return float("inf")
+        live_range = ranges.ranges.get(node)
+        cost = live_range.spill_cost if live_range is not None else 0.0
+        degree = max(degrees[node], 1)
+        return cost / degree
+
     work = set(nodes)
     while work:
         candidate = None
@@ -132,7 +240,6 @@ def color_graph(
             if neighbour not in removed:
                 degrees[neighbour] -= 1
 
-    # Select: pop nodes and colour them (Briggs' optimistic colouring).
     while stack:
         node = stack.pop()
         taken = {
@@ -141,7 +248,6 @@ def color_graph(
             if n in result.assignment
         }
         chosen: Optional[PhysicalRegister] = None
-        # Move-related hint: try to reuse a partner's colour first.
         for partner in graph.move_partners(node):
             partner_colour = result.assignment.get(partner)
             if (

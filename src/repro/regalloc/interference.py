@@ -22,6 +22,11 @@ from repro.ir.instructions import Opcode
 from repro.ir.values import Register, VirtualRegister
 
 
+#: Shared empty set handed out by :meth:`InterferenceGraph.adjacency` for
+#: unknown registers (never mutated).
+_EMPTY_ADJACENCY: Set[Register] = set()
+
+
 @dataclass
 class InterferenceGraph:
     """An undirected graph over virtual registers."""
@@ -61,6 +66,15 @@ class InterferenceGraph:
     def neighbours(self, register: Register) -> Set[Register]:
         return set(self._adjacency.get(register, set()))
 
+    def adjacency(self, register: Register) -> Set[Register]:
+        """The internal neighbour set of ``register`` — treat as read-only.
+
+        :meth:`neighbours` copies; hot loops that only iterate (the colouring
+        simplify/select passes) use this accessor to skip the copy.
+        """
+
+        return self._adjacency.get(register, _EMPTY_ADJACENCY)
+
     def degree(self, register: Register) -> int:
         return len(self._adjacency.get(register, set()))
 
@@ -87,10 +101,12 @@ def build_interference_graph(
     vreg_mask = bits.virtual_register_mask()
 
     graph = InterferenceGraph()
-    # The liveness index already interned every parameter and every register
-    # appearing in an instruction, so its virtual-register mask enumerates
-    # the node set without re-walking the instructions.
-    for reg in index.iter_bits(vreg_mask):
+    # The node set is the virtual registers the function mentions (parameters
+    # and instruction operands) — enumerated from the block-level masks, and
+    # explicitly restricted to this function because a forked per-target base
+    # index carries registers from outside it.
+    node_mask = bits.mentioned_mask(function) & vreg_mask
+    for reg in index.iter_bits(node_mask):
         graph.add_node(reg)
 
     # Adjacency accumulates as bit -> neighbour mask; symmetrized and

@@ -71,30 +71,41 @@ class LiveRangeInfo:
         return [r for r in self.registers() if self.ranges[r].crosses_call]
 
 
-def _block_weight(
+def _block_weights(
     function: Function,
-    label: str,
     profile: Optional[EdgeProfile],
     loop_depth: Dict[str, int],
-) -> float:
-    """Spill-cost weight of one block: profile count, or 10^loop-depth."""
+) -> Dict[str, float]:
+    """Spill-cost weight of every block: profile count, or 10^loop-depth."""
 
     if profile is not None:
-        return max(profile.block_count(function, label), 0.0)
-    return float(10 ** loop_depth.get(label, 0))
+        return {
+            label: max(count, 0.0)
+            for label, count in profile.block_counts(function).items()
+        }
+    return {
+        label: float(10 ** loop_depth.get(label, 0)) for label in function.block_labels
+    }
 
 
 def compute_live_ranges(
-    function: Function, profile: Optional[EdgeProfile] = None
+    function: Function,
+    profile: Optional[EdgeProfile] = None,
+    machine=None,
 ) -> LiveRangeInfo:
-    """Build live ranges for all virtual registers of ``function``."""
+    """Build live ranges for all virtual registers of ``function``.
 
-    liveness = compute_liveness(function)
+    ``machine`` optionally selects the persistent per-target register index
+    for the liveness solve (see :func:`repro.analysis.liveness.compute_liveness`).
+    """
+
+    liveness = compute_liveness(function, machine=machine)
     bits = liveness.bits
     index = bits.index
     vreg_mask = bits.virtual_register_mask()
     loops = compute_loop_forest(function)
     loop_depth = {label: loops.loop_depth(label) for label in function.block_labels}
+    weights = _block_weights(function, profile, loop_depth)
 
     ranges: Dict[Register, LiveRange] = {}
 
@@ -110,26 +121,30 @@ def compute_live_ranges(
 
     for block in function.blocks:
         label = block.label
-        weight = _block_weight(function, label, profile, loop_depth)
+        weight = weights[label]
         live_after = live_masks_at_each_instruction(function, bits, label)
+        inst_masks = bits.instruction_masks(function, label)
 
         # Track block membership: anything live-in, live-out, defined or used.
         present = (bits.live_in[label] | bits.live_out[label]) & vreg_mask
         for position, inst in enumerate(block.instructions):
-            written_mask = 0
-            for reg in inst.registers_written():
-                written_mask |= 1 << index.add(reg)
-                if isinstance(reg, VirtualRegister):
-                    live_range = range_for(reg)
-                    live_range.definitions += 1
-                    live_range.spill_cost += weight
-            for reg in inst.registers_read():
-                if isinstance(reg, VirtualRegister):
-                    live_range = range_for(reg)
-                    live_range.uses += 1
-                    live_range.spill_cost += weight
-                    present |= 1 << index.add(reg)
-            present |= written_mask & vreg_mask
+            written_mask, read_mask = inst_masks[position]
+            # Reference counting walks the operand tuples (not the masks):
+            # an instruction reading the same register twice counts two uses,
+            # exactly as before.
+            if written_mask & vreg_mask:
+                for reg in inst.registers_written():
+                    if isinstance(reg, VirtualRegister):
+                        live_range = range_for(reg)
+                        live_range.definitions += 1
+                        live_range.spill_cost += weight
+            if read_mask & vreg_mask:
+                for reg in inst.registers_read():
+                    if isinstance(reg, VirtualRegister):
+                        live_range = range_for(reg)
+                        live_range.uses += 1
+                        live_range.spill_cost += weight
+            present |= (written_mask | read_mask) & vreg_mask
             if inst.is_call():
                 crossing = live_after[position] & vreg_mask & ~written_mask
                 for reg in index.iter_bits(crossing):

@@ -20,14 +20,16 @@ from __future__ import annotations
 import abc
 from typing import Dict, Mapping, Optional, Tuple
 
-from repro.ir.cfg import EdgeKind
+from repro.ir.cfg import EdgeKind, FunctionCFG
 from repro.ir.function import ENTRY_SENTINEL, EXIT_SENTINEL, Function
 from repro.profiling.profile_data import EdgeProfile
 from repro.spill.model import EdgeKey, SaveRestoreSet, SpillLocation
 from repro.target.machine import MachineDescription, cost_weights
 
 
-def requires_jump_block(function: Function, edge: EdgeKey) -> bool:
+def requires_jump_block(
+    function: Function, edge: EdgeKey, cfg: Optional[FunctionCFG] = None
+) -> bool:
     """Does placing spill code on ``edge`` require inserting a jump block?
 
     A location on an edge can be absorbed into an existing block when:
@@ -45,17 +47,28 @@ def requires_jump_block(function: Function, edge: EdgeKey) -> bool:
     with several predecessors, transfer by an explicit jump — needs a new
     block terminated by a new jump instruction, which is the extra dynamic
     cost the jump-edge model charges.
+
+    The verdict is structural, so it is memoized on the CFG snapshot
+    (``cfg.jump_memo``); pass ``cfg`` to skip re-fetching the snapshot in
+    per-edge loops.
     """
 
     src, dst = edge
     if src == ENTRY_SENTINEL or dst == EXIT_SENTINEL:
         return False
-    if dst != function.entry.label and len(function.predecessors(dst)) == 1:
-        return False
-    if len(function.successors(src)) == 1:
-        return False
-    kind = function.edge(src, dst).kind
-    return kind is EdgeKind.JUMP
+    if cfg is None:
+        cfg = function.cfg()
+    memo = cfg.jump_memo
+    cached = memo.get(edge)
+    if cached is None:
+        if dst != cfg.entry_label and cfg.num_preds.get(dst, 0) == 1:
+            cached = False
+        elif cfg.num_succs[src] == 1:
+            cached = False
+        else:
+            cached = cfg.edge(src, dst).kind is EdgeKind.JUMP
+        memo[edge] = cached
+    return cached
 
 
 class CostModel(abc.ABC):
@@ -203,6 +216,33 @@ class JumpEdgeCostModel(CostModel):
         if jump_sharing is not None:
             sharing = max(1, jump_sharing.get(location.edge, 1))
         return cost + count * self._jump_weight / sharing
+
+    def set_cost(
+        self,
+        function: Function,
+        profile: EdgeProfile,
+        srset: SaveRestoreSet,
+        jump_sharing: Optional[Mapping[EdgeKey, int]] = None,
+    ) -> float:
+        # Fetch the CFG snapshot once per set instead of once per location
+        # inside ``requires_jump_block``.  Only safe for this exact class: a
+        # subclass overriding ``location_cost`` must still be consulted per
+        # location, so it takes the generic path.
+        if type(self) is not JumpEdgeCostModel:
+            return super().set_cost(function, profile, srset, jump_sharing)
+        cfg = function.cfg()
+        sharing = jump_sharing if srset.initial else None
+        total = 0.0
+        for location in srset.locations:
+            count = profile.edge_count(location.edge)
+            cost = count * self.location_weight(location)
+            if requires_jump_block(function, location.edge, cfg=cfg):
+                share = 1
+                if sharing is not None:
+                    share = max(1, sharing.get(location.edge, 1))
+                cost += count * self._jump_weight / share
+            total += cost
+        return total
 
 
 def make_cost_model(

@@ -26,10 +26,17 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.analysis.pst import ProgramStructureTree, Region, build_pst
+from repro.ir.cfg import FunctionCFG
 from repro.ir.function import Function
 from repro.ir.values import PhysicalRegister
 from repro.profiling.profile_data import EdgeProfile
-from repro.spill.cost_models import CostModel, JumpEdgeCostModel, make_cost_model, requires_jump_block
+from repro.spill.cost_models import (
+    CostModel,
+    ExecutionCountCostModel,
+    JumpEdgeCostModel,
+    make_cost_model,
+    requires_jump_block,
+)
 from repro.spill.entry_exit import entry_exit_set
 from repro.spill.model import (
     CalleeSavedUsage,
@@ -78,7 +85,9 @@ class HierarchicalResult:
 
 
 def compute_jump_sharing(
-    function: Function, placement: SpillPlacement
+    function: Function,
+    placement: SpillPlacement,
+    cfg: Optional[FunctionCFG] = None,
 ) -> Dict[EdgeKey, int]:
     """How many registers share a jump block on each edge of the initial placement.
 
@@ -89,14 +98,36 @@ def compute_jump_sharing(
     """
 
     sharing: Dict[EdgeKey, int] = {}
+    if cfg is None:
+        cfg = function.cfg()
     for edge, locations in placement.edges_with_locations().items():
-        if requires_jump_block(function, edge):
+        if requires_jump_block(function, edge, cfg=cfg):
             sharing[edge] = len({l.register for l in locations})
     return sharing
 
 
+def _set_endpoint_labels(srset: SaveRestoreSet, cache: Dict[int, Tuple]) -> set:
+    """Endpoint labels of a set's locations, memoized per set object.
+
+    Keyed by ``id`` with the set object kept alive in the cache entry, so a
+    recycled id can never alias a dead set.
+    """
+
+    entry = cache.get(id(srset))
+    if entry is None:
+        labels = set()
+        for location in srset.locations:
+            labels.add(location.edge[0])
+            labels.add(location.edge[1])
+        entry = (srset, labels)
+        cache[id(srset)] = entry
+    return entry[1]
+
+
 def _contained_sets(
-    region: Region, sets: List[SaveRestoreSet]
+    region: Region,
+    sets: List[SaveRestoreSet],
+    endpoint_cache: Optional[Dict[int, Tuple]] = None,
 ) -> List[SaveRestoreSet]:
     """The save/restore sets fully contained in ``region``.
 
@@ -107,7 +138,10 @@ def _contained_sets(
 
     if region.is_root:
         return list(sets)
-    return [s for s in sets if s.is_contained_in_blocks(region.blocks)]
+    if endpoint_cache is None:
+        return [s for s in sets if s.is_contained_in_blocks(region.blocks)]
+    blocks = region.blocks
+    return [s for s in sets if _set_endpoint_labels(s, endpoint_cache) <= blocks]
 
 
 def place_hierarchical(
@@ -118,6 +152,7 @@ def place_hierarchical(
     maximal_regions: bool = True,
     pst: Optional[ProgramStructureTree] = None,
     machine: Optional["MachineDescription"] = None,
+    cfg: Optional[FunctionCFG] = None,
 ) -> HierarchicalResult:
     """Run the hierarchical spill code placement algorithm.
 
@@ -149,6 +184,8 @@ def place_hierarchical(
     if isinstance(cost_model, str):
         cost_model = make_cost_model(cost_model, machine)
 
+    if cfg is None:
+        cfg = function.cfg()
     # Steps 1-3: PST, modified shrink-wrapping locations, initial sets.
     if pst is None:
         pst = build_pst(function, maximal=maximal_regions)
@@ -158,8 +195,26 @@ def place_hierarchical(
         allow_jump_edges=True,
         avoid_loops=False,
         technique_name="modified_shrink_wrap",
+        cfg=cfg,
     )
-    jump_sharing = compute_jump_sharing(function, initial)
+    jump_sharing = compute_jump_sharing(function, initial, cfg=cfg)
+
+    # Per-object memos for the traversal: a set's endpoint labels (containment
+    # tests against every region) and its cost under the fixed sharing map.
+    # Memoized costs are only safe for the built-in (stateless, deterministic)
+    # models; a user-supplied subclass is called afresh each time.
+    endpoint_cache: Dict[int, Tuple] = {}
+    memoize_costs = type(cost_model) in (ExecutionCountCostModel, JumpEdgeCostModel)
+    cost_cache: Dict[int, Tuple] = {}
+
+    def contained_set_cost(srset: SaveRestoreSet) -> float:
+        if not memoize_costs:
+            return cost_model.set_cost(function, profile, srset, jump_sharing)
+        entry = cost_cache.get(id(srset))
+        if entry is None:
+            entry = (srset, cost_model.set_cost(function, profile, srset, jump_sharing))
+            cost_cache[id(srset)] = entry
+        return entry[1]
 
     current: Dict[PhysicalRegister, List[SaveRestoreSet]] = {
         register: list(initial.sets_for(register)) for register in initial.registers()
@@ -175,13 +230,10 @@ def place_hierarchical(
             sets = current.get(register, [])
             if not sets:
                 continue
-            contained = _contained_sets(region, sets)
+            contained = _contained_sets(region, sets, endpoint_cache)
             if not contained:
                 continue
-            contained_cost = sum(
-                cost_model.set_cost(function, profile, srset, jump_sharing)
-                for srset in contained
-            )
+            contained_cost = sum(contained_set_cost(srset) for srset in contained)
             replaced = boundary_cost <= contained_cost
             decisions.append(
                 RegionDecision(
@@ -219,9 +271,9 @@ def place_hierarchical(
     placement.fallback_registers = list(initial.fallback_registers)
     for register, sets in current.items():
         used_blocks = usage.blocks_for(register)
-        if not register_sets_are_sound(function, register, used_blocks, sets):
+        if not register_sets_are_sound(function, register, used_blocks, sets, cfg=cfg):
             sets = initial.sets_for(register)
-            if not register_sets_are_sound(function, register, used_blocks, sets):
+            if not register_sets_are_sound(function, register, used_blocks, sets, cfg=cfg):
                 sets = [entry_exit_set(function, register)]
             if register not in placement.fallback_registers:
                 placement.fallback_registers.append(register)

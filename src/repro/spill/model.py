@@ -41,6 +41,22 @@ class SpillLocation:
     kind: SpillKind
     edge: EdgeKey
 
+    def __hash__(self) -> int:
+        # Locations are hashed constantly (frozensets of them form every
+        # SaveRestoreSet); cache the field-tuple hash on first use.  The cache
+        # must not be pickled: string hashes are per-process under hash
+        # randomization, and placements travel through the compile cache.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.register, self.kind, self.edge))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
     def is_save(self) -> bool:
         return self.kind is SpillKind.SAVE
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.ir.cfg import FunctionCFG
 from repro.ir.function import Function
 from repro.ir.instructions import Opcode
 from repro.profiling.profile_data import EdgeProfile
@@ -50,6 +51,7 @@ def placement_dynamic_overhead(
     profile: EdgeProfile,
     placement: SpillPlacement,
     machine: Optional[MachineDescription] = None,
+    cfg: Optional[FunctionCFG] = None,
 ) -> PlacementOverhead:
     """Dynamic overhead of the callee-saved save/restore code of ``placement``.
 
@@ -75,7 +77,7 @@ def placement_dynamic_overhead(
     jump_count = 0.0
     num_jump_blocks = 0
     for edge in placement.edges_with_locations():
-        if requires_jump_block(function, edge):
+        if requires_jump_block(function, edge, cfg=cfg):
             num_jump_blocks += 1
             jump_count += profile.edge_count(edge) * jump_weight
 

@@ -10,8 +10,9 @@ the whole set is replaced by a save/restore pair at a region boundary.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.ir.cfg import FunctionCFG
 from repro.ir.function import ENTRY_SENTINEL, EXIT_SENTINEL, Function
 from repro.ir.values import PhysicalRegister
 from repro.spill.model import EdgeKey, SaveRestoreSet, SpillKind, SpillLocation
@@ -46,6 +47,7 @@ def build_save_restore_sets(
     register: PhysicalRegister,
     locations: Iterable[SpillLocation],
     initial: bool = True,
+    cfg: Optional[FunctionCFG] = None,
 ) -> List[SaveRestoreSet]:
     """Partition the locations of one register into save/restore sets.
 
@@ -64,15 +66,19 @@ def build_save_restore_sets(
         by_edge.setdefault(location.edge, []).append(location)
 
     union = _LocationUnionFind(locations)
-    exit_label = function.exit.label
+    if cfg is None:
+        cfg = function.cfg()
+    block_out_edges = cfg.out_edges
+    entry_label = cfg.entry_label
+    exit_label = cfg.exit_label
     exit_edge: EdgeKey = (exit_label, EXIT_SENTINEL)
 
     for save in locations:
         if not save.is_save():
             continue
-        start_block = save.edge[1] if save.edge[0] != ENTRY_SENTINEL else function.entry.label
+        start_block = save.edge[1] if save.edge[0] != ENTRY_SENTINEL else entry_label
         if save.edge[0] == ENTRY_SENTINEL:
-            start_block = function.entry.label
+            start_block = entry_label
         # Breadth-first traversal through the saved region delimited by this save.
         visited: Set[str] = set()
         frontier: List[str] = [start_block]
@@ -81,7 +87,7 @@ def build_save_restore_sets(
             if label in visited:
                 continue
             visited.add(label)
-            out_edges: List[EdgeKey] = [e.key for e in function.block_out_edges(label)]
+            out_edges: List[EdgeKey] = [e.key for e in block_out_edges[label]]
             if label == exit_label:
                 out_edges.append(exit_edge)
             for key in out_edges:

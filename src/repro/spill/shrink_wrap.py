@@ -40,7 +40,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.analysis.loops import LoopForest, compute_loop_forest
-from repro.ir.cfg import EdgeKind
+from repro.ir.cfg import EdgeKind, FunctionCFG
 from repro.ir.function import ENTRY_SENTINEL, EXIT_SENTINEL, Function
 from repro.ir.values import PhysicalRegister
 from repro.spill.model import (
@@ -66,10 +66,64 @@ class AnticipationAvailability:
     av_out: Dict[str, bool]
 
 
+def _solve_aa_masks(cfg: FunctionCFG, used_mask: int) -> Tuple[int, int, int, int]:
+    """Mask-based fixed point of the anticipation/availability equations.
+
+    One bit per block (positions from :meth:`FunctionCFG.aa_maps`), whole-CFG
+    Jacobi sweeps over integer masks.  Both the dict-based reference solver
+    (:func:`compute_anticipation_availability`) and this one start from the
+    same initial assignment and iterate monotone equations on a finite
+    lattice, so they converge to the same (unique, least) fixed point — the
+    property tests in ``tests/spill`` check bit-identity directly.
+
+    Returns ``(ant_in, ant_out, av_in, av_out)`` masks.
+    """
+
+    position, preds_masks, succs_masks, exits_mask = cfg.aa_maps()
+    n = len(preds_masks)
+
+    # Availability: forward, intersection meet.  AVIN(entry) is pinned false
+    # (position 0 is the entry block), blocks without predecessors get false.
+    av_in = 0
+    av_out = used_mask
+    while True:
+        new_in = 0
+        for i in range(1, n):
+            pm = preds_masks[i]
+            if pm and (av_out & pm) == pm:
+                new_in |= 1 << i
+        new_out = new_in | used_mask
+        if new_in == av_in and new_out == av_out:
+            break
+        av_in, av_out = new_in, new_out
+
+    # Anticipation: backward, intersection meet.  ANTOUT(exit) pinned false.
+    ant_out = 0
+    ant_in = used_mask
+    while True:
+        new_out = 0
+        for i in range(n):
+            if exits_mask >> i & 1:
+                continue
+            sm = succs_masks[i]
+            if sm and (ant_in & sm) == sm:
+                new_out |= 1 << i
+        new_in = new_out | used_mask
+        if new_out == ant_out and new_in == ant_in:
+            break
+        ant_out, ant_in = new_out, new_in
+
+    return ant_in, ant_out, av_in, av_out
+
+
 def compute_anticipation_availability(
     function: Function, used_blocks: FrozenSet[str]
 ) -> AnticipationAvailability:
-    """Solve the anticipation and availability problems for one register."""
+    """Solve the anticipation and availability problems for one register.
+
+    This is the dict-based reference solver; the placement hot path uses
+    :func:`_solve_aa_masks` and the property tests assert both agree.
+    """
 
     labels = function.block_labels
     succs = {label: function.successors(label) for label in labels}
@@ -119,30 +173,50 @@ def compute_anticipation_availability(
 
 
 def save_restore_edges(
-    function: Function, used_blocks: FrozenSet[str]
+    function: Function,
+    used_blocks: FrozenSet[str],
+    cfg: Optional[FunctionCFG] = None,
 ) -> Tuple[Set[EdgeKey], Set[EdgeKey]]:
     """Save and restore edges for one register, given its occupied blocks."""
 
     if not used_blocks:
         return set(), set()
-    flow = compute_anticipation_availability(function, used_blocks)
+    if cfg is None:
+        cfg = function.cfg()
+    position = cfg.aa_maps()[0]
+    used_mask = 0
+    for label in used_blocks:
+        bit = position.get(label)
+        if bit is not None:
+            used_mask |= 1 << bit
+    ant_in, _ant_out, _av_in, av_out = _solve_aa_masks(cfg, used_mask)
     saves: Set[EdgeKey] = set()
     restores: Set[EdgeKey] = set()
 
     def consider(u: Optional[str], v: Optional[str], key: EdgeKey) -> None:
-        ant_in_v = flow.ant_in[v] if v is not None else False
-        av_out_v = flow.av_out[v] if v is not None else False
-        ant_in_u = flow.ant_in[u] if u is not None else False
-        av_out_u = flow.av_out[u] if u is not None else False
+        if v is not None:
+            bit_v = 1 << position[v]
+            ant_in_v = bool(ant_in & bit_v)
+            av_out_v = bool(av_out & bit_v)
+        else:
+            ant_in_v = av_out_v = False
+        if u is not None:
+            bit_u = 1 << position[u]
+            ant_in_u = bool(ant_in & bit_u)
+            av_out_u = bool(av_out & bit_u)
+        else:
+            ant_in_u = av_out_u = False
         if ant_in_v and not av_out_u and not ant_in_u:
             saves.add(key)
         if av_out_u and not ant_in_v and not av_out_v:
             restores.add(key)
 
-    consider(None, function.entry.label, (ENTRY_SENTINEL, function.entry.label))
-    for edge in function.edges():
+    entry_label = cfg.entry_label
+    consider(None, entry_label, (ENTRY_SENTINEL, entry_label))
+    for edge in cfg.edges:
         consider(edge.src, edge.dst, edge.key)
-    consider(function.exit.label, None, (function.exit.label, EXIT_SENTINEL))
+    exit_label = cfg.exit_label
+    consider(exit_label, None, (exit_label, EXIT_SENTINEL))
     return saves, restores
 
 
@@ -173,25 +247,32 @@ def shrink_wrap_edges(
     allow_jump_edges: bool = True,
     avoid_loops: bool = False,
     max_iterations: Optional[int] = None,
+    cfg: Optional[FunctionCFG] = None,
+    loops: Optional[LoopForest] = None,
 ) -> Tuple[Set[EdgeKey], Set[EdgeKey]]:
     """Shrink-wrapping save/restore edges for one register.
 
     ``allow_jump_edges=True, avoid_loops=False`` gives the modified variant
     used as the hierarchical algorithm's starting point;
     ``allow_jump_edges=False, avoid_loops=True`` gives Chow's original
-    technique.
+    technique.  ``cfg`` and ``loops`` (only read when ``avoid_loops``) let
+    callers placing many registers share the per-function derivations.
     """
 
     if not used_blocks:
         return set(), set()
+    if cfg is None:
+        cfg = function.cfg()
 
     occupied = frozenset(used_blocks)
     if avoid_loops:
-        occupied = _expand_through_loops(function, occupied, compute_loop_forest(function))
+        if loops is None:
+            loops = compute_loop_forest(function)
+        occupied = _expand_through_loops(function, occupied, loops)
 
     limit = max_iterations if max_iterations is not None else len(function) + 2
     for _ in range(limit):
-        saves, restores = save_restore_edges(function, occupied)
+        saves, restores = save_restore_edges(function, occupied, cfg=cfg)
         if allow_jump_edges:
             return saves, restores
         # Chow forbids *inserting new blocks* on jump edges; a location on a
@@ -200,20 +281,22 @@ def shrink_wrap_edges(
         # block and is therefore not an offender.
         from repro.spill.cost_models import requires_jump_block
 
-        offenders_src = {key[0] for key in saves if requires_jump_block(function, key)}
-        offenders_dst = {key[1] for key in restores if requires_jump_block(function, key)}
+        offenders_src = {
+            key[0] for key in saves if requires_jump_block(function, key, cfg=cfg)
+        }
+        offenders_dst = {
+            key[1] for key in restores if requires_jump_block(function, key, cfg=cfg)
+        }
         if not offenders_src and not offenders_dst:
             return saves, restores
         # Propagate artificial occupancy along the offending jump edges:
         # the source block for saves, the destination block for restores.
         occupied = frozenset(occupied | offenders_src | offenders_dst)
         if avoid_loops:
-            occupied = _expand_through_loops(
-                function, occupied, compute_loop_forest(function)
-            )
+            occupied = _expand_through_loops(function, occupied, loops)
     # The expansion is monotone and bounded by the number of blocks, so the
     # loop above always terminates; this return is the final fixed point.
-    return save_restore_edges(function, occupied)
+    return save_restore_edges(function, occupied, cfg=cfg)
 
 
 def place_shrink_wrap(
@@ -222,6 +305,7 @@ def place_shrink_wrap(
     allow_jump_edges: bool = False,
     avoid_loops: bool = True,
     technique_name: Optional[str] = None,
+    cfg: Optional[FunctionCFG] = None,
 ) -> SpillPlacement:
     """Shrink-wrapping placement for every used callee-saved register.
 
@@ -238,6 +322,9 @@ def place_shrink_wrap(
 
     if technique_name is None:
         technique_name = "shrink_wrap" if not allow_jump_edges else "modified_shrink_wrap"
+    if cfg is None:
+        cfg = function.cfg()
+    loops = compute_loop_forest(function) if avoid_loops else None
     placement = SpillPlacement(function.name, technique_name)
     for register in usage.used_registers():
         saves, restores = shrink_wrap_edges(
@@ -245,11 +332,15 @@ def place_shrink_wrap(
             usage.blocks_for(register),
             allow_jump_edges=allow_jump_edges,
             avoid_loops=avoid_loops,
+            cfg=cfg,
+            loops=loops,
         )
         locations = [SpillLocation(register, SpillKind.SAVE, key) for key in sorted(saves)]
         locations += [SpillLocation(register, SpillKind.RESTORE, key) for key in sorted(restores)]
-        sets = build_save_restore_sets(function, register, locations, initial=True)
-        if not register_sets_are_sound(function, register, usage.blocks_for(register), sets):
+        sets = build_save_restore_sets(function, register, locations, initial=True, cfg=cfg)
+        if not register_sets_are_sound(
+            function, register, usage.blocks_for(register), sets, cfg=cfg
+        ):
             sets = [entry_exit_set(function, register)]
             placement.fallback_registers.append(register)
         for srset in sets:

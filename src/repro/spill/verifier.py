@@ -21,6 +21,7 @@ from __future__ import annotations
 import enum
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.ir.cfg import FunctionCFG
 from repro.ir.function import ENTRY_SENTINEL, EXIT_SENTINEL, Function
 from repro.ir.values import PhysicalRegister
 from repro.spill.model import CalleeSavedUsage, EdgeKey, SpillKind, SpillLocation, SpillPlacement
@@ -83,43 +84,55 @@ def collect_placement_errors(
     function: Function,
     usage: CalleeSavedUsage,
     placement: SpillPlacement,
+    cfg: Optional[FunctionCFG] = None,
 ) -> List[str]:
     """Return every convention violation of ``placement`` (empty when valid)."""
 
     errors: List[str] = []
+    if cfg is None:
+        cfg = function.cfg()
     entry = function.entry.label
-    exit_label = function.exit.label
+    exit_label = cfg.exit_label
+    block_out_edges = cfg.out_edges
+
+    # Every location must sit on an edge that actually exists; the valid-edge
+    # table is shared by all registers (and all calls on this snapshot).
+    valid_edges = cfg.placement_edge_keys()
 
     for register in usage.used_registers():
         by_edge = _edge_locations(placement, register)
         occupied = usage.blocks_for(register)
 
-        # State at block entry, propagated to a fixed point; None = unknown yet.
-        state_at: Dict[str, Optional[_State]] = {
-            label: None for label in function.block_labels
-        }
-        entry_state = _apply_edge(
-            _State.ORIGINAL, (ENTRY_SENTINEL, entry), by_edge.get((ENTRY_SENTINEL, entry), []),
-            errors, register,
-        )
+        # State at block entry, propagated to a fixed point; absent = unknown.
+        state_at: Dict[str, _State] = {}
+        entry_key = (ENTRY_SENTINEL, entry)
+        entry_locations = by_edge.get(entry_key)
+        if entry_locations is None:
+            entry_state = _State.ORIGINAL
+        else:
+            entry_state = _apply_edge(
+                _State.ORIGINAL, entry_key, entry_locations, errors, register
+            )
         state_at[entry] = entry_state
 
         worklist = [entry]
         while worklist:
             label = worklist.pop()
             state = state_at[label]
-            if state is None:
-                continue
             if label in occupied and state is not _State.SAVED:
                 errors.append(
                     f"{register.name}: block {label!r} is occupied but the original "
                     "value was never saved on some path"
                 )
-            for edge in function.block_out_edges(label):
-                next_state = _apply_edge(
-                    state, edge.key, by_edge.get(edge.key, []), errors, register
-                )
-                previous = state_at[edge.dst]
+            for edge in block_out_edges[label]:
+                key = edge.key
+                locations = by_edge.get(key)
+                if locations is None:
+                    # No spill code on this edge: the state passes through.
+                    next_state = state
+                else:
+                    next_state = _apply_edge(state, key, locations, errors, register)
+                previous = state_at.get(edge.dst)
                 if previous is None:
                     state_at[edge.dst] = next_state
                     worklist.append(edge.dst)
@@ -129,25 +142,22 @@ def collect_placement_errors(
                         f"{edge.dst!r} (paths disagree)"
                     )
 
-        exit_state = state_at[exit_label]
+        exit_state = state_at.get(exit_label)
         if exit_state is not None:
-            final = _apply_edge(
-                exit_state,
-                (exit_label, EXIT_SENTINEL),
-                by_edge.get((exit_label, EXIT_SENTINEL), []),
-                errors,
-                register,
-            )
+            exit_key = (exit_label, EXIT_SENTINEL)
+            exit_locations = by_edge.get(exit_key)
+            if exit_locations is None:
+                final = exit_state
+            else:
+                final = _apply_edge(
+                    exit_state, exit_key, exit_locations, errors, register
+                )
             if final is not _State.ORIGINAL:
                 errors.append(
                     f"{register.name}: procedure exit reached with the original value "
                     "still in the save slot (missing restore)"
                 )
 
-        # Every location must sit on an edge that actually exists.
-        valid_edges = {e.key for e in function.edges()}
-        valid_edges.add((ENTRY_SENTINEL, entry))
-        valid_edges.add((exit_label, EXIT_SENTINEL))
         for location in placement.locations_for(register):
             if location.edge not in valid_edges:
                 errors.append(
@@ -158,16 +168,19 @@ def collect_placement_errors(
 
 
 def verify_placement(
-    function: Function, usage: CalleeSavedUsage, placement: SpillPlacement
+    function: Function,
+    usage: CalleeSavedUsage,
+    placement: SpillPlacement,
+    cfg: Optional[FunctionCFG] = None,
 ) -> None:
     """Raise :class:`PlacementError` when ``placement`` is invalid."""
 
-    errors = collect_placement_errors(function, usage, placement)
+    errors = collect_placement_errors(function, usage, placement, cfg=cfg)
     if errors:
         raise PlacementError(errors)
 
 
-def register_sets_are_sound(function, register, used_blocks, sets) -> bool:
+def register_sets_are_sound(function, register, used_blocks, sets, cfg=None) -> bool:
     """Check one register's save/restore sets against the convention.
 
     The placement algorithms use this as their safety net: dataflow-derived
@@ -183,4 +196,4 @@ def register_sets_are_sound(function, register, used_blocks, sets) -> bool:
     probe = SpillPlacement(function.name, "soundness-probe")
     for srset in sets:
         probe.add_set(srset)
-    return not collect_placement_errors(function, usage, probe)
+    return not collect_placement_errors(function, usage, probe, cfg=cfg)

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Standalone wrapper around ``repro-spill profile`` for uninstalled checkouts.
+
+Profiles a seeded cold ``compile_many`` leg with :mod:`cProfile` and prints
+the top hotspots by cumulative time — the measurement tool behind the
+allocator hot-path work (see the "Allocator hot path" section of
+``docs/performance.md``).  Run from the repository root::
+
+    python tools/profile_compile.py [--target parisc] [--seed 0] [--top 30]
+                                    [--scenario NAME ...] [--count N]
+                                    [--json] [--output FILE]
+
+Equivalent to ``PYTHONPATH=src python -m repro profile ...``; this wrapper
+only fixes up ``sys.path`` so it works without installing the package.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+def main(argv=None) -> int:
+    """Delegate to the CLI's ``profile`` subcommand."""
+
+    from repro.cli import main as cli_main
+
+    return cli_main(["profile"] + list(sys.argv[1:] if argv is None else argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
