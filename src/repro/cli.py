@@ -28,12 +28,19 @@ Subcommands::
                                                  # inspect / empty a compile cache
     repro-spill serve     [--host H] [--port P] [--workers N] [--cache-dir DIR]
                           [--max-queue N] [--batch-max N] [--batch-window-ms T]
-                                                 # run the compile server (JSON lines
-                                                 # over TCP; graceful drain on SIGTERM)
-    repro-spill loadgen   [--host H] [--port P | --self-serve] [--mix MIX]
-                          [--mode open|closed] [--requests N] [--clients N]
-                          [--rate R] [--seed N] [--target NAME ...] [--check]
-                          [--expect-coalesced]   # deterministic load harness +
+                          [--peer HOST:PORT]     # run the compile server (JSON lines
+                                                 # over TCP; graceful drain on SIGTERM;
+                                                 # --peer joins a fleet's cache tier)
+    repro-spill fleet     [--host H] [--port P] [--peer-port P] [--shards N]
+                          [--workers N] [--cache-root DIR] [--batch-max N]
+                          [--batch-window-ms T] [--max-queue N]
+                          [--stall-timeout S]    # multi-shard fleet: router + N
+                                                 # shard processes + shared tier
+    repro-spill loadgen   [--host H] [--port P | --self-serve | --fleet N]
+                          [--mix MIX] [--mode open|closed] [--requests N]
+                          [--clients N] [--rate R] [--seed N] [--target NAME ...]
+                          [--check] [--expect-coalesced]
+                                                 # deterministic load harness +
                                                  # serving-invariant checker
 
 ``--cache-dir`` (or the ``REPRO_CACHE_DIR`` environment variable) enables
@@ -247,6 +254,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-window-ms", type=float, default=None, metavar="T",
         help="micro-batch flush window in milliseconds (default 10)",
     )
+    serve.add_argument(
+        "--peer", default=None, metavar="HOST:PORT",
+        help="fleet peering address: consult this shared cache tier after "
+        "a local miss and publish fresh compiles to it",
+    )
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="run a multi-shard serving fleet (router + N shard processes "
+        "+ shared cache tier)",
+    )
+    fleet.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    fleet.add_argument(
+        "--port", type=int, default=7814,
+        help="router TCP port (default 7814; 0 = ephemeral, printed on startup)",
+    )
+    fleet.add_argument(
+        "--peer-port", type=int, default=0, metavar="P",
+        help="peering-tier TCP port (default 0 = ephemeral, printed on startup)",
+    )
+    fleet.add_argument(
+        "--shards", type=int, default=3, metavar="N",
+        help="shard processes to spawn (default 3)",
+    )
+    fleet.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="process-pool workers per shard (default 1)",
+    )
+    fleet.add_argument(
+        "--cache-root", default=None, metavar="DIR",
+        help="per-shard compile-cache root (shard i uses DIR/si; default: "
+        "no disk cache, the shared tier still dedupes fleet-wide)",
+    )
+    fleet.add_argument(
+        "--batch-max", type=int, default=16, metavar="N",
+        help="per-shard micro-batch flush size (default 16)",
+    )
+    fleet.add_argument(
+        "--batch-window-ms", type=float, default=10.0, metavar="T",
+        help="per-shard micro-batch flush window in milliseconds (default 10)",
+    )
+    fleet.add_argument(
+        "--max-queue", type=int, default=256, metavar="N",
+        help="per-shard admission-queue bound (default 256)",
+    )
+    fleet.add_argument(
+        "--stall-timeout", type=float, default=None, metavar="SECONDS",
+        help="wedged-shard watchdog bound (default 30)",
+    )
 
     loadgen = subparsers.add_parser(
         "loadgen", help="deterministic load generator + serving-invariant checker"
@@ -258,6 +314,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="start an embedded server for the duration of the run "
         "(ignores --host/--port; handy for smokes and benchmarks)",
+    )
+    loadgen.add_argument(
+        "--fleet", type=int, default=None, metavar="N",
+        help="start an N-shard fleet (router + shard processes + shared "
+        "tier) for the duration of the run and drive it; also checks the "
+        "fleet-wide single-compile invariant (ignores --host/--port)",
     )
     loadgen.add_argument(
         "--mix", choices=("uniform", "hot", "mixed"), default="mixed",
@@ -525,7 +587,8 @@ def _command_serve(args) -> int:
             f"  workers={server.workers if server.workers is not None else 'auto'} "
             f"max_queue={server.max_queue} batch_max={server.batch_max_requests} "
             f"batch_window_ms={server.batch_window_ms:g} "
-            f"cache={'on' if server.cache is not None else 'off'}",
+            f"cache={'on' if server.cache is not None else 'off'} "
+            f"peer={args.peer or 'off'}",
             file=sys.stderr,
             flush=True,
         )
@@ -546,6 +609,7 @@ def _command_serve(args) -> int:
                     if args.batch_window_ms is not None
                     else DEFAULT_BATCH_WINDOW_MS
                 ),
+                peer=args.peer,
                 ready_callback=_ready,
             )
         )
@@ -555,8 +619,58 @@ def _command_serve(args) -> int:
     return 0
 
 
+def _command_fleet(args) -> int:
+    import threading
+
+    from repro.service.fleet import DEFAULT_STALL_TIMEOUT_SECONDS, Fleet
+
+    stopping = threading.Event()
+
+    def _on_signal(_signum, _frame) -> None:
+        stopping.set()
+
+    import signal as signal_module
+
+    for signum in (signal_module.SIGTERM, signal_module.SIGINT):
+        signal_module.signal(signum, _on_signal)
+
+    with Fleet(
+        shards=args.shards,
+        backend="process",
+        host=args.host,
+        port=args.port,
+        peer_port=args.peer_port,
+        workers=args.workers,
+        cache_root=args.cache_root,
+        batch_max_requests=args.batch_max,
+        batch_window_ms=args.batch_window_ms,
+        max_queue=args.max_queue,
+        stall_timeout=(
+            args.stall_timeout
+            if args.stall_timeout is not None
+            else DEFAULT_STALL_TIMEOUT_SECONDS
+        ),
+    ) as fleet:
+        # Scripts (the CI fleet job among them) wait for this line.
+        print(f"repro-spill fleet: listening on {fleet.host}:{fleet.port}", flush=True)
+        print(
+            f"repro-spill fleet: peering tier on {fleet.host}:{fleet.peer_port}",
+            flush=True,
+        )
+        for shard in fleet.shards:
+            print(
+                f"repro-spill fleet: shard {shard.shard_id} pid {shard.pid} "
+                f"on {shard.host}:{shard.port}",
+                flush=True,
+            )
+        stopping.wait()
+    print("repro-spill fleet: drained, bye", file=sys.stderr)
+    return 0
+
+
 def _command_loadgen(args) -> int:
     from repro.service.embedded import EmbeddedServer
+    from repro.service.fleet import Fleet
     from repro.service.loadgen import build_request_plan, render_load_report, run_load
 
     plan = build_request_plan(
@@ -575,9 +689,21 @@ def _command_loadgen(args) -> int:
             clients=args.clients,
             rate=args.rate,
             check_oracle=args.check,
+            check_fleet=args.fleet is not None,
         )
 
-    if args.self_serve:
+    if args.fleet is not None and args.self_serve:
+        print("error: --fleet and --self-serve are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.fleet is not None:
+        with Fleet(
+            shards=args.fleet,
+            backend="process",
+            workers=args.workers,
+            cache_root=args.cache_dir,
+        ) as fleet:
+            report = _run(fleet.host, fleet.port)
+    elif args.self_serve:
         with EmbeddedServer(workers=args.workers, cache=args.cache_dir) as embedded:
             report = _run(embedded.host, embedded.port)
     else:
@@ -587,8 +713,15 @@ def _command_loadgen(args) -> int:
     failed = not report.ok
     if args.expect_coalesced:
         server_coalesced = 0
-        if report.server_stats is not None:
-            server_coalesced = report.server_stats.get("requests", {}).get("coalesced", 0)
+        stats = report.server_stats
+        if stats is not None and stats.get("schema") == "fleet-stats/v1":
+            # Coalescing happens on the shards; sum their counters.
+            server_coalesced = sum(
+                (shard.get("stats") or {}).get("requests", {}).get("coalesced", 0)
+                for shard in stats.get("shards", [])
+            )
+        elif stats is not None:
+            server_coalesced = stats.get("requests", {}).get("coalesced", 0)
         coalesced = max(report.coalesced_responses, server_coalesced)
         if coalesced == 0:
             print("loadgen: FAILED — expected at least one coalesced request", file=sys.stderr)
@@ -682,6 +815,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_profile(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "fleet":
+        return _command_fleet(args)
     if args.command == "loadgen":
         return _command_loadgen(args)
     return 1

@@ -20,15 +20,23 @@ requests:
 * :mod:`repro.service.loadgen` — the seed-deterministic open/closed-loop
   load harness drawing request mixes from the scenario registry;
 * :mod:`repro.service.embedded` — a real server on a background thread
-  for tests, benchmarks and ``loadgen --self-serve``.
+  for tests, benchmarks and ``loadgen --self-serve``;
+* :mod:`repro.service.ring` — deterministic consistent hashing over the
+  fleet's shards;
+* :mod:`repro.service.peering` — the versioned ``cache-get``/``cache-put``
+  peering protocol and the shared cache tier;
+* :mod:`repro.service.fleet` — the multi-shard fleet: consistent-hash
+  router, shard health/drain/rebalance, and the :class:`Fleet` supervisor.
 
 See ``docs/service.md`` for the wire protocol and deployment notes.
 """
 
 from repro.service.client import AsyncServiceClient, OverloadedError, ServiceClient, ServiceError
 from repro.service.embedded import EmbeddedServer
+from repro.service.fleet import Fleet, FleetRouter
 from repro.service.loadgen import LoadReport, build_request_plan, render_load_report, run_load
 from repro.service.metrics import ServiceMetrics, cache_stats_payload
+from repro.service.peering import PEERING_VERSION, SharedCacheTier
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     CompileRequest,
@@ -36,6 +44,7 @@ from repro.service.protocol import (
     resolve_compile_request,
     result_payload,
 )
+from repro.service.ring import HashRing
 from repro.service.server import CompileServer, run_server
 
 __all__ = [
@@ -43,13 +52,18 @@ __all__ = [
     "CompileRequest",
     "CompileServer",
     "EmbeddedServer",
+    "Fleet",
+    "FleetRouter",
+    "HashRing",
     "LoadReport",
     "OverloadedError",
+    "PEERING_VERSION",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "ServiceClient",
     "ServiceError",
     "ServiceMetrics",
+    "SharedCacheTier",
     "build_request_plan",
     "cache_stats_payload",
     "render_load_report",

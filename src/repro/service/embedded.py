@@ -45,6 +45,7 @@ class EmbeddedServer:
         batch_window_ms: float = DEFAULT_BATCH_WINDOW_MS,
         host: str = "127.0.0.1",
         startup_timeout: float = 30.0,
+        peer: Optional[str] = None,
     ):
         self.host = host
         self.port: Optional[int] = None
@@ -57,6 +58,7 @@ class EmbeddedServer:
             max_queue=max_queue,
             batch_max_requests=batch_max_requests,
             batch_window_ms=batch_window_ms,
+            peer=peer,
         )
         self._startup_timeout = startup_timeout
         self._loop: Optional[asyncio.AbstractEventLoop] = None

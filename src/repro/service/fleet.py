@@ -1,0 +1,1267 @@
+"""The serving fleet: a consistent-hash router over shard compile servers.
+
+This is the horizontal layer on top of :mod:`repro.service.server`: N
+independent shard processes (each a full :class:`CompileServer`) behind one
+:class:`FleetRouter` frontend that speaks the same JSON-lines protocol as a
+single server — existing clients, the load generator and the CI harness
+connect to the router without change.
+
+The router does four things:
+
+* **Routing** — every compile request is resolved to its
+  :func:`~repro.ir.fingerprint.procedure_cache_key` and consistent-hashed
+  over the shard ring (:mod:`repro.service.ring`).  Key affinity makes the
+  fleet-wide "one compile per coalesced key" guarantee compositional: the
+  ring sends identical requests to the same shard, the shard's in-flight
+  coalescing collapses them to one compile.
+* **The shared cache tier** — the router hosts a
+  :class:`~repro.service.peering.SharedCacheTier` on a second listening
+  port.  Shards publish every fresh compile to it (``cache-put``) and
+  consult it after a local miss (``cache-get``), so one shard's compile is
+  every shard's hit; the router itself answers straight from the tier
+  (``service.cache == "tier"``) without forwarding when it can.
+* **Health** — a shard that dies (connection EOF) is removed from the
+  ring immediately and its in-flight requests are re-routed to the next
+  owner on the ring; compiles are deterministic and idempotent, so a
+  re-route can never produce a different answer, and responses are
+  matched by router-assigned ids so none is ever dropped or duplicated.
+  A *wedged* shard (alive but not answering) is detected by a stall
+  watchdog — pending work but no response for ``stall_timeout`` — and
+  treated exactly like a death: isolated, drained from the ring,
+  re-routed around.
+* **Drain** — a ``shutdown`` request (or SIGTERM via the CLI) stops
+  admission, finishes every in-flight request, asks each shard to drain
+  gracefully, then closes both listeners.
+
+:class:`Fleet` is the synchronous supervisor the CLI, the benchmarks and
+the test-suite use: it runs the router on a background thread and spawns
+shards either as real child processes (``backend="process"``, via
+``repro-spill serve --peer``) or as in-process embedded servers
+(``backend="thread"``, cheaper and enough for scheduling/trace tests).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.service.metrics import LatencyHistogram
+from repro.service.peering import (
+    DEFAULT_TIER_ENTRIES,
+    SharedCacheTier,
+    serve_peering_connection,
+)
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    CompileAnswer,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_message,
+    hello_message,
+    parse_compile_request,
+    parse_hello,
+    resolve_compile_request,
+)
+from repro.service.ring import HashRing
+from repro.service.server import SEND_TIMEOUT_SECONDS, _check_admin_fields
+
+#: Seconds of "pending work but no response" after which the stall
+#: watchdog declares a shard wedged and isolates it (tests shrink this).
+DEFAULT_STALL_TIMEOUT_SECONDS = 30.0
+
+#: Bound on one per-shard stats fetch during a fleet snapshot; a draining
+#: or unreachable shard yields a partial entry instead of stalling it.
+SHARD_STATS_TIMEOUT_SECONDS = 2.0
+
+#: Bound on the per-shard graceful-shutdown request during a fleet drain.
+SHARD_DRAIN_TIMEOUT_SECONDS = 30.0
+
+#: Entries kept in the router's signature → cache-key memo (resolution is
+#: real CPU work; repeated keys — the common case under load — skip it).
+RESOLVE_MEMO_ENTRIES = 4096
+
+
+class ShardDied(Exception):
+    """Raised to in-flight forwards when their shard's link goes down."""
+
+
+@dataclass
+class RouterMetrics:
+    """Counters the fleet router maintains (loop-owned, lock-free)."""
+
+    #: Compile requests that arrived at the router.
+    received: int = 0
+    #: Compile requests answered with a ``result``.
+    completed: int = 0
+    #: Compile requests answered with an ``error`` (all codes).
+    errors: int = 0
+    #: Messages that failed protocol validation (subset of ``errors``).
+    protocol_errors: int = 0
+    #: Compile requests rejected because the fleet was draining.
+    rejected_shutting_down: int = 0
+    #: Requests answered straight from the shared tier (no forward).
+    tier_hits: int = 0
+    #: Requests forwarded to a shard (re-routes count again).
+    forwarded: int = 0
+    #: Forwards retried on another shard after a death/drain/wedge.
+    rerouted: int = 0
+    #: Shards removed from the ring because their link died.
+    shard_deaths: int = 0
+    #: Shards isolated by the stall watchdog.
+    wedged: int = 0
+
+    latency_ms: LatencyHistogram = field(default_factory=LatencyHistogram)
+    started_at: float = field(default_factory=time.monotonic)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-serializable view of the router's counters."""
+
+        uptime = time.monotonic() - self.started_at
+        return {
+            "uptime_seconds": round(uptime, 3),
+            "received": self.received,
+            "completed": self.completed,
+            "errors": self.errors,
+            "protocol_errors": self.protocol_errors,
+            "rejected_shutting_down": self.rejected_shutting_down,
+            "tier_hits": self.tier_hits,
+            "forwarded": self.forwarded,
+            "rerouted": self.rerouted,
+            "shard_deaths": self.shard_deaths,
+            "wedged": self.wedged,
+            "qps": round(self.completed / uptime, 3) if uptime > 0 else 0.0,
+            "latency_ms": self.latency_ms.summary(),
+        }
+
+
+class _ShardLink:
+    """The router's pipelined connection to one shard.
+
+    Forwards carry router-assigned ids (``x1``, ``x2``, ...) so responses
+    demultiplex unambiguously no matter how clients chose theirs.  When
+    the link dies — EOF, reset, or the watchdog closing a wedged shard —
+    every in-flight forward fails with :class:`ShardDied` and the
+    router's per-request handlers re-route; the death callback fires
+    exactly once.
+    """
+
+    def __init__(
+        self,
+        shard_id: str,
+        host: str,
+        port: int,
+        on_death: Callable[[str, str], None],
+    ):
+        self.shard_id = shard_id
+        self.host = host
+        self.port = port
+        self.forwarded = 0
+        self.answered = 0
+        self._on_death = on_death
+        self._counter = 0
+        self._dead: Optional[str] = None
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._pending: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
+        self._write_lock = asyncio.Lock()
+        # The wedge detector's clock: reset whenever pending work starts
+        # or any response arrives; stale + pending work = wedged.
+        self._last_progress = time.monotonic()
+
+    @property
+    def healthy(self) -> bool:
+        """Whether the link is connected and usable for forwards."""
+
+        return self._dead is None and self._writer is not None
+
+    @property
+    def pending_count(self) -> int:
+        """Forwards currently awaiting a response from this shard."""
+
+        return len(self._pending)
+
+    @property
+    def stalled_seconds(self) -> float:
+        """Seconds since this link last made progress (see watchdog)."""
+
+        return time.monotonic() - self._last_progress
+
+    async def connect(self, timeout: float = 30.0) -> None:
+        """Open the connection and complete the protocol handshake."""
+
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(
+                self.host, self.port, limit=MAX_FRAME_BYTES + 1024
+            ),
+            timeout=timeout,
+        )
+        writer.write(encode_message(hello_message()))
+        await asyncio.wait_for(writer.drain(), timeout=timeout)
+        reply = decode_message(await asyncio.wait_for(reader.readline(), timeout=timeout))
+        if reply.get("type") != "hello":
+            writer.close()
+            raise ConnectionError(
+                f"shard {self.shard_id} rejected the handshake: {reply!r}"
+            )
+        self._reader = reader
+        self._writer = writer
+        self._last_progress = time.monotonic()
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    async def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Forward one message and await the matching response.
+
+        Assigns a fresh internal id; raises :class:`ShardDied` if the
+        link is or goes down before the response arrives.
+        """
+
+        if self._dead is not None or self._writer is None:
+            raise ShardDied(self._dead or "link not connected")
+        self._counter += 1
+        internal_id = f"x{self._counter}"
+        forward = dict(message)
+        forward["id"] = internal_id
+        future: "asyncio.Future[Dict[str, Any]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        if not self._pending:
+            self._last_progress = time.monotonic()
+        self._pending[internal_id] = future
+        self.forwarded += 1
+        try:
+            async with self._write_lock:
+                self._writer.write(encode_message(forward))
+                await asyncio.wait_for(
+                    self._writer.drain(), timeout=SEND_TIMEOUT_SECONDS
+                )
+        except Exception:
+            self._pending.pop(internal_id, None)
+            self.close("write to shard failed")
+            raise ShardDied("write to shard failed")
+        try:
+            return await future
+        finally:
+            self._pending.pop(internal_id, None)
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        while True:
+            try:
+                line = await self._reader.readline()
+            except (ConnectionResetError, ValueError, asyncio.CancelledError):
+                break
+            if not line:
+                break
+            if not line.strip():
+                continue
+            try:
+                message = decode_message(line)
+            except ProtocolError:
+                continue
+            self._last_progress = time.monotonic()
+            future = self._pending.pop(message.get("id"), None)
+            if future is not None and not future.done():
+                self.answered += 1
+                future.set_result(message)
+        self.close("shard connection closed")
+
+    def close(self, reason: str) -> None:
+        """Tear the link down (idempotent): fail pending, notify once."""
+
+        if self._dead is not None:
+            return
+        self._dead = reason
+        if self._reader_task is not None and self._reader_task is not asyncio.current_task():
+            self._reader_task.cancel()
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except Exception:  # pragma: no cover - best-effort close
+                pass
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(ShardDied(reason))
+        self._on_death(self.shard_id, reason)
+
+
+@dataclass(eq=False)
+class _ClientConnection:
+    """Per-client-connection state on the router (mirror of the server's)."""
+
+    reader: asyncio.StreamReader
+    writer: asyncio.StreamWriter
+    write_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    greeted: bool = False
+
+
+class FleetRouter:
+    """The fleet frontend: protocol endpoint, hash ring, shared tier.
+
+    Construct, ``await start()`` (both listeners bind; ephemeral ports
+    resolve), attach shards with :meth:`attach_shard`, then
+    ``await serve_forever()``.  The synchronous wrapper most callers want
+    is :class:`Fleet`.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        peer_port: int = 0,
+        stall_timeout: float = DEFAULT_STALL_TIMEOUT_SECONDS,
+        tier_entries: int = DEFAULT_TIER_ENTRIES,
+    ):
+        if stall_timeout <= 0:
+            raise ValueError(f"stall_timeout must be > 0, got {stall_timeout!r}")
+        self.host = host
+        self.port = port
+        self.peer_port = peer_port
+        self.stall_timeout = stall_timeout
+        self.ring = HashRing()
+        self.tier = SharedCacheTier(max_entries=tier_entries)
+        self.metrics = RouterMetrics()
+
+        self._links: Dict[str, _ShardLink] = {}
+        self._lost: Dict[str, str] = {}
+        self._memo: "OrderedDict[Tuple, str]" = OrderedDict()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._peer_server: Optional[asyncio.base_events.Server] = None
+        self._connections: set = set()
+        self._watchdog_task: Optional[asyncio.Task] = None
+        self._draining = False
+        self._active_requests = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._closed = asyncio.Event()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the client and peering listeners and start the watchdog."""
+
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=MAX_FRAME_BYTES + 1024
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._peer_server = await asyncio.start_server(
+            self._handle_peering, self.host, self.peer_port,
+            limit=MAX_FRAME_BYTES + 1024,
+        )
+        self.peer_port = self._peer_server.sockets[0].getsockname()[1]
+        self._watchdog_task = asyncio.ensure_future(self._watchdog())
+
+    async def _handle_peering(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One shard's peering connection: serve the shared tier."""
+
+        try:
+            await serve_peering_connection(self.tier, reader, writer)
+        except asyncio.CancelledError:
+            # Drain closes the peering listener while shard connections are
+            # still parked in readline(); swallowing the cancellation keeps
+            # the event loop's task-exception callback quiet.
+            pass
+
+    @property
+    def peer_address(self) -> str:
+        """The ``host:port`` shards pass to ``serve --peer``."""
+
+        return f"{self.host}:{self.peer_port}"
+
+    async def attach_shard(self, shard_id: str, host: str, port: int) -> None:
+        """Connect a shard, add it to the ring, start routing to it."""
+
+        if shard_id in self._links:
+            raise ValueError(f"shard id {shard_id!r} is already attached")
+        link = _ShardLink(shard_id, host, port, on_death=self._shard_lost)
+        await link.connect()
+        self._links[shard_id] = link
+        self._lost.pop(shard_id, None)
+        self.ring.add(shard_id)
+
+    def _shard_lost(self, shard_id: str, reason: str) -> None:
+        """Link-death callback: shrink the ring, record why (once)."""
+
+        if shard_id not in self._links:
+            return
+        del self._links[shard_id]
+        self.ring.remove(shard_id)
+        self._lost[shard_id] = reason
+        if not self._draining:
+            self.metrics.shard_deaths += 1
+
+    async def _watchdog(self) -> None:
+        """Isolate wedged shards: pending work, no progress past the stall bound."""
+
+        period = max(0.05, self.stall_timeout / 4.0)
+        while True:
+            await asyncio.sleep(period)
+            for link in list(self._links.values()):
+                if (
+                    link.pending_count > 0
+                    and link.stalled_seconds > self.stall_timeout
+                ):
+                    self.metrics.wedged += 1
+                    link.close(
+                        f"wedged: {link.pending_count} pending, no response "
+                        f"for {link.stalled_seconds:.1f}s"
+                    )
+
+    def request_drain(self) -> None:
+        """Schedule a graceful fleet drain (signal-handler safe)."""
+
+        asyncio.ensure_future(self.drain())
+
+    async def drain(self) -> None:
+        """Stop admitting, finish in-flight work, drain shards, close up.
+
+        Idempotent; concurrent callers await the same shutdown.
+        """
+
+        if self._draining:
+            await self._closed.wait()
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        await self._idle.wait()
+        # Ask every shard to drain gracefully; a shard that cannot answer
+        # (dead, wedged) is simply closed.
+        for link in list(self._links.values()):
+            try:
+                await asyncio.wait_for(
+                    link.request({"type": "shutdown"}),
+                    timeout=SHARD_DRAIN_TIMEOUT_SECONDS,
+                )
+            except (ShardDied, asyncio.TimeoutError, Exception):
+                pass
+        for link in list(self._links.values()):
+            link.close("fleet drained")
+        if self._watchdog_task is not None:
+            self._watchdog_task.cancel()
+            try:
+                await self._watchdog_task
+            except asyncio.CancelledError:
+                pass
+        for connection in list(self._connections):
+            try:
+                connection.writer.close()
+            except Exception:  # pragma: no cover - best-effort close
+                pass
+        if self._peer_server is not None:
+            self._peer_server.close()
+        if self._server is not None:
+            try:
+                await asyncio.wait_for(self._server.wait_closed(), timeout=5.0)
+            except asyncio.TimeoutError:  # pragma: no cover - defensive
+                pass
+        self._closed.set()
+
+    async def serve_forever(self) -> None:
+        """Block until the fleet has fully drained and closed."""
+
+        await self._closed.wait()
+
+    def install_signal_handlers(self) -> None:
+        """Drain gracefully on SIGTERM/SIGINT (POSIX event loops only)."""
+
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.request_drain)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+
+    @property
+    def draining(self) -> bool:
+        """Whether the router has begun a graceful drain."""
+
+        return self._draining
+
+    # -- request bookkeeping ------------------------------------------------------
+
+    def _request_started(self) -> None:
+        self._active_requests += 1
+        self._idle.clear()
+
+    def _request_finished(self) -> None:
+        self._active_requests -= 1
+        if self._active_requests == 0:
+            self._idle.set()
+
+    # -- the client-facing protocol endpoint --------------------------------------
+
+    def describe(self) -> Dict[str, Any]:
+        """The server-info dict sent in the router's handshake ``hello``."""
+
+        return {
+            "fleet": True,
+            "shards": len(self._links),
+            "tier_entries": self.tier.max_entries,
+            "stall_timeout": self.stall_timeout,
+        }
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection = _ClientConnection(reader=reader, writer=writer)
+        self._connections.add(connection)
+        tasks: set = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ConnectionResetError:
+                    break
+                except (ValueError, asyncio.IncompleteReadError):
+                    self.metrics.protocol_errors += 1
+                    self.metrics.errors += 1
+                    await self._send(
+                        connection,
+                        error_message(
+                            "protocol",
+                            f"frame exceeds {MAX_FRAME_BYTES} bytes or the "
+                            "stream is malformed; closing",
+                        ),
+                    )
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    message = decode_message(line)
+                except ProtocolError as exc:
+                    self.metrics.protocol_errors += 1
+                    self.metrics.errors += 1
+                    await self._send(connection, error_message("bad_request", str(exc)))
+                    continue
+                if not connection.greeted:
+                    if not await self._handshake(connection, message):
+                        break
+                    continue
+                kind = message.get("type")
+                if kind == "compile":
+                    task = asyncio.ensure_future(
+                        self._handle_compile(connection, message)
+                    )
+                    tasks.add(task)
+                    task.add_done_callback(tasks.discard)
+                elif kind in ("stats", "shutdown"):
+                    try:
+                        _check_admin_fields(message, kind)
+                    except ProtocolError as exc:
+                        self.metrics.protocol_errors += 1
+                        self.metrics.errors += 1
+                        await self._send(
+                            connection,
+                            error_message("bad_request", str(exc), message.get("id")),
+                        )
+                        continue
+                    if kind == "stats":
+                        await self._send(
+                            connection,
+                            {
+                                "type": "stats",
+                                "id": message.get("id"),
+                                "stats": await self.stats_snapshot_async(),
+                            },
+                        )
+                    else:
+                        await self._send(
+                            connection, {"type": "ok", "id": message.get("id")}
+                        )
+                        self.request_drain()
+                else:
+                    self.metrics.protocol_errors += 1
+                    self.metrics.errors += 1
+                    await self._send(
+                        connection,
+                        error_message(
+                            "bad_request",
+                            f"unknown message type {kind!r}",
+                            message.get("id") if isinstance(message.get("id"), str) else None,
+                        ),
+                    )
+        except ConnectionResetError:  # pragma: no cover - peer vanished
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*list(tasks), return_exceptions=True)
+            self._connections.discard(connection)
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - best-effort close
+                pass
+
+    async def _handshake(
+        self, connection: _ClientConnection, message: Dict[str, Any]
+    ) -> bool:
+        try:
+            if message.get("type") != "hello":
+                raise ProtocolError(
+                    "first message must be a 'hello' handshake", code="protocol"
+                )
+            version = parse_hello(message)
+        except ProtocolError as exc:
+            self.metrics.protocol_errors += 1
+            self.metrics.errors += 1
+            await self._send(connection, error_message("protocol", str(exc)))
+            return False
+        if version != PROTOCOL_VERSION:
+            self.metrics.protocol_errors += 1
+            self.metrics.errors += 1
+            await self._send(
+                connection,
+                error_message(
+                    "protocol",
+                    f"protocol version mismatch: client speaks {version}, "
+                    f"router speaks {PROTOCOL_VERSION}",
+                ),
+            )
+            return False
+        connection.greeted = True
+        await self._send(connection, hello_message(server_info=self.describe()))
+        return True
+
+    async def _send(
+        self, connection: _ClientConnection, message: Dict[str, Any]
+    ) -> None:
+        """Bounded, locked write of one message to a client connection."""
+
+        payload = encode_message(message)
+        async with connection.write_lock:
+            try:
+                connection.writer.write(payload)
+                await asyncio.wait_for(
+                    connection.writer.drain(), timeout=SEND_TIMEOUT_SECONDS
+                )
+            except asyncio.TimeoutError:
+                try:
+                    connection.writer.close()
+                except Exception:  # pragma: no cover - best-effort close
+                    pass
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    # -- routing ------------------------------------------------------------------
+
+    async def _cache_key_for(self, request) -> str:
+        """The request's routing/tier key, memoized by request signature.
+
+        Resolution (IR parsing, scenario generation, fingerprinting) is
+        real CPU work, so it runs off the event loop — but only once per
+        distinct signature; under load the memo answers directly.
+        """
+
+        signature = request.signature()
+        cached = self._memo.get(signature)
+        if cached is not None:
+            self._memo.move_to_end(signature)
+            return cached
+        resolved = await asyncio.to_thread(resolve_compile_request, request)
+        self._memo[signature] = resolved.cache_key
+        while len(self._memo) > RESOLVE_MEMO_ENTRIES:
+            self._memo.popitem(last=False)
+        return resolved.cache_key
+
+    async def _handle_compile(
+        self, connection: _ClientConnection, message: Dict[str, Any]
+    ) -> None:
+        self.metrics.received += 1
+        self._request_started()
+        arrived = time.monotonic()
+        request_id = message.get("id") if isinstance(message.get("id"), str) else None
+        try:
+            try:
+                request = parse_compile_request(message)
+                request_id = request.id
+                cache_key = await self._cache_key_for(request)
+            except ProtocolError as exc:
+                self.metrics.protocol_errors += 1
+                self.metrics.errors += 1
+                await self._send(
+                    connection, error_message(exc.code, str(exc), request_id)
+                )
+                return
+            except Exception as exc:
+                self.metrics.errors += 1
+                await self._send(
+                    connection,
+                    error_message(
+                        "internal",
+                        f"request resolution failed: {type(exc).__name__}: {exc}",
+                        request_id,
+                    ),
+                )
+                return
+
+            if self._draining:
+                self.metrics.rejected_shutting_down += 1
+                self.metrics.errors += 1
+                await self._send(
+                    connection,
+                    error_message(
+                        "shutting_down", "fleet is draining; try again later",
+                        request_id,
+                    ),
+                )
+                return
+
+            # Tier front: the whole fleet may already know this answer.
+            if request.cache == "use":
+                entry = self.tier.get(cache_key)
+                if entry is not None:
+                    answer = CompileAnswer(
+                        result=dict(entry["result"]),
+                        pass_seconds=dict(entry["pass_seconds"]),
+                        cache_status="tier",
+                        queue_ms=0.0,
+                        compile_ms=0.0,
+                    )
+                    self.metrics.tier_hits += 1
+                    self.metrics.completed += 1
+                    self.metrics.latency_ms.record(
+                        (time.monotonic() - arrived) * 1000.0
+                    )
+                    await self._send(connection, answer.to_message(request_id))
+                    return
+
+            response, shard_id = await self._forward(message, cache_key)
+            if response is None:
+                self.metrics.errors += 1
+                await self._send(
+                    connection,
+                    error_message(
+                        "internal", "no healthy shard available", request_id
+                    ),
+                )
+                return
+            relayed = dict(response)
+            relayed["id"] = request_id
+            if relayed.get("type") == "result":
+                service = dict(relayed.get("service") or {})
+                service["shard"] = shard_id
+                relayed["service"] = service
+                self.metrics.completed += 1
+                self.metrics.latency_ms.record((time.monotonic() - arrived) * 1000.0)
+            else:
+                self.metrics.errors += 1
+            await self._send(connection, relayed)
+        finally:
+            self._request_finished()
+
+    async def _forward(
+        self, message: Dict[str, Any], cache_key: str
+    ) -> Tuple[Optional[Dict[str, Any]], Optional[str]]:
+        """Forward to the key's owner, walking the ring past dead shards.
+
+        Returns ``(response, shard_id)``; ``(None, None)`` when no shard
+        could take the request.  Re-routes are safe because compiles are
+        deterministic and idempotent, and every client response is built
+        from exactly one shard response (pending forwards that die raise,
+        they never also resolve).
+        """
+
+        attempted: set = set()
+        while True:
+            order = [
+                shard_id
+                for shard_id in self.ring.route_order(cache_key)
+                if shard_id not in attempted
+            ]
+            if not order:
+                return None, None
+            shard_id = order[0]
+            attempted.add(shard_id)
+            link = self._links.get(shard_id)
+            if link is None or not link.healthy:
+                continue
+            self.metrics.forwarded += 1
+            try:
+                response = await link.request(message)
+            except ShardDied:
+                # The ring has already shrunk (the death callback ran);
+                # walk on to the key's next owner.
+                self.metrics.rerouted += 1
+                continue
+            if (
+                response.get("type") == "error"
+                and response.get("code") == "shutting_down"
+            ):
+                # The shard is draining on its own; route around it.
+                self.metrics.rerouted += 1
+                continue
+            return response, shard_id
+
+    # -- stats --------------------------------------------------------------------
+
+    async def stats_snapshot_async(self) -> Dict[str, Any]:
+        """The fleet-wide stats snapshot (``fleet-stats/v1``).
+
+        Per-shard stats are fetched live with a short timeout; a shard
+        that is draining or unreachable contributes a partial entry with
+        an explicit ``status`` marker instead of failing the snapshot.
+        """
+
+        links = list(self._links.items())
+
+        async def fetch(link: _ShardLink) -> Optional[Dict[str, Any]]:
+            try:
+                reply = await asyncio.wait_for(
+                    link.request({"type": "stats"}),
+                    timeout=SHARD_STATS_TIMEOUT_SECONDS,
+                )
+            except (ShardDied, asyncio.TimeoutError, Exception):
+                return None
+            if reply.get("type") != "stats":
+                return None
+            stats = reply.get("stats")
+            return stats if isinstance(stats, dict) else None
+
+        fetched = await asyncio.gather(*(fetch(link) for _sid, link in links))
+        shards = []
+        for (shard_id, link), stats in zip(links, fetched):
+            if stats is None:
+                status = "unreachable"
+            elif stats.get("draining"):
+                status = "draining"
+            else:
+                status = "ok"
+            shards.append(
+                {
+                    "id": shard_id,
+                    "host": link.host,
+                    "port": link.port,
+                    "healthy": link.healthy,
+                    "status": status,
+                    "forwarded": link.forwarded,
+                    "answered": link.answered,
+                    "pending": link.pending_count,
+                    "stats": stats,
+                }
+            )
+        return {
+            "schema": "fleet-stats/v1",
+            "draining": self._draining,
+            "router": self.metrics.snapshot(),
+            "ring": {
+                "members": list(self.ring.members),
+                "points": self.ring.describe(),
+            },
+            "tier": self.tier.snapshot(),
+            "shards": shards,
+            "lost_shards": dict(self._lost),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Shard backends and the synchronous supervisor.
+# ---------------------------------------------------------------------------
+
+
+def _package_source_dir() -> str:
+    """The directory to put on a child's ``PYTHONPATH`` (repo's ``src``)."""
+
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+class ProcessShard:
+    """One shard as a real child process (``python -m repro serve --peer``).
+
+    The process boundary makes this the backend for fault injection: it
+    can be SIGKILLed (death), SIGSTOPped (wedge) and SIGCONTed back.
+    """
+
+    backend = "process"
+
+    def __init__(
+        self,
+        shard_id: str,
+        peer: str,
+        host: str = "127.0.0.1",
+        workers: int = 1,
+        cache_dir: Optional[str] = None,
+        batch_max_requests: int = 16,
+        batch_window_ms: float = 10.0,
+        max_queue: int = 256,
+        startup_timeout: float = 60.0,
+    ):
+        self.shard_id = shard_id
+        self.peer = peer
+        self.host = host
+        self.port: Optional[int] = None
+        self.workers = workers
+        self.cache_dir = cache_dir
+        self.batch_max_requests = batch_max_requests
+        self.batch_window_ms = batch_window_ms
+        self.max_queue = max_queue
+        self.startup_timeout = startup_timeout
+        self.process: Optional[subprocess.Popen] = None
+        self._stdout_thread: Optional[threading.Thread] = None
+        self._listening = threading.Event()
+
+    @property
+    def pid(self) -> Optional[int]:
+        """The child's pid (None before :meth:`start`)."""
+
+        return self.process.pid if self.process is not None else None
+
+    def start(self) -> None:
+        """Spawn the child and wait for its "listening on" line."""
+
+        command = [
+            sys.executable, "-m", "repro", "serve",
+            "--host", self.host,
+            "--port", "0",
+            "--workers", str(self.workers),
+            "--peer", self.peer,
+            "--batch-max", str(self.batch_max_requests),
+            "--batch-window-ms", str(self.batch_window_ms),
+            "--max-queue", str(self.max_queue),
+        ]
+        if self.cache_dir:
+            command += ["--cache-dir", self.cache_dir]
+        else:
+            command += ["--no-cache"]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            _package_source_dir() + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        self.process = subprocess.Popen(
+            command,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+            text=True,
+        )
+        self._stdout_thread = threading.Thread(
+            target=self._pump_stdout, name=f"shard-{self.shard_id}-out", daemon=True
+        )
+        self._stdout_thread.start()
+        if not self._listening.wait(self.startup_timeout):
+            self.kill()
+            raise RuntimeError(
+                f"shard {self.shard_id} did not start listening within "
+                f"{self.startup_timeout:g}s"
+            )
+
+    def _pump_stdout(self) -> None:
+        """Drain the child's stdout forever; capture the bound port."""
+
+        assert self.process is not None and self.process.stdout is not None
+        for line in self.process.stdout:
+            if "listening on" in line and self.port is None:
+                address = line.rsplit(" ", 1)[-1].strip()
+                try:
+                    self.port = int(address.rpartition(":")[2])
+                except ValueError:  # pragma: no cover - malformed banner
+                    continue
+                self._listening.set()
+        # EOF: the child exited; unblock a waiter so start() can fail fast.
+        self._listening.set()
+
+    def kill(self) -> None:
+        """SIGKILL the shard (the fault-injection "death" primitive)."""
+
+        if self.process is not None and self.process.poll() is None:
+            self.process.kill()
+
+    def suspend(self) -> None:
+        """SIGSTOP the shard (the fault-injection "wedge" primitive)."""
+
+        if self.process is not None and self.process.poll() is None:
+            os.kill(self.process.pid, signal.SIGSTOP)
+
+    def resume(self) -> None:
+        """SIGCONT a suspended shard."""
+
+        if self.process is not None and self.process.poll() is None:
+            os.kill(self.process.pid, signal.SIGCONT)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """SIGTERM (graceful drain) and reap; escalate to SIGKILL."""
+
+        if self.process is None:
+            return
+        if self.process.poll() is None:
+            try:
+                self.process.terminate()
+            except ProcessLookupError:  # pragma: no cover - exited just now
+                pass
+            try:
+                self.process.wait(timeout)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait(10.0)
+        if self._stdout_thread is not None:
+            self._stdout_thread.join(5.0)
+
+
+class ThreadShard:
+    """One shard as an in-process embedded server (no process boundary).
+
+    Cheap and deterministic — the backend of choice for scheduling,
+    peering and trace tests that do not need signals.
+    """
+
+    backend = "thread"
+
+    def __init__(
+        self,
+        shard_id: str,
+        peer: str,
+        host: str = "127.0.0.1",
+        workers: int = 1,
+        cache_dir: Optional[str] = None,
+        batch_max_requests: int = 16,
+        batch_window_ms: float = 10.0,
+        max_queue: int = 256,
+        startup_timeout: float = 60.0,
+    ):
+        from repro.service.embedded import EmbeddedServer
+
+        self.shard_id = shard_id
+        self.peer = peer
+        self.host = host
+        self.port: Optional[int] = None
+        self.pid: Optional[int] = None
+        self._embedded = EmbeddedServer(
+            workers=workers,
+            cache=cache_dir,
+            max_queue=max_queue,
+            batch_max_requests=batch_max_requests,
+            batch_window_ms=batch_window_ms,
+            host=host,
+            startup_timeout=startup_timeout,
+            peer=peer,
+        )
+
+    def start(self) -> None:
+        """Start the embedded server thread and record its port."""
+
+        self._embedded.__enter__()
+        self.port = self._embedded.port
+
+    def kill(self) -> None:
+        """Not supported: a thread cannot be SIGKILLed independently."""
+
+        raise RuntimeError(
+            "ThreadShard cannot be killed; use backend='process' for fault tests"
+        )
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Drain the embedded server and join its thread."""
+
+        self._embedded.stop(timeout)
+
+
+class Fleet:
+    """The synchronous fleet supervisor: router thread + N shards.
+
+    ``with Fleet(shards=3) as fleet:`` starts the router (on a dedicated
+    thread with its own event loop), spawns the shards pointed at the
+    router's peering port, attaches them to the ring, and yields an
+    object exposing ``host``/``port`` (the router's client endpoint),
+    ``peer_port``, the live ``shards`` list and fault-injection helpers.
+    Exit drains the whole fleet gracefully.
+    """
+
+    def __init__(
+        self,
+        shards: int = 3,
+        backend: str = "process",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        peer_port: int = 0,
+        workers: int = 1,
+        cache_root: Optional[str] = None,
+        batch_max_requests: int = 16,
+        batch_window_ms: float = 10.0,
+        max_queue: int = 256,
+        stall_timeout: float = DEFAULT_STALL_TIMEOUT_SECONDS,
+        tier_entries: int = DEFAULT_TIER_ENTRIES,
+        startup_timeout: float = 60.0,
+    ):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards!r}")
+        if backend not in ("process", "thread"):
+            raise ValueError(f"backend must be 'process' or 'thread', got {backend!r}")
+        self.shard_count = shards
+        self.backend = backend
+        self.host = host
+        self.port: Optional[int] = None
+        self.peer_port: Optional[int] = None
+        self.router: Optional[FleetRouter] = None
+        self.shards: List[Any] = []
+        self._requested_port = port
+        self._requested_peer_port = peer_port
+        self._workers = workers
+        self._cache_root = cache_root
+        self._batch_max_requests = batch_max_requests
+        self._batch_window_ms = batch_window_ms
+        self._max_queue = max_queue
+        self._stall_timeout = stall_timeout
+        self._tier_entries = tier_entries
+        self._startup_timeout = startup_timeout
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._failure: Optional[BaseException] = None
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def __enter__(self) -> "Fleet":
+        self._thread = threading.Thread(
+            target=self._run_router, name="repro-fleet-router", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(self._startup_timeout):
+            raise RuntimeError("fleet router did not start in time")
+        if self._failure is not None:
+            raise RuntimeError(
+                f"fleet router failed to start: {self._failure}"
+            ) from self._failure
+        try:
+            for index in range(self.shard_count):
+                self._spawn_shard(index)
+        except BaseException:
+            self.stop()
+            raise
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    def _run_router(self) -> None:
+        try:
+            asyncio.run(self._router_main())
+        except BaseException as exc:  # pragma: no cover - surfaced via _failure
+            self._failure = exc
+            self._ready.set()
+
+    async def _router_main(self) -> None:
+        try:
+            router = FleetRouter(
+                host=self.host,
+                port=self._requested_port,
+                peer_port=self._requested_peer_port,
+                stall_timeout=self._stall_timeout,
+                tier_entries=self._tier_entries,
+            )
+            await router.start()
+        except BaseException as exc:
+            self._failure = exc
+            self._ready.set()
+            return
+        self.router = router
+        self.port = router.port
+        self.peer_port = router.peer_port
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await router.serve_forever()
+
+    def _call(self, coroutine, timeout: float = 60.0):
+        """Run a coroutine on the router's loop from the calling thread."""
+
+        if self._loop is None:
+            coroutine.close()
+            raise RuntimeError("fleet router is not running")
+        try:
+            future = asyncio.run_coroutine_threadsafe(coroutine, self._loop)
+        except RuntimeError:
+            coroutine.close()
+            raise
+        return future.result(timeout)
+
+    def _spawn_shard(self, index: int) -> None:
+        shard_id = f"s{index}"
+        cache_dir = (
+            os.path.join(self._cache_root, shard_id) if self._cache_root else None
+        )
+        shard_cls = ProcessShard if self.backend == "process" else ThreadShard
+        shard = shard_cls(
+            shard_id,
+            peer=f"{self.host}:{self.peer_port}",
+            host=self.host,
+            workers=self._workers,
+            cache_dir=cache_dir,
+            batch_max_requests=self._batch_max_requests,
+            batch_window_ms=self._batch_window_ms,
+            max_queue=self._max_queue,
+            startup_timeout=self._startup_timeout,
+        )
+        shard.start()
+        assert self.router is not None and shard.port is not None
+        self._call(self.router.attach_shard(shard_id, self.host, shard.port))
+        self.shards.append(shard)
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Drain the router (which drains the shards), then reap everything."""
+
+        loop, router = self._loop, self.router
+        if loop is not None and router is not None and not loop.is_closed():
+            coroutine = router.drain()
+            try:
+                future = asyncio.run_coroutine_threadsafe(coroutine, loop)
+            except RuntimeError:
+                coroutine.close()
+            else:
+                try:
+                    future.result(timeout)
+                except Exception:  # pragma: no cover - slow/failed drain
+                    pass
+        for shard in self.shards:
+            try:
+                shard.stop()
+            except Exception:  # pragma: no cover - best-effort reap
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    # -- operations ---------------------------------------------------------------
+
+    def shard(self, shard_id: str):
+        """The shard handle with the given id (raises KeyError if unknown)."""
+
+        for shard in self.shards:
+            if shard.shard_id == shard_id:
+                return shard
+        raise KeyError(shard_id)
+
+    def kill_shard(self, shard_id: str) -> None:
+        """SIGKILL one shard (process backend): the "death" fault."""
+
+        self.shard(shard_id).kill()
+
+    def suspend_shard(self, shard_id: str) -> None:
+        """SIGSTOP one shard (process backend): the "wedge" fault."""
+
+        self.shard(shard_id).suspend()
+
+    def resume_shard(self, shard_id: str) -> None:
+        """SIGCONT a suspended shard (process backend)."""
+
+        self.shard(shard_id).resume()
+
+    def stats(self) -> Dict[str, Any]:
+        """The fleet-wide stats snapshot, fetched thread-safely."""
+
+        if self.router is None:
+            raise RuntimeError("fleet is not running")
+        return self._call(self.router.stats_snapshot_async())

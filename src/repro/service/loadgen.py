@@ -338,10 +338,16 @@ class LoadReport:
     invariant_violations: List[str] = field(default_factory=list)
     coalesced_responses: int = 0
     cache_hit_responses: int = 0
+    #: Responses answered from a fleet's shared cache tier by the router.
+    tier_hit_responses: int = 0
+    #: Responses answered from the shared tier by a shard (peer hit).
+    peer_hit_responses: int = 0
     wall_seconds: float = 0.0
     latency: LatencyHistogram = field(default_factory=LatencyHistogram)
-    #: The server's metrics snapshot fetched after the run (None if the
-    #: stats request failed).
+    #: The server's metrics snapshot fetched after the run.  When the
+    #: server was already draining (or gone) by fetch time this holds a
+    #: partial marker — ``{"schema": "service-stats/partial", "partial":
+    #: True, "draining": True}`` — rather than None or a stall.
     server_stats: Optional[Dict[str, Any]] = None
 
     @property
@@ -382,6 +388,8 @@ class LoadReport:
             "invariant_violations": len(self.invariant_violations),
             "coalesced_responses": self.coalesced_responses,
             "cache_hit_responses": self.cache_hit_responses,
+            "tier_hit_responses": self.tier_hit_responses,
+            "peer_hit_responses": self.peer_hit_responses,
             "wall_seconds": round(self.wall_seconds, 4),
             "throughput_rps": round(self.throughput_rps, 3),
             "latency_ms": self.latency.summary(),
@@ -414,6 +422,10 @@ class _Checker:
             self.report.coalesced_responses += 1
         if service.get("cache") == "hit":
             self.report.cache_hit_responses += 1
+        elif service.get("cache") == "tier":
+            self.report.tier_hit_responses += 1
+        elif service.get("cache") == "peer":
+            self.report.peer_hit_responses += 1
         signature = self.signatures[request_id]
         body = response_result_bytes(response)
         previous = self._seen.setdefault(signature, body)
@@ -498,21 +510,93 @@ async def _drive(
     finally:
         for connection in connections:
             report.protocol_errors += connection.protocol_errors
-        # Fetch the server's own view before closing (stats ride one of the
-        # load connections, so no extra connection skews the counters).
-        # Short timeout: if the connection died mid-run the response will
-        # never come, and the report must not stall for the full request
-        # timeout on optional telemetry.
-        try:
-            response = await connections[0].request(
-                {"type": "stats", "id": "loadgen-stats"}, min(timeout, 10.0)
-            )
-            if response.get("type") == "stats":
-                report.server_stats = response.get("stats")
-        except Exception:
-            report.server_stats = None
+        # Fetch the server's own view before closing (stats ride the load
+        # connections, so no extra connection skews the counters).
+        report.server_stats = await _fetch_final_stats(connections, timeout)
         for connection in connections:
             await connection.close()
+
+
+#: The end-of-run stats payload when the server was already draining (or
+#: gone) by fetch time — an explicit partial marker, never a stall or a
+#: spurious run failure: telemetry racing a shutdown is expected.
+PARTIAL_STATS = {
+    "schema": "service-stats/partial",
+    "partial": True,
+    "draining": True,
+}
+
+
+async def _fetch_final_stats(
+    connections: Sequence["_PipelinedClient"], timeout: float
+) -> Dict[str, Any]:
+    """The server's end-of-run stats, racing a possible drain gracefully.
+
+    A server that received a ``shutdown`` mid-run (a killed fleet shard,
+    an operator SIGTERM) may close our connections before — or while —
+    the stats request is answered.  Each connection is tried in turn with
+    a short per-attempt bound; when none can answer, the report gets the
+    explicit :data:`PARTIAL_STATS` marker with ``draining: True`` instead
+    of a timeout error, so the run's verdict never depends on telemetry
+    that legitimately raced a shutdown.
+    """
+
+    per_attempt = min(timeout, 10.0) / max(1, len(connections))
+    per_attempt = max(per_attempt, 1.0)
+    for connection in connections:
+        try:
+            response = await connection.request(
+                {"type": "stats", "id": "loadgen-stats"}, per_attempt
+            )
+        except Exception:
+            continue
+        if response.get("type") == "stats" and isinstance(
+            response.get("stats"), dict
+        ):
+            return response["stats"]
+    return dict(PARTIAL_STATS)
+
+
+def fleet_invariant_violations(
+    stats: Optional[Mapping[str, Any]], plan: Sequence[Mapping[str, Any]]
+) -> List[str]:
+    """Check the fleet-wide single-compile invariant against a snapshot.
+
+    Given a fresh fleet's ``fleet-stats/v1`` snapshot after a run, the
+    total number of compiles across every shard must not exceed the number
+    of unique request signatures in the plan: the ring's key affinity plus
+    per-shard coalescing plus the shared tier guarantee that no coalesced
+    key is ever compiled twice fleet-wide.  Returns violation strings
+    (empty = held).
+
+    The check only applies when it is sound: a fleet snapshot with all
+    shard stats present and no deaths/wedges (a killed shard legitimately
+    forces recompiles of its in-flight keys, and its counters are lost).
+    """
+
+    if not isinstance(stats, Mapping) or stats.get("schema") != "fleet-stats/v1":
+        return []
+    router = stats.get("router", {})
+    if router.get("shard_deaths") or router.get("wedged"):
+        return []
+    shards = stats.get("shards", [])
+    per_shard = []
+    for shard in shards:
+        shard_stats = shard.get("stats")
+        if not isinstance(shard_stats, Mapping):
+            return []  # partial snapshot: cannot account every compile
+        per_shard.append(
+            (shard.get("id"), shard_stats.get("requests", {}).get("compiled", 0))
+        )
+    unique = len({plan_signature(message) for message in plan})
+    compiled = sum(count for _shard_id, count in per_shard)
+    if compiled > unique:
+        detail = ", ".join(f"{shard_id}={count}" for shard_id, count in per_shard)
+        return [
+            f"fleet-wide double-compile: {compiled} compiles for {unique} "
+            f"unique request keys ({detail})"
+        ]
+    return []
 
 
 def run_load(
@@ -526,6 +610,7 @@ def run_load(
     retries: int = 6,
     backoff: float = 0.05,
     check_oracle: bool = False,
+    check_fleet: bool = False,
 ) -> LoadReport:
     """Replay a request plan against a running server and verify it.
 
@@ -534,7 +619,10 @@ def run_load(
     With ``check_oracle=True`` every response is additionally compared
     byte-for-byte against a local compile of the same request (computed
     once per unique request before the load starts, so oracle time never
-    pollutes the measured window).
+    pollutes the measured window).  With ``check_fleet=True`` (a freshly
+    started fleet only — shard counters must belong to this run) the
+    end-of-run fleet snapshot is checked for fleet-wide double-compiles
+    (:func:`fleet_invariant_violations`).
     """
 
     if mode not in MODES:
@@ -566,6 +654,10 @@ def run_load(
         )
     )
     report.wall_seconds = time.perf_counter() - started
+    if check_fleet:
+        report.invariant_violations.extend(
+            fleet_invariant_violations(report.server_stats, plan)
+        )
     return report
 
 
@@ -581,7 +673,12 @@ def render_load_report(report: LoadReport) -> str:
         f"p99={report.latency.percentile(99):.2f} "
         f"max={report.latency.maximum or 0.0:.2f}",
         f"  coalesced       : {report.coalesced_responses}",
-        f"  cache hits      : {report.cache_hit_responses}",
+        f"  cache hits      : {report.cache_hit_responses}"
+        + (
+            f" (tier {report.tier_hit_responses}, peer {report.peer_hit_responses})"
+            if report.tier_hit_responses or report.peer_hit_responses
+            else ""
+        ),
         f"  retries         : {report.retries}",
         f"  errors          : "
         + (
@@ -599,8 +696,22 @@ def render_load_report(report: LoadReport) -> str:
     ]
     for violation in report.invariant_violations[:10]:
         lines.append(f"    ! {violation}")
-    if report.server_stats is not None:
-        requests = report.server_stats.get("requests", {})
+    stats = report.server_stats
+    if stats is not None and stats.get("schema") == "fleet-stats/v1":
+        router = stats.get("router", {})
+        lines.append(
+            "  fleet           : "
+            f"completed={router.get('completed')} "
+            f"tier_hits={router.get('tier_hits')} "
+            f"rerouted={router.get('rerouted')} "
+            f"shard_deaths={router.get('shard_deaths')} "
+            f"wedged={router.get('wedged')} "
+            f"shards={len(stats.get('shards', []))}"
+        )
+    elif stats is not None and stats.get("partial"):
+        lines.append("  server          : stats partial (server was draining)")
+    elif stats is not None:
+        requests = stats.get("requests", {})
         lines.append(
             "  server          : "
             f"completed={requests.get('completed')} "

@@ -110,6 +110,12 @@ class ServiceMetrics:
     coalesced: int = 0
     #: Requests answered from the cache at admission (no queue, no batch).
     cache_hits: int = 0
+    #: Requests answered from the fleet's shared cache tier (peer hits).
+    peer_hits: int = 0
+    #: Fresh compile results published to the shared tier (best-effort).
+    peer_puts: int = 0
+    #: Peer round trips that failed (transport/timeout; served as misses).
+    peer_errors: int = 0
     #: Requests that went through a compile batch.
     compiled: int = 0
     #: Batches dispatched.
@@ -187,6 +193,9 @@ class ServiceMetrics:
                 "rejected_shutting_down": self.rejected_shutting_down,
                 "coalesced": self.coalesced,
                 "cache_hits": self.cache_hits,
+                "peer_hits": self.peer_hits,
+                "peer_puts": self.peer_puts,
+                "peer_errors": self.peer_errors,
                 "compiled": self.compiled,
             },
             "rates": {

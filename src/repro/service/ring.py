@@ -1,0 +1,147 @@
+"""Consistent hashing for the serving fleet: the shard ring.
+
+The fleet router (:mod:`repro.service.fleet`) assigns every compile request
+to a backend shard by its :func:`~repro.ir.fingerprint.procedure_cache_key`.
+The assignment must be
+
+* **deterministic** — the same key maps to the same shard on every host,
+  every process and every run (so a pinned trace can assert shard
+  placement), which rules out anything touching ``hash()`` and
+  ``PYTHONHASHSEED``: every point on the ring comes from SHA-256;
+* **affine** — identical in-flight requests land on the same shard, where
+  the shard's coalescing turns them into one compile.  This is what makes
+  the fleet-wide "one compile per coalesced key" guarantee compositional:
+  the ring gives per-key affinity, the shard gives per-key coalescing;
+* **minimally disruptive** — when a shard dies, only the keys it owned
+  move (to their next clockwise owner); every other key keeps its shard
+  and therefore its warm state.  Classic consistent hashing with virtual
+  nodes delivers exactly this.
+
+The ring is a plain data structure owned by the router's event loop — no
+locking, no I/O — and intentionally knows nothing about sockets or health;
+the router adds and removes members as links come and go.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Virtual nodes per ring member.  More vnodes smooth the key distribution
+#: (and the rebalance granularity on death) at the cost of a larger sorted
+#: point table; 64 keeps the per-member imbalance within a few percent for
+#: small fleets without a measurable lookup cost.
+DEFAULT_VNODES = 64
+
+
+def _point(member: str, vnode: int) -> int:
+    """The ring position of one virtual node (stable across processes)."""
+
+    digest = hashlib.sha256(f"{member}#{vnode}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _key_point(key: str) -> int:
+    """The ring position a key hashes to."""
+
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over named members with virtual nodes.
+
+    Members are plain strings (the router uses shard ids like ``"s0"``).
+    Lookups walk clockwise from the key's hash point: :meth:`route`
+    returns the owner, :meth:`route_order` the full failover order (owner
+    first, then the next distinct members clockwise) — the order the
+    router retries in when shards die mid-request.
+    """
+
+    def __init__(
+        self, members: Sequence[str] = (), vnodes: int = DEFAULT_VNODES
+    ):
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes!r}")
+        self.vnodes = vnodes
+        self._points: List[Tuple[int, str]] = []
+        self._members: Dict[str, bool] = {}
+        for member in members:
+            self.add(member)
+
+    # -- membership ---------------------------------------------------------------
+
+    def add(self, member: str) -> None:
+        """Add ``member`` (idempotent) and insert its virtual nodes."""
+
+        if not member:
+            raise ValueError("ring member name must be non-empty")
+        if member in self._members:
+            return
+        self._members[member] = True
+        for vnode in range(self.vnodes):
+            bisect.insort(self._points, (_point(member, vnode), member))
+
+    def remove(self, member: str) -> None:
+        """Remove ``member`` (idempotent) and all of its virtual nodes."""
+
+        if member not in self._members:
+            return
+        del self._members[member]
+        self._points = [entry for entry in self._points if entry[1] != member]
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    @property
+    def members(self) -> Tuple[str, ...]:
+        """The current members, sorted (stable for snapshots and tests)."""
+
+        return tuple(sorted(self._members))
+
+    # -- lookups ------------------------------------------------------------------
+
+    def route(self, key: str) -> str:
+        """The member that owns ``key`` (the first point at/after its hash)."""
+
+        if not self._points:
+            raise LookupError("hash ring is empty")
+        index = bisect.bisect_left(self._points, (_key_point(key), ""))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+    def route_order(self, key: str, count: Optional[int] = None) -> List[str]:
+        """The failover order for ``key``: owner first, then clockwise.
+
+        Returns up to ``count`` *distinct* members (default: all of them).
+        The order is a pure function of the key and the membership — two
+        routers with the same members always agree on it.
+        """
+
+        if not self._points:
+            return []
+        wanted = len(self._members) if count is None else max(0, count)
+        if wanted == 0:
+            return []
+        order: List[str] = []
+        start = bisect.bisect_left(self._points, (_key_point(key), ""))
+        for offset in range(len(self._points)):
+            member = self._points[(start + offset) % len(self._points)][1]
+            if member not in order:
+                order.append(member)
+                if len(order) >= wanted:
+                    break
+        return order
+
+    def describe(self) -> Dict[str, int]:
+        """Point counts per member (diagnostics; sums to members × vnodes)."""
+
+        counts: Dict[str, int] = {member: 0 for member in self._members}
+        for _point_value, member in self._points:
+            counts[member] += 1
+        return counts

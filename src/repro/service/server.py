@@ -47,6 +47,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cache.store import CacheSpec, resolve_cache
 from repro.service.metrics import ServiceMetrics, cache_stats_payload
+from repro.service.peering import PeerCacheClient, parse_peer_address
 from repro.service.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -131,6 +132,7 @@ class CompileServer:
         max_queue: int = DEFAULT_MAX_QUEUE,
         batch_max_requests: int = DEFAULT_BATCH_MAX_REQUESTS,
         batch_window_ms: float = DEFAULT_BATCH_WINDOW_MS,
+        peer: Optional[str] = None,
     ):
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue!r}")
@@ -147,6 +149,11 @@ class CompileServer:
         self.max_queue = max_queue
         self.batch_max_requests = batch_max_requests
         self.batch_window_ms = batch_window_ms
+        # Fleet peering: the shared cache tier this shard consults after a
+        # local miss and publishes fresh compiles to.  Parsed eagerly (so a
+        # bad --peer fails fast) but connected lazily on the event loop.
+        self._peer_address = parse_peer_address(peer) if peer else None
+        self.peer: Optional[PeerCacheClient] = None
         self.metrics = ServiceMetrics()
 
         self._server: Optional[asyncio.base_events.Server] = None
@@ -169,6 +176,10 @@ class CompileServer:
             self._handle_connection, self.host, self.port, limit=MAX_FRAME_BYTES + 1024
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self._peer_address is not None:
+            # Constructed here (not in __init__) so its primitives bind to
+            # the server's running event loop on every Python version.
+            self.peer = PeerCacheClient(*self._peer_address)
         self._batcher_task = asyncio.ensure_future(self._batcher())
 
     async def serve_forever(self) -> None:
@@ -215,6 +226,8 @@ class CompileServer:
         await self._queue.put(None)
         if self._batcher_task is not None:
             await self._batcher_task
+        if self.peer is not None:
+            await self.peer.close()
         for connection in list(self._connections):
             try:
                 connection.writer.close()
@@ -244,19 +257,29 @@ class CompileServer:
         :meth:`stats_snapshot_async` instead.
         """
 
+        if self.peer is not None:
+            self.metrics.peer_errors = self.peer.errors
         snapshot = self.metrics.snapshot(queue_depth=self._queue.qsize())
+        snapshot["draining"] = self._draining
         if self.cache is not None:
             snapshot["cache"] = cache_stats_payload(self.cache)
+        if self.peer is not None:
+            snapshot["peer"] = self.peer.snapshot()
         return snapshot
 
     async def stats_snapshot_async(self) -> Dict[str, Any]:
         """:meth:`stats_snapshot` with the cache disk sweep off the loop."""
 
+        if self.peer is not None:
+            self.metrics.peer_errors = self.peer.errors
         snapshot = self.metrics.snapshot(queue_depth=self._queue.qsize())
+        snapshot["draining"] = self._draining
         if self.cache is not None:
             snapshot["cache"] = await asyncio.to_thread(
                 cache_stats_payload, self.cache
             )
+        if self.peer is not None:
+            snapshot["peer"] = self.peer.snapshot()
         return snapshot
 
     def describe(self) -> Dict[str, Any]:
@@ -268,6 +291,7 @@ class CompileServer:
             "batch_window_ms": self.batch_window_ms,
             "workers": self.workers if self.workers is not None else 0,
             "cache": self.cache is not None,
+            "peer": self._peer_address is not None,
         }
 
     # -- request bookkeeping ------------------------------------------------------
@@ -508,6 +532,24 @@ class CompileServer:
                     await self._send(connection, answer.to_message(request_id))
                     return
 
+            # Shared-tier front: another shard may already have compiled
+            # this key.  A peer failure is just a miss (the client never
+            # raises), so this adds no correctness dependency.
+            if request.cache == "use" and self.peer is not None:
+                entry_payload = await self.peer.get(resolved.cache_key)
+                if entry_payload is not None:
+                    answer = CompileAnswer(
+                        result=dict(entry_payload["result"]),
+                        pass_seconds=dict(entry_payload["pass_seconds"]),
+                        cache_status="peer",
+                        queue_ms=0.0,
+                        compile_ms=0.0,
+                    )
+                    self.metrics.peer_hits += 1
+                    self._complete(arrived)
+                    await self._send(connection, answer.to_message(request_id))
+                    return
+
             coalesced = False
             entry = self._inflight.get(resolved.coalesce_key)
             if entry is not None:
@@ -627,15 +669,13 @@ class CompileServer:
             outcomes = await asyncio.to_thread(self._compile_groups, grouped)
 
             compile_ms = (time.monotonic() - dispatch_start) * 1000.0
+            completions: List[Tuple[_PendingEntry, Optional[BaseException], Optional[CompileAnswer]]] = []
             for (options, entries), outcome in zip(grouped, outcomes):
                 kind, value = outcome
                 for position, entry in enumerate(entries):
-                    self._inflight.pop(entry.resolved.coalesce_key, None)
                     self.metrics.compile_ms.record(compile_ms)
-                    if entry.future.done():  # pragma: no cover - defensive
-                        continue
                     if kind == "error":
-                        entry.future.set_exception(RuntimeError(str(value)))
+                        completions.append((entry, RuntimeError(str(value)), None))
                         continue
                     try:
                         compiled = value[position]
@@ -652,12 +692,45 @@ class CompileServer:
                             compile_ms=compile_ms,
                         )
                     except Exception as exc:
-                        entry.future.set_exception(
-                            RuntimeError(f"result fan-out failed: {exc}")
+                        completions.append(
+                            (entry, RuntimeError(f"result fan-out failed: {exc}"), None)
                         )
                         continue
-                    self.metrics.compiled += 1
-                    entry.future.set_result(answer)
+                    completions.append((entry, None, answer))
+
+            # Publish fresh results to the fleet tier BEFORE resolving any
+            # future.  Ordering is what makes the fleet-wide single-compile
+            # guarantee airtight: once a client (or the router) sees this
+            # answer, the tier already holds the entry, so a duplicate
+            # arriving after we leave the in-flight table can never slip
+            # between "no longer coalescible" and "not yet in the tier" and
+            # recompile.  Entries stay in ``_inflight`` meanwhile, so
+            # duplicates arriving *during* the put still coalesce.
+            if self.peer is not None:
+                puts = [
+                    self.peer.put(
+                        entry.resolved.cache_key,
+                        {
+                            "result": dict(answer.result),
+                            "pass_seconds": dict(answer.pass_seconds),
+                        },
+                    )
+                    for entry, _exc, answer in completions
+                    if answer is not None and entry.resolved.request.cache == "use"
+                ]
+                if puts:
+                    self.metrics.peer_puts += len(puts)
+                    await asyncio.gather(*puts)
+
+            for entry, exc, answer in completions:
+                self._inflight.pop(entry.resolved.coalesce_key, None)
+                if entry.future.done():  # pragma: no cover - defensive
+                    continue
+                if exc is not None:
+                    entry.future.set_exception(exc)
+                    continue
+                self.metrics.compiled += 1
+                entry.future.set_result(answer)
         except Exception as exc:
             # Never let a dispatch bug strand the batch (or, worse, kill
             # the batcher): fail every unresolved future.
@@ -710,6 +783,7 @@ async def run_server(
     max_queue: int = DEFAULT_MAX_QUEUE,
     batch_max_requests: int = DEFAULT_BATCH_MAX_REQUESTS,
     batch_window_ms: float = DEFAULT_BATCH_WINDOW_MS,
+    peer: Optional[str] = None,
     ready_callback=None,
 ) -> None:
     """Start a :class:`CompileServer` and run it until it drains.
@@ -727,6 +801,7 @@ async def run_server(
         max_queue=max_queue,
         batch_max_requests=batch_max_requests,
         batch_window_ms=batch_window_ms,
+        peer=peer,
     )
     await server.start()
     server.install_signal_handlers()

@@ -132,3 +132,116 @@ class TestDriving:
             run_load("127.0.0.1", 1, plan, clients=0)
         with pytest.raises(ValueError):
             run_load("127.0.0.1", 1, plan, mode="open", rate=0.0)
+
+
+class TestDrainingStatsRace:
+    """The end-of-run stats fetch racing a draining/dying server.
+
+    Regression for the fleet-era race: loadgen used to fail a whole green
+    run with a timeout when the server drained between the last response
+    and the final ``stats`` request.  Now the report carries the explicit
+    :data:`~repro.service.loadgen.PARTIAL_STATS` marker instead.
+    """
+
+    @staticmethod
+    def _draining_server():
+        """A protocol-faithful server that dies on ``stats`` requests.
+
+        Answers the handshake and every compile (with a fixed dummy
+        result), but hangs up the moment telemetry is requested — exactly
+        what a connection to a shard killed at end-of-run looks like.
+        """
+
+        import asyncio
+        import threading
+
+        from repro.service.protocol import (
+            decode_message,
+            encode_message,
+            hello_message,
+        )
+
+        ready = threading.Event()
+        state = {}
+
+        def serve():
+            async def handle(reader, writer):
+                await reader.readline()  # client hello
+                writer.write(encode_message(hello_message({"name": "fake"})))
+                await writer.drain()
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        break
+                    message = decode_message(line)
+                    if message.get("type") == "stats":
+                        break  # drain: connection drops mid-telemetry
+                    writer.write(
+                        encode_message(
+                            {
+                                "type": "result",
+                                "id": message.get("id"),
+                                "result": {"answer": 1},
+                                "pass_seconds": {},
+                                "service": {"cache": "miss"},
+                            }
+                        )
+                    )
+                    await writer.drain()
+                writer.close()
+
+            async def main():
+                server = await asyncio.start_server(handle, "127.0.0.1", 0)
+                state["port"] = server.sockets[0].getsockname()[1]
+                state["loop"] = asyncio.get_running_loop()
+                state["stop"] = asyncio.Event()
+                ready.set()
+                await state["stop"].wait()
+                server.close()
+                await server.wait_closed()
+
+            asyncio.run(main())
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        assert ready.wait(10.0)
+        return state, thread
+
+    def test_partial_stats_marker_instead_of_timeout(self):
+        import time
+
+        from repro.service.loadgen import PARTIAL_STATS
+
+        state, thread = self._draining_server()
+        try:
+            plan = build_request_plan(mix="uniform", requests=6, seed=4)
+            started = time.monotonic()
+            report = run_load(
+                "127.0.0.1", state["port"], plan, clients=2, timeout=30.0
+            )
+            elapsed = time.monotonic() - started
+        finally:
+            state["loop"].call_soon_threadsafe(state["stop"].set)
+            thread.join(10.0)
+
+        # The run itself is green and the stats are explicitly partial —
+        # not a timeout error, not a missing field, and not a stall.
+        assert report.ok, report.invariant_violations
+        assert report.completed == len(plan)
+        assert report.server_stats == PARTIAL_STATS
+        assert report.server_stats["draining"] is True
+        assert elapsed < 15.0
+
+    def test_render_report_marks_partial_stats(self):
+        state, thread = self._draining_server()
+        try:
+            plan = build_request_plan(mix="uniform", requests=4, seed=4)
+            report = run_load(
+                "127.0.0.1", state["port"], plan, clients=2, timeout=30.0
+            )
+        finally:
+            state["loop"].call_soon_threadsafe(state["stop"].set)
+            thread.join(10.0)
+        text = render_load_report(report)
+        assert "stats partial" in text
+        assert "draining" in text

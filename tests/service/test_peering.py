@@ -1,0 +1,294 @@
+"""The cache-peering protocol: frames, the shared tier, and the client.
+
+Covers the three layers separately:
+
+* frame builders/validators (pure functions, strict unknown-field posture
+  mirroring the main protocol's);
+* :class:`SharedCacheTier` — bounded LRU semantics and counters;
+* :class:`PeerCacheClient` against a real ``serve_peering_connection``
+  listener — including the failure-tolerance contract: a dead or
+  mismatched tier is always a *miss*, never an exception.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service.peering import (
+    PEERING_VERSION,
+    PeerCacheClient,
+    SharedCacheTier,
+    cache_get_message,
+    cache_put_message,
+    parse_peer_address,
+    parse_peer_hello,
+    parse_peering_frame,
+    peer_hello_message,
+    serve_peering_connection,
+    validate_entry,
+)
+from repro.service.protocol import ProtocolError
+
+ENTRY = {"result": {"name": "f", "answer": 1}, "pass_seconds": {"spill": 0.5}}
+
+
+# ---------------------------------------------------------------------------
+# Frames.
+# ---------------------------------------------------------------------------
+
+
+def test_parse_peer_address():
+    assert parse_peer_address("127.0.0.1:7814") == ("127.0.0.1", 7814)
+    assert parse_peer_address("::1:7814") == ("::1", 7814)
+    for bad in ("7814", "host:", ":7814", "host:notaport", "host:0", "host:70000"):
+        with pytest.raises(ValueError):
+            parse_peer_address(bad)
+
+
+def test_peer_hello_roundtrip_and_validation():
+    assert parse_peer_hello(peer_hello_message()) == PEERING_VERSION
+    with pytest.raises(ProtocolError):
+        parse_peer_hello({"type": "cache-get", "id": "x", "key": "k"})
+    with pytest.raises(ProtocolError):
+        parse_peer_hello({"type": "peer-hello", "peering": "1"})
+    with pytest.raises(ProtocolError):
+        parse_peer_hello({"type": "peer-hello", "peering": 1, "extra": True})
+
+
+def test_parse_peering_frame_roundtrips():
+    kind, rid, key, entry = parse_peering_frame(cache_get_message("p1", "k"))
+    assert (kind, rid, key, entry) == ("cache-get", "p1", "k", None)
+    kind, rid, key, entry = parse_peering_frame(cache_put_message("p2", "k", ENTRY))
+    assert (kind, rid, key) == ("cache-put", "p2", "k")
+    assert entry == ENTRY
+
+
+def test_parse_peering_frame_rejects_malformed():
+    for bad in (
+        {"type": "bogus", "id": "p1", "key": "k"},
+        {"type": "cache-get", "id": "", "key": "k"},
+        {"type": "cache-get", "id": "p1", "key": ""},
+        {"type": "cache-get", "id": "p1", "key": "k", "extra": 1},
+        {"type": "cache-put", "id": "p1", "key": "k", "entry": "not-an-object"},
+    ):
+        with pytest.raises(ProtocolError):
+            parse_peering_frame(bad)
+
+
+def test_validate_entry_is_strict():
+    validated = validate_entry(ENTRY)
+    assert validated == ENTRY
+    assert validated is not ENTRY  # defensive copy
+    for bad in (
+        None,
+        [],
+        {"result": {}},  # fine — pass_seconds defaults
+        {"result": "x", "pass_seconds": {}},
+        {"result": {}, "pass_seconds": []},
+        {"result": {}, "pass_seconds": {}, "extra": 1},
+    ):
+        if bad == {"result": {}}:
+            assert validate_entry(bad) == {"result": {}, "pass_seconds": {}}
+            continue
+        with pytest.raises(ProtocolError):
+            validate_entry(bad)
+
+
+# ---------------------------------------------------------------------------
+# The tier.
+# ---------------------------------------------------------------------------
+
+
+def test_tier_put_get_and_duplicate_counting():
+    tier = SharedCacheTier(max_entries=8)
+    assert tier.get("k") is None
+    assert tier.put("k", ENTRY) is True
+    assert tier.put("k", ENTRY) is False  # idempotent duplicate
+    assert tier.get("k") == ENTRY
+    assert len(tier) == 1
+    snap = tier.snapshot()
+    assert snap["gets"] == 2 and snap["hits"] == 1 and snap["misses"] == 1
+    assert snap["puts"] == 2 and snap["stored"] == 1 and snap["duplicate_puts"] == 1
+    assert snap["hit_rate"] == 0.5
+
+
+def test_tier_lru_evicts_least_recently_used():
+    tier = SharedCacheTier(max_entries=2)
+    tier.put("a", ENTRY)
+    tier.put("b", ENTRY)
+    assert tier.get("a") is not None  # refresh "a"
+    tier.put("c", ENTRY)  # evicts "b", the LRU entry
+    assert tier.get("b") is None
+    assert tier.get("a") is not None
+    assert tier.get("c") is not None
+    assert tier.snapshot()["evictions"] == 1
+
+
+def test_tier_rejects_invalid_bound():
+    with pytest.raises(ValueError):
+        SharedCacheTier(max_entries=0)
+
+
+# ---------------------------------------------------------------------------
+# Client against a live tier listener.
+# ---------------------------------------------------------------------------
+
+
+def run(coroutine):
+    """Run one async test body on a fresh loop."""
+
+    return asyncio.run(coroutine)
+
+
+async def start_tier(tier):
+    server = await asyncio.start_server(
+        lambda r, w: serve_peering_connection(tier, r, w), "127.0.0.1", 0
+    )
+    return server, server.sockets[0].getsockname()[1]
+
+
+def test_client_roundtrip_against_live_tier():
+    async def body():
+        tier = SharedCacheTier()
+        server, port = await start_tier(tier)
+        client = PeerCacheClient("127.0.0.1", port, timeout=10.0)
+        try:
+            assert await client.get("k") is None  # miss
+            await client.put("k", ENTRY)
+            assert await client.get("k") == ENTRY  # hit, byte-identical
+            snap = client.snapshot()
+            assert snap["connected"] is True
+            assert snap["gets"] == 2 and snap["hits"] == 1 and snap["puts"] == 1
+            assert snap["errors"] == 0
+        finally:
+            await client.close()
+            server.close()
+            await server.wait_closed()
+        assert tier.snapshot()["stored"] == 1
+
+    run(body())
+
+
+def test_client_concurrent_requests_share_one_connection():
+    async def body():
+        tier = SharedCacheTier()
+        server, port = await start_tier(tier)
+        client = PeerCacheClient("127.0.0.1", port, timeout=10.0)
+        try:
+            await asyncio.gather(
+                *(client.put(f"k{i}", ENTRY) for i in range(8))
+            )
+            results = await asyncio.gather(
+                *(client.get(f"k{i}") for i in range(8))
+            )
+            assert all(entry == ENTRY for entry in results)
+        finally:
+            await client.close()
+            server.close()
+            await server.wait_closed()
+
+    run(body())
+
+
+def test_client_treats_dead_peer_as_miss_with_cooldown():
+    """The failure-tolerance contract: no listener ⇒ miss, not exception,
+    and the cooldown suppresses reconnect storms."""
+
+    async def body():
+        server, port = await start_tier(SharedCacheTier())
+        server.close()
+        await server.wait_closed()  # port is now dead
+        client = PeerCacheClient("127.0.0.1", port, timeout=0.5, retry_seconds=60.0)
+        try:
+            assert await client.get("k") is None
+            await client.put("k", ENTRY)  # must not raise
+            errors_after_first = client.errors
+            assert errors_after_first >= 1
+            # In cooldown: no new connection attempt, still a miss.
+            assert await client.get("k") is None
+            assert client.errors == errors_after_first
+        finally:
+            await client.close()
+
+    run(body())
+
+
+def test_client_recovers_after_connection_drop():
+    async def body():
+        tier = SharedCacheTier()
+        server, port = await start_tier(tier)
+        client = PeerCacheClient("127.0.0.1", port, timeout=5.0, retry_seconds=0.0)
+        try:
+            await client.put("k", ENTRY)
+            # Sever the established connection out from under the client.
+            client._writer.transport.abort()
+            await asyncio.sleep(0.05)  # read loop sees the reset, tears down
+            assert client.snapshot()["connected"] is False
+            # retry_seconds=0: the very next call reconnects and hits.
+            assert await client.get("k") == ENTRY
+        finally:
+            await client.close()
+            server.close()
+            await server.wait_closed()
+
+    run(body())
+
+
+def test_tier_listener_rejects_version_mismatch():
+    async def body():
+        tier = SharedCacheTier()
+        server, port = await start_tier(tier)
+        try:
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b'{"type": "peer-hello", "peering": 999}\n')
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            import json
+
+            reply = json.loads(line)
+            assert reply["type"] == "error"
+            assert reply["code"] == "protocol"
+            # The tier hangs up after a handshake violation.
+            assert await asyncio.wait_for(reader.readline(), timeout=5.0) == b""
+            writer.close()
+        finally:
+            server.close()
+            await server.wait_closed()
+        assert tier.snapshot()["protocol_errors"] == 1
+
+    run(body())
+
+
+def test_tier_listener_answers_errors_for_bad_frames_but_stays_up():
+    async def body():
+        tier = SharedCacheTier()
+        server, port = await start_tier(tier)
+        try:
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b'{"type": "peer-hello", "peering": 1}\n')
+            await writer.drain()
+            await asyncio.wait_for(reader.readline(), timeout=5.0)  # hello back
+            # A well-formed frame of a client-side type: error, stays up.
+            writer.write(b'{"type": "cache-hit", "id": "p1", "key": "k", "entry": {"result": {}}}\n')
+            # A malformed frame: error, stays up.
+            writer.write(b'{"type": "cache-get", "id": "p2"}\n')
+            # A valid get still works afterwards.
+            writer.write(b'{"type": "cache-get", "id": "p3", "key": "k"}\n')
+            await writer.drain()
+            import json
+
+            replies = [
+                json.loads(await asyncio.wait_for(reader.readline(), timeout=5.0))
+                for _ in range(3)
+            ]
+            assert replies[0]["type"] == "error"
+            assert replies[1]["type"] == "error"
+            assert replies[2] == {"type": "cache-miss", "id": "p3", "key": "k"}
+            writer.close()
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    run(body())

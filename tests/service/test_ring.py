@@ -1,0 +1,117 @@
+"""The consistent-hash ring: determinism, balance, and minimal rebalance.
+
+The fleet's "one compile per coalesced key" guarantee is compositional:
+the ring gives per-key shard affinity, the shard gives per-key
+coalescing.  That makes the ring's determinism a correctness property,
+not a performance nicety — these tests pin it.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro.service.ring import DEFAULT_VNODES, HashRing
+
+
+def test_route_is_deterministic_across_instances():
+    """Two rings with the same members agree on every key — the property
+    that lets a pinned trace assert shard placement forever."""
+
+    members = ["s0", "s1", "s2", "s3"]
+    first = HashRing(members)
+    second = HashRing(list(reversed(members)))  # insertion order must not matter
+    for index in range(200):
+        key = f"key-{index}"
+        assert first.route(key) == second.route(key)
+        assert first.route_order(key) == second.route_order(key)
+
+
+def test_route_distribution_is_roughly_balanced():
+    ring = HashRing(["s0", "s1", "s2"])
+    counts = collections.Counter(ring.route(f"key-{i}") for i in range(3000))
+    assert set(counts) == {"s0", "s1", "s2"}
+    for member, count in counts.items():
+        # Virtual nodes keep the imbalance well within 2x of fair share.
+        assert 3000 / 3 / 2 < count < 3000 / 3 * 2, (member, count)
+
+
+def test_remove_only_moves_the_dead_members_keys():
+    """Minimal disruption: keys owned by survivors never move on a death."""
+
+    ring = HashRing(["s0", "s1", "s2", "s3"])
+    keys = [f"key-{i}" for i in range(1000)]
+    before = {key: ring.route(key) for key in keys}
+    ring.remove("s2")
+    for key in keys:
+        after = ring.route(key)
+        if before[key] != "s2":
+            assert after == before[key]
+        else:
+            assert after != "s2"
+
+
+def test_dead_members_keys_move_to_their_failover_successor():
+    """The new owner after a death is exactly ``route_order[1]`` from
+    before it — so the router's failover walk and the post-death ring
+    agree on where a key lands."""
+
+    ring = HashRing(["s0", "s1", "s2"])
+    keys = [f"key-{i}" for i in range(300)]
+    orders = {key: ring.route_order(key) for key in keys}
+    ring.remove("s1")
+    for key in keys:
+        if orders[key][0] == "s1":
+            assert ring.route(key) == orders[key][1]
+
+
+def test_route_order_is_owner_first_and_distinct():
+    ring = HashRing(["s0", "s1", "s2", "s3"])
+    for index in range(100):
+        key = f"key-{index}"
+        order = ring.route_order(key)
+        assert order[0] == ring.route(key)
+        assert sorted(order) == sorted(ring.members)
+        assert len(order) == len(set(order))
+
+
+def test_route_order_count_truncates():
+    ring = HashRing(["s0", "s1", "s2"])
+    assert len(ring.route_order("k", count=2)) == 2
+    assert ring.route_order("k", count=0) == []
+    assert ring.route_order("k", count=99) == ring.route_order("k")
+
+
+def test_membership_operations_are_idempotent():
+    ring = HashRing()
+    ring.add("s0")
+    ring.add("s0")
+    assert len(ring) == 1
+    assert ring.describe() == {"s0": DEFAULT_VNODES}
+    ring.remove("missing")  # no-op
+    ring.remove("s0")
+    ring.remove("s0")
+    assert len(ring) == 0
+    assert "s0" not in ring
+
+
+def test_empty_ring_raises_on_route_and_returns_no_order():
+    ring = HashRing()
+    with pytest.raises(LookupError):
+        ring.route("key")
+    assert ring.route_order("key") == []
+
+
+def test_invalid_construction_rejected():
+    with pytest.raises(ValueError):
+        HashRing(vnodes=0)
+    with pytest.raises(ValueError):
+        HashRing().add("")
+
+
+def test_describe_counts_sum_to_members_times_vnodes():
+    ring = HashRing(["s0", "s1"], vnodes=16)
+    described = ring.describe()
+    assert sum(described.values()) == 2 * 16
+    assert set(described) == {"s0", "s1"}

@@ -228,3 +228,40 @@ def test_served_equals_direct_for_corpus_programs(embedded_server, target):
                 }
                 response = client.send_compile_message(message)
                 assert response_result_bytes(response) == oracle_result_bytes(message)
+
+
+@settings(max_examples=3, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    shards=st.integers(min_value=2, max_value=4),
+)
+def test_fleet_serving_matches_serial_compile_many(seed, shards):
+    """The fleet-wide property: any seeded mix served by any 2–4 shard
+    fleet is byte-identical to the serial oracle, and no key is compiled
+    more than once across the whole fleet."""
+
+    from repro.service.fleet import Fleet
+
+    messages = make_mix(seed, size=6, duplicates=4)
+    truth = serial_oracle(messages)
+
+    with Fleet(shards=shards, backend="thread", batch_window_ms=5.0) as fleet:
+        served = asyncio.run(serve_mix(fleet.port, messages, clients=3))
+        stats = fleet.stats()
+
+    assert len(served) == len(messages)
+    for message, response in served:
+        signature = parse_compile_request(message).signature()
+        assert response["type"] == "result", response
+        assert response_result_bytes(response) == truth[signature]
+
+    # Per-key compile count ≤ 1 fleet-wide: ring affinity + shard-local
+    # coalescing + the synchronous tier publish, composed.
+    compiled = sum(
+        shard["stats"]["requests"]["compiled"] for shard in stats["shards"]
+    )
+    unique = len({parse_compile_request(m).signature() for m in messages})
+    assert compiled <= unique
+    assert stats["router"]["errors"] == 0
+    assert stats["router"]["shard_deaths"] == 0
+    assert stats["router"]["protocol_errors"] == 0
