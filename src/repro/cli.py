@@ -15,6 +15,14 @@ Subcommands::
                                                  # differential stress harness over
                                                  # the scenario registry (exit 1 on
                                                  # any violated invariant)
+    repro-spill lint      [FILE ...] [--scenario NAME ... | --all-scenarios]
+                          [--corpus DIR] [--target NAME] [--seed N] [--count N]
+                          [--select CODE ...] [--ignore CODE ...]
+                          [--strict] [--json] [--baseline FILE]
+                          [--write-baseline FILE]
+                                                 # IR static analysis (rules R001..):
+                                                 # exit 1 on errors, --strict on any
+                                                 # non-baselined finding
     repro-spill scenarios                        # list the registered scenario families
     repro-spill example   [--cost-model MODEL]   # the paper's worked example
     repro-spill targets                          # list registered machine descriptions
@@ -357,6 +365,84 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--cache-dir", default=None, metavar="DIR",
                          help="cache directory of the embedded --self-serve server")
 
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the IR static-analysis rules over files, scenarios or a corpus",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        metavar="FILE",
+        help="textual IR files to lint (linted like the service: "
+        "single-exit normalized, verified, uniform profile)",
+    )
+    lint.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        metavar="NAME",
+        default=None,
+        help="scenario family to lint (repeatable)",
+    )
+    lint.add_argument(
+        "--all-scenarios",
+        action="store_true",
+        help="lint every registered scenario family",
+    )
+    lint.add_argument(
+        "--corpus",
+        metavar="DIR",
+        default=None,
+        help="lint every *.ir fixture in DIR, using its *.profile.json "
+        "sidecar when present (e.g. tests/workloads/corpus)",
+    )
+    _add_target(lint)
+    lint.add_argument("--seed", type=int, default=0, help="scenario seed (default 0)")
+    lint.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        metavar="N",
+        help="procedures per scenario family (default: each family's own count)",
+    )
+    lint.add_argument(
+        "--select",
+        action="append",
+        metavar="CODE",
+        default=None,
+        help="run only these rule codes (repeatable, e.g. --select R001)",
+    )
+    lint.add_argument(
+        "--ignore",
+        action="append",
+        metavar="CODE",
+        default=None,
+        help="skip these rule codes (repeatable)",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on ANY non-baselined finding (default: errors only)",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output: the same lint-report/v1 payloads "
+        "the compile service returns",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="suppress the findings recorded in this baseline file",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="record every current finding to FILE and exit 0",
+    )
+
     place = subparsers.add_parser(
         "place", help="run the placement pipeline on a textual IR file"
     )
@@ -485,6 +571,160 @@ def _command_stress(args) -> int:
     )
     print(render_stress(report, show_programs=args.show_programs))
     return 0 if report.ok else 1
+
+
+def _lint_gather(args) -> List:
+    """Collect ``(function, profile)`` pairs from every requested source.
+
+    Files go through the same normalization the compile service applies
+    (single-exit pass, structural verification, uniform profile), so a
+    file linted here and the same IR sent to a server produce
+    byte-identical reports.
+    """
+
+    import json as json_module
+
+    from repro.ir.parser import parse_module
+    from repro.ir.passes import ensure_single_exit
+    from repro.ir.verifier import IRVerificationError, verify_function
+    from repro.profiling.synthetic import (
+        profile_from_branch_probabilities,
+        uniform_profile,
+    )
+    from repro.workloads.scenarios import build_scenario, scenario_names
+
+    items = []
+    for path in args.paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            module = parse_module(handle.read())
+        for function in module.functions:
+            ensure_single_exit(function)
+            verify_function(function, require_single_exit=True)
+            items.append((function, uniform_profile(function, invocations=1000.0)))
+    families = list(args.scenarios or [])
+    if args.all_scenarios:
+        families = list(scenario_names())
+    for family in families:
+        for generated in build_scenario(
+            family, seed=args.seed, count=args.count, machine=get_target(args.target)
+        ):
+            items.append((generated.function, generated.profile))
+    if args.corpus:
+        for name in sorted(os.listdir(args.corpus)):
+            if not name.endswith(".ir"):
+                continue
+            path = os.path.join(args.corpus, name)
+            with open(path, "r", encoding="utf-8") as handle:
+                module = parse_module(handle.read())
+            for function in module.functions:
+                errors = verify_function(function, collect=True)
+                if errors:
+                    raise IRVerificationError(errors)
+                sidecar = path[: -len(".ir")] + ".profile.json"
+                if os.path.exists(sidecar):
+                    with open(sidecar, "r", encoding="utf-8") as handle:
+                        data = json_module.load(handle)
+                    profile = profile_from_branch_probabilities(
+                        function,
+                        invocations=data["invocations"],
+                        probabilities={
+                            tuple(key.split("->", 1)): value
+                            for key, value in data["probabilities"].items()
+                        },
+                    )
+                else:
+                    profile = uniform_profile(function, invocations=1000.0)
+                items.append((function, profile))
+    return items
+
+
+def _command_lint(args) -> int:
+    import json as json_module
+
+    from repro.ir.parser import IRParseError
+    from repro.ir.verifier import IRVerificationError
+    from repro.lint import (
+        LintConfigError,
+        Severity,
+        apply_baseline,
+        lint_function,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.lint.engine import LINT_SCHEMA
+    from repro.workloads.scenarios import scenario_names
+
+    if not (args.paths or args.scenarios or args.all_scenarios or args.corpus):
+        print(
+            "error: nothing to lint (give FILEs, --scenario/--all-scenarios "
+            "or --corpus)",
+            file=sys.stderr,
+        )
+        return 2
+    unknown = [n for n in (args.scenarios or []) if n not in scenario_names()]
+    if unknown:
+        print(
+            f"error: unknown scenario(s) {', '.join(unknown)}; "
+            f"expected one of {', '.join(scenario_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    machine = get_target(args.target)
+    try:
+        items = _lint_gather(args)
+        reports = [
+            lint_function(
+                function,
+                profile=profile,
+                machine=machine,
+                select=args.select,
+                ignore=args.ignore,
+            )
+            for function, profile in items
+        ]
+    except (LintConfigError, IRParseError, IRVerificationError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        entries = write_baseline(args.write_baseline, reports)
+        print(
+            f"baseline written to {args.write_baseline}: {entries} finding(s)",
+            file=sys.stderr,
+        )
+        return 0
+    if args.baseline:
+        try:
+            suppressed = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        reports = [apply_baseline(report, suppressed) for report in reports]
+
+    if args.json:
+        payload = {
+            "schema": LINT_SCHEMA,
+            "reports": [report.payload() for report in reports],
+        }
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for report in reports:
+            if report.diagnostics:
+                print(report.render())
+        totals = {severity.value: 0 for severity in Severity}
+        for report in reports:
+            for severity, count in report.counts().items():
+                totals[severity] += count
+        print(
+            f"linted {len(reports)} function(s): "
+            f"{totals['error']} error(s), {totals['warn']} warning(s), "
+            f"{totals['info']} note(s)"
+        )
+    findings = sum(len(report.diagnostics) for report in reports)
+    errors = sum(report.error_count for report in reports)
+    if errors or (args.strict and findings):
+        return 1
+    return 0
 
 
 def _command_scenarios() -> int:
@@ -801,6 +1041,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "stress":
         return _command_stress(args)
+    if args.command == "lint":
+        return _command_lint(args)
     if args.command == "scenarios":
         return _command_scenarios()
     if args.command == "example":

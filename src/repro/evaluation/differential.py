@@ -17,7 +17,11 @@ every registered target × placement technique with ``verify=True`` and then
   places spill code on an edge that would require a new jump block;
 * **determinism** — compiling the same procedure twice produces bit-identical
   deterministic measurements (the property the parallel engine and the
-  compile cache both rely on).
+  compile cache both rely on);
+* **lint purity and determinism** — every procedure is linted twice with the
+  full rule set: the two reports must be byte-identical (their fingerprint is
+  recorded on the row, so chaos draws pin their diagnostics), and linting
+  must not mutate the function (its IR fingerprint is unchanged).
 
 The harness is deterministic: a given ``(scenarios, targets, seed, count)``
 configuration always compiles the same procedures and reports the same
@@ -56,6 +60,9 @@ class StressRow:
     allocator_overhead: float
     #: Registers that needed the entry/exit soundness fallback, per technique.
     fallbacks: Dict[str, int]
+    #: SHA-256 of the procedure's canonical lint report (full rule set) —
+    #: the per-draw diagnostic fingerprint chaos scenarios pin in tests.
+    lint_fingerprint: str = ""
 
     def ratio(self, technique: str) -> float:
         """Technique overhead relative to the entry/exit baseline."""
@@ -201,6 +208,49 @@ def _check_compiled(
             )
 
 
+def _check_lint(
+    procedure, machine, scenario: str, target_name: str, report, program_text: str
+) -> str:
+    """Lint one procedure twice; diff the purity/determinism invariants.
+
+    Returns the report fingerprint ("" when linting itself failed — which
+    is recorded as a violation).
+    """
+
+    from repro.ir.fingerprint import fingerprint_function
+    from repro.lint import lint_function
+
+    def record(invariant: str, detail: str) -> None:
+        report.violations.append(
+            StressViolation(
+                scenario=scenario,
+                target=target_name,
+                procedure=procedure.name,
+                cost_model="-",
+                invariant=invariant,
+                detail=detail,
+                program=program_text,
+            )
+        )
+
+    before = fingerprint_function(procedure.function)
+    try:
+        first = lint_function(
+            procedure.function, profile=procedure.profile, machine=machine
+        )
+        second = lint_function(
+            procedure.function, profile=procedure.profile, machine=machine
+        )
+    except Exception as exc:  # noqa: BLE001 - any failure is a finding
+        record("lint-crash", f"{type(exc).__name__}: {exc}")
+        return ""
+    if first.canonical_bytes() != second.canonical_bytes():
+        record("lint-determinism", "re-linting produced a different report")
+    if fingerprint_function(procedure.function) != before:
+        record("lint-purity", "linting mutated the function's IR fingerprint")
+    return first.fingerprint()
+
+
 def run_stress(
     scenarios: Optional[Sequence[str]] = None,
     targets: Optional[Sequence[str]] = None,
@@ -245,6 +295,9 @@ def run_stress(
             procedures = build_scenario(scenario, seed=seed, count=count, machine=machine)
             for procedure in procedures:
                 program_text = print_function(procedure.function)
+                lint_fingerprint = _check_lint(
+                    procedure, machine, scenario, target_name, report, program_text
+                )
                 first_views = {}
                 for cost_model in cost_models:
 
@@ -288,6 +341,7 @@ def run_stress(
                                 t: len(o.placement.fallback_registers)
                                 for t, o in compiled.outcomes.items()
                             },
+                            lint_fingerprint=lint_fingerprint,
                         )
                     )
                 if check_determinism and cost_models:

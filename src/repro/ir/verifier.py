@@ -99,19 +99,32 @@ def collect_function_errors(function: Function, require_single_exit: bool = Fals
     return errors
 
 
-def verify_function(function: Function, require_single_exit: bool = False) -> None:
-    """Raise :class:`IRVerificationError` when ``function`` is malformed."""
+def verify_function(
+    function: Function, require_single_exit: bool = False, collect: bool = False
+) -> List[str]:
+    """Raise :class:`IRVerificationError` when ``function`` is malformed.
+
+    With ``collect=True`` the full violation list is returned instead of
+    raising, so batch consumers (the lint CLI, the stress harness) can
+    report every problem in one pass; an empty list means the function is
+    valid.  The default raising behavior is unchanged and returns the
+    empty list for valid functions.
+    """
 
     errors = collect_function_errors(function, require_single_exit)
-    if errors:
+    if errors and not collect:
         raise IRVerificationError(errors)
+    return errors
 
 
-def verify_module(module: Module, require_single_exit: bool = False) -> None:
-    """Verify every function in ``module``."""
+def verify_module(
+    module: Module, require_single_exit: bool = False, collect: bool = False
+) -> List[str]:
+    """Verify every function in ``module``; ``collect`` as in :func:`verify_function`."""
 
     errors: List[str] = []
     for function in module.functions:
         errors.extend(collect_function_errors(function, require_single_exit))
-    if errors:
+    if errors and not collect:
         raise IRVerificationError(errors)
+    return errors

@@ -1,0 +1,114 @@
+"""Shared, memoized analysis state for one linted function.
+
+Every lint rule reads the same handful of analyses — the CFG snapshot,
+dominators, liveness, reaching definitions, the loop forest — and most
+functions trip several rules, so recomputing per rule would multiply the
+cost of a lint pass by the rule count.  :class:`AnalysisContext` computes
+each analysis at most once and hands the cached result to every rule.
+
+This is deliberately the seed of the ROADMAP's ``CompilationSession``:
+a per-function owner of analysis results with a single creation point.
+The session item adds explicit invalidation and region fingerprints;
+the lint engine only ever needs the compute-once half because linting
+never mutates the IR (property-tested in ``tests/lint``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.analysis.dominance import DominatorTree, compute_dominators
+from repro.analysis.liveness import LivenessInfo, compute_liveness
+from repro.analysis.loops import LoopForest, compute_loop_forest, is_reducible
+from repro.analysis.reaching import ReachingDefinitions, compute_reaching_definitions
+from repro.ir.cfg import FunctionCFG
+from repro.ir.function import Function, blocks_reaching_exit, reachable_blocks
+from repro.profiling.profile_data import EdgeProfile
+
+_MISSING = object()
+
+
+class AnalysisContext:
+    """Compute-once, memoized analyses over one function.
+
+    Rules access analyses as properties (``ctx.liveness``, ``ctx.dom``,
+    ...); the first access runs the analysis, later accesses return the
+    cached result.  The context also carries the optional inputs a rule
+    may need — the :class:`~repro.profiling.profile_data.EdgeProfile`
+    and the target machine description — so rule signatures stay uniform.
+    """
+
+    def __init__(self, function: Function, profile: Optional[EdgeProfile] = None, machine=None):
+        self.function = function
+        self.profile = profile
+        self.machine = machine
+        #: Layout position of each block label; diagnostics sort by it.
+        self.block_order: Dict[str, int] = {
+            label: index for index, label in enumerate(function.block_labels)
+        }
+        self._cache: Dict[str, object] = {}
+
+    def _memo(self, key: str, compute):
+        value = self._cache.get(key, _MISSING)
+        if value is _MISSING:
+            value = compute()
+            self._cache[key] = value
+        return value
+
+    @property
+    def cfg(self) -> FunctionCFG:
+        """The function's cached CFG snapshot."""
+
+        return self._memo("cfg", self.function.cfg)
+
+    @property
+    def dom(self) -> DominatorTree:
+        """The dominator tree."""
+
+        return self._memo("dom", lambda: compute_dominators(self.function))
+
+    @property
+    def liveness(self) -> LivenessInfo:
+        """Block-level liveness (packed-bitset solution)."""
+
+        return self._memo(
+            "liveness", lambda: compute_liveness(self.function, machine=self.machine)
+        )
+
+    @property
+    def reaching(self) -> ReachingDefinitions:
+        """Reaching definitions at block boundaries."""
+
+        return self._memo("reaching", lambda: compute_reaching_definitions(self.function))
+
+    @property
+    def loop_forest(self) -> LoopForest:
+        """The natural-loop nesting forest."""
+
+        return self._memo("loops", lambda: compute_loop_forest(self.function, dom=self.dom))
+
+    @property
+    def reducible(self) -> bool:
+        """Whether every back edge targets a dominating header."""
+
+        return self._memo("reducible", lambda: is_reducible(self.function, dom=self.dom))
+
+    @property
+    def reachable(self) -> Set[str]:
+        """Labels of blocks reachable from the entry."""
+
+        return self._memo("reachable", lambda: reachable_blocks(self.function))
+
+    @property
+    def reaching_exit(self) -> Set[str]:
+        """Labels of blocks from which some exit block is reachable."""
+
+        return self._memo("reaching_exit", lambda: blocks_reaching_exit(self.function))
+
+    @property
+    def block_counts(self) -> Dict[str, float]:
+        """Profile-derived execution counts per block (requires a profile)."""
+
+        if self.profile is None:
+            raise ValueError("block_counts requires a profile")
+        return self._memo("block_counts", lambda: self.profile.block_counts(self.function))

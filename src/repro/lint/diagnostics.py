@@ -1,0 +1,128 @@
+"""Diagnostic records: what a lint rule reports, and its canonical forms.
+
+A :class:`Diagnostic` is one finding of one rule about one function: a
+stable code (``R001``..), a severity, an optional block / instruction
+location, a message and an optional note.  Diagnostics are value objects
+with a total, deterministic order (:meth:`Diagnostic.sort_key`) so a lint
+report is byte-identical across runs, processes and ``PYTHONHASHSEED``
+values — the same discipline every other deterministic artifact in this
+code base follows.
+
+Two canonical serializations are defined here:
+
+* :meth:`Diagnostic.payload` — the JSON object form carried by the CLI's
+  ``--json`` output, the service's ``lint-result`` responses and the
+  strict-mode rejection payloads.  One shape everywhere, compared by bytes
+  in the tests.
+* :meth:`Diagnostic.baseline_key` — a location-stable digest used by
+  baseline files to suppress known findings without pinning their exact
+  rendering order.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; orders ``error > warn > info``."""
+
+    ERROR = "error"
+    WARN = "warn"
+    INFO = "info"
+
+    @property
+    def weight(self) -> int:
+        """Numeric rank for comparisons (0 = error, 2 = info)."""
+
+        return _SEVERITY_WEIGHT[self]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_SEVERITY_WEIGHT = {Severity.ERROR: 0, Severity.WARN: 1, Severity.INFO: 2}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a coded, located, ordered lint record.
+
+    ``block`` is ``None`` for function-level findings; ``instruction`` is
+    the index within the block (``None`` for block- or function-level
+    findings).  ``block_order`` carries the block's layout position so
+    sorting follows the function's textual order without re-deriving it.
+    """
+
+    code: str
+    severity: Severity
+    rule: str
+    function: str
+    message: str
+    block: Optional[str] = None
+    instruction: Optional[int] = None
+    note: Optional[str] = None
+    block_order: int = -1
+
+    def sort_key(self):
+        """Total deterministic order: source position, then code, then text."""
+
+        return (
+            self.block_order,
+            self.block or "",
+            -1 if self.instruction is None else self.instruction,
+            self.code,
+            self.message,
+        )
+
+    def location(self) -> str:
+        """The ``function[:block[:index]]`` rendering of where this points."""
+
+        parts = [self.function]
+        if self.block is not None:
+            parts.append(self.block)
+            if self.instruction is not None:
+                parts.append(str(self.instruction))
+        return ":".join(parts)
+
+    def render(self) -> str:
+        """One-line human-readable form (the CLI's text output)."""
+
+        text = f"{self.location()}: {self.code} {self.severity}: {self.message}"
+        if self.note:
+            text += f"\n    note: {self.note}"
+        return text
+
+    def payload(self) -> Dict[str, Any]:
+        """The canonical JSON object form (sorted-key encoding downstream)."""
+
+        payload: Dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "rule": self.rule,
+            "function": self.function,
+            "message": self.message,
+            "block": self.block,
+            "instruction": self.instruction,
+        }
+        if self.note is not None:
+            payload["note"] = self.note
+        return payload
+
+    def baseline_key(self) -> str:
+        """Location-stable digest used by baseline files to suppress findings."""
+
+        hasher = hashlib.sha256()
+        for part in (
+            self.code,
+            self.function,
+            self.block or "",
+            "" if self.instruction is None else str(self.instruction),
+            self.message,
+        ):
+            hasher.update(part.encode("utf-8"))
+            hasher.update(b"\x00")
+        return hasher.hexdigest()[:16]

@@ -53,6 +53,26 @@ def procedure_parts(
     return function, profile
 
 
+#: Accepted values of the ``lint`` pipeline option (``None`` means off).
+LINT_POLICIES = ("strict",)
+
+
+def _lint_gate(function: Function, profile: EdgeProfile, machine, lint: str) -> None:
+    """Apply the ``lint`` policy to one procedure before compiling it.
+
+    Imported lazily so that compiles with ``lint=None`` never pay for (or
+    depend on) the lint subsystem.
+    """
+
+    if lint not in LINT_POLICIES:
+        raise ValueError(f"unknown lint policy {lint!r}; expected one of {LINT_POLICIES}")
+    from repro.lint import LintError, lint_function
+
+    report = lint_function(function, profile=profile, machine=machine)
+    if report.has_errors():
+        raise LintError([report])
+
+
 @dataclass
 class PlacementOutcome:
     """One technique's placement and its dynamic overhead for one procedure."""
@@ -99,6 +119,7 @@ def compile_procedure(
     verify: bool = True,
     maximal_regions: bool = True,
     cache: CacheSpec = None,
+    lint: Optional[str] = None,
 ) -> CompiledProcedure:
     """Run the full pipeline on one procedure.
 
@@ -126,10 +147,19 @@ def compile_procedure(
         compile; ``pass_seconds`` on a hit are the timings of the original
         (cold) compile.  Custom cost models without a stable
         ``cache_identity()`` bypass the cache.
+    lint:
+        ``None`` (the default) compiles as always — zero cost, nothing
+        about the compile changes.  ``"strict"`` lints the procedure first
+        and raises :class:`repro.lint.LintError` carrying the structured
+        report when any error-severity diagnostic fires.  Linting is a
+        pre-compile gate: accepted procedures produce bit-identical
+        results and cache keys either way (property-tested).
     """
 
     function, profile = procedure_parts(procedure)
     machine = resolve_target(machine)
+    if lint is not None:
+        _lint_gate(function, profile, machine, lint)
     if isinstance(cost_model, str):
         cost_model = make_cost_model(cost_model, machine)
 
@@ -206,6 +236,7 @@ def compile_many(
     maximal_regions: bool = True,
     workers: Optional[int] = 1,
     cache: CacheSpec = None,
+    lint: Optional[str] = None,
 ) -> List[CompiledProcedure]:
     """Compile a batch of procedures, amortizing the per-procedure setup.
 
@@ -222,6 +253,12 @@ def compile_many(
     ``cache`` short-circuits already-compiled procedures *before* the batch
     is sharded, so only cache misses reach the pool; the parent process
     writes miss results back through the same deterministic merge.
+
+    ``lint="strict"`` gates the whole batch before any compile starts:
+    every procedure is linted, and a single :class:`repro.lint.LintError`
+    carrying one report per offending procedure is raised when any has
+    error-severity findings — all-or-nothing, so a batch never half
+    compiles.  ``lint=None`` is zero cost.
     """
 
     machine = resolve_target(machine)
@@ -232,12 +269,28 @@ def compile_many(
         raise ValueError(
             f"unknown technique(s) {unknown!r}; expected a subset of {TECHNIQUES}"
         )
+    procedures = list(procedures)
+    if lint is not None:
+        if lint not in LINT_POLICIES:
+            raise ValueError(
+                f"unknown lint policy {lint!r}; expected one of {LINT_POLICIES}"
+            )
+        from repro.lint import LintError, lint_function
+
+        bad = []
+        for procedure in procedures:
+            function, profile = procedure_parts(procedure)
+            report = lint_function(function, profile=profile, machine=machine)
+            if report.has_errors():
+                bad.append(report)
+        if bad:
+            raise LintError(bad)
     # Imported lazily: the parallel engine lives with the evaluation layer,
     # which imports this module at load time.
     from repro.evaluation.parallel import compile_procedures_parallel
 
     return compile_procedures_parallel(
-        list(procedures),
+        procedures,
         machine=machine,
         cost_model=cost_model,
         techniques=techniques,

@@ -42,13 +42,19 @@ class ServiceError(RuntimeError):
     """An error response from the server (or a broken conversation).
 
     ``code`` is one of :data:`repro.service.protocol.ERROR_CODES` (or
-    ``"transport"`` for connection-level failures).
+    ``"transport"`` for connection-level failures).  ``diagnostics`` is
+    the structured payload ``lint_rejected`` errors carry — the same
+    lint-report object the CLI's ``--json`` mode prints — and ``None``
+    for every other error.
     """
 
-    def __init__(self, code: str, message: str):
+    def __init__(
+        self, code: str, message: str, diagnostics: Optional[Mapping[str, Any]] = None
+    ):
         super().__init__(f"[{code}] {message}")
         self.code = code
         self.detail = message
+        self.diagnostics = dict(diagnostics) if diagnostics is not None else None
 
 
 class OverloadedError(ServiceError):
@@ -78,7 +84,9 @@ def _raise_for_error(response: Mapping[str, Any]) -> Mapping[str, Any]:
 
     if response.get("type") == "error":
         code = str(response.get("code", "internal"))
-        raise ServiceError(code, str(response.get("message", "")))
+        raise ServiceError(
+            code, str(response.get("message", "")), response.get("diagnostics")
+        )
     return response
 
 
@@ -91,6 +99,7 @@ def _compile_message(
     techniques: Optional[Sequence[str]],
     profile: Optional[Mapping[str, Any]],
     cache: str,
+    lint: str = "off",
 ) -> Dict[str, Any]:
     """Build a compile message from keyword convenience arguments."""
 
@@ -106,6 +115,36 @@ def _compile_message(
         cost_model=cost_model,
         techniques=tuple(techniques) if techniques is not None else TECHNIQUES,
         profile=dict(profile) if profile is not None else None,
+        cache=cache,
+        lint=lint,
+    )
+    return request.to_message()
+
+
+def _lint_message(
+    request_id: str,
+    ir: Optional[str],
+    scenario: Optional[str],
+    target: str,
+    profile: Optional[Mapping[str, Any]],
+    select: Optional[Sequence[str]],
+    ignore: Optional[Sequence[str]],
+    cache: str,
+) -> Dict[str, Any]:
+    """Build a lint message from keyword convenience arguments."""
+
+    if (ir is None) == (scenario is None):
+        raise ValueError("pass exactly one of ir= or scenario=")
+    from repro.service.protocol import LintRequest
+
+    program = {"ir": ir} if ir is not None else {"scenario": scenario}
+    request = LintRequest(
+        id=request_id,
+        program=program,
+        target=target,
+        profile=dict(profile) if profile is not None else None,
+        select=tuple(select) if select is not None else None,
+        ignore=tuple(ignore) if ignore is not None else None,
         cache=cache,
     )
     return request.to_message()
@@ -198,13 +237,16 @@ class ServiceClient:
         techniques: Optional[Sequence[str]] = None,
         profile: Optional[Mapping[str, Any]] = None,
         cache: str = "use",
+        lint: str = "off",
         request_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Compile one program; returns the full ``result`` response message.
 
         Retries ``overloaded`` rejections up to ``retries`` times with
         exponential backoff, then raises :class:`OverloadedError`.  Other
-        error responses raise :class:`ServiceError` immediately.
+        error responses raise :class:`ServiceError` immediately —
+        ``lint="strict"`` rejections as a ``lint_rejected`` error whose
+        ``diagnostics`` attribute carries the structured report.
         """
 
         message = _compile_message(
@@ -215,6 +257,37 @@ class ServiceClient:
             cost_model,
             techniques,
             profile,
+            cache,
+            lint,
+        )
+        return self.send_compile_message(message)
+
+    def lint(
+        self,
+        ir: Optional[str] = None,
+        scenario: Optional[str] = None,
+        target: str = "parisc",
+        profile: Optional[Mapping[str, Any]] = None,
+        select: Optional[Sequence[str]] = None,
+        ignore: Optional[Sequence[str]] = None,
+        cache: str = "use",
+        request_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Lint one program; returns the full lint ``result`` response.
+
+        The ``result`` field is byte-identical to a local
+        :func:`repro.lint.lint_function` report payload for the same
+        inputs (same determinism contract as compiles).
+        """
+
+        message = _lint_message(
+            request_id or self._next_id(),
+            ir,
+            scenario,
+            target,
+            profile,
+            select,
+            ignore,
             cache,
         )
         return self.send_compile_message(message)
@@ -333,6 +406,7 @@ class AsyncServiceClient:
         techniques: Optional[Sequence[str]] = None,
         profile: Optional[Mapping[str, Any]] = None,
         cache: str = "use",
+        lint: str = "off",
         request_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Compile one program (same semantics as the sync client)."""
@@ -345,6 +419,32 @@ class AsyncServiceClient:
             cost_model,
             techniques,
             profile,
+            cache,
+            lint,
+        )
+        return await self.send_compile_message(message)
+
+    async def lint(
+        self,
+        ir: Optional[str] = None,
+        scenario: Optional[str] = None,
+        target: str = "parisc",
+        profile: Optional[Mapping[str, Any]] = None,
+        select: Optional[Sequence[str]] = None,
+        ignore: Optional[Sequence[str]] = None,
+        cache: str = "use",
+        request_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Lint one program (same semantics as the sync client)."""
+
+        message = _lint_message(
+            request_id or self._next_id(),
+            ir,
+            scenario,
+            target,
+            profile,
+            select,
+            ignore,
             cache,
         )
         return await self.send_compile_message(message)

@@ -68,9 +68,12 @@ from repro.service.protocol import (
     encode_message,
     error_message,
     hello_message,
+    lint_result_message,
     parse_compile_request,
     parse_hello,
+    parse_lint_request,
     resolve_compile_request,
+    resolve_lint_request,
 )
 from repro.service.ring import HashRing
 from repro.service.server import SEND_TIMEOUT_SECONDS, _check_admin_fields
@@ -554,9 +557,9 @@ class FleetRouter:
                         break
                     continue
                 kind = message.get("type")
-                if kind == "compile":
+                if kind in ("compile", "lint"):
                     task = asyncio.ensure_future(
-                        self._handle_compile(connection, message)
+                        self._handle_request(connection, message, kind)
                     )
                     tasks.add(task)
                     task.add_done_callback(tasks.discard)
@@ -659,12 +662,15 @@ class FleetRouter:
 
     # -- routing ------------------------------------------------------------------
 
-    async def _cache_key_for(self, request) -> str:
+    async def _cache_key_for(self, request, resolver) -> str:
         """The request's routing/tier key, memoized by request signature.
 
         Resolution (IR parsing, scenario generation, fingerprinting) is
         real CPU work, so it runs off the event loop — but only once per
-        distinct signature; under load the memo answers directly.
+        distinct signature; under load the memo answers directly.  The
+        memo is shared across request kinds: signatures carry the message
+        ``type`` field, so a compile and a lint of the same program never
+        alias.
         """
 
         signature = request.signature()
@@ -672,24 +678,35 @@ class FleetRouter:
         if cached is not None:
             self._memo.move_to_end(signature)
             return cached
-        resolved = await asyncio.to_thread(resolve_compile_request, request)
+        resolved = await asyncio.to_thread(resolver, request)
         self._memo[signature] = resolved.cache_key
         while len(self._memo) > RESOLVE_MEMO_ENTRIES:
             self._memo.popitem(last=False)
         return resolved.cache_key
 
-    async def _handle_compile(
-        self, connection: _ClientConnection, message: Dict[str, Any]
+    async def _handle_request(
+        self, connection: _ClientConnection, message: Dict[str, Any], kind: str
     ) -> None:
+        """Route one compile or lint request: tier front, then forward.
+
+        Both kinds share the whole flow — parse, key, tier, consistent-hash
+        forward — and differ only in the parser/resolver pair and the shape
+        of a tier-hit answer.
+        """
+
+        parser = parse_compile_request if kind == "compile" else parse_lint_request
+        resolver = (
+            resolve_compile_request if kind == "compile" else resolve_lint_request
+        )
         self.metrics.received += 1
         self._request_started()
         arrived = time.monotonic()
         request_id = message.get("id") if isinstance(message.get("id"), str) else None
         try:
             try:
-                request = parse_compile_request(message)
+                request = parser(message)
                 request_id = request.id
-                cache_key = await self._cache_key_for(request)
+                cache_key = await self._cache_key_for(request, resolver)
             except ProtocolError as exc:
                 self.metrics.protocol_errors += 1
                 self.metrics.errors += 1
@@ -725,19 +742,24 @@ class FleetRouter:
             if request.cache == "use":
                 entry = self.tier.get(cache_key)
                 if entry is not None:
-                    answer = CompileAnswer(
-                        result=dict(entry["result"]),
-                        pass_seconds=dict(entry["pass_seconds"]),
-                        cache_status="tier",
-                        queue_ms=0.0,
-                        compile_ms=0.0,
-                    )
+                    if kind == "compile":
+                        answer = CompileAnswer(
+                            result=dict(entry["result"]),
+                            pass_seconds=dict(entry["pass_seconds"]),
+                            cache_status="tier",
+                            queue_ms=0.0,
+                            compile_ms=0.0,
+                        ).to_message(request_id)
+                    else:
+                        answer = lint_result_message(
+                            request_id, dict(entry["result"]), cache_status="tier"
+                        )
                     self.metrics.tier_hits += 1
                     self.metrics.completed += 1
                     self.metrics.latency_ms.record(
                         (time.monotonic() - arrived) * 1000.0
                     )
-                    await self._send(connection, answer.to_message(request_id))
+                    await self._send(connection, answer)
                     return
 
             response, shard_id = await self._forward(message, cache_key)

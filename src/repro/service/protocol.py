@@ -89,6 +89,15 @@ COST_MODELS = ("jump_edge", "execution_count")
 #: Cache policies a compile request may ask for.
 CACHE_POLICIES = ("use", "bypass")
 
+#: Lint policies a compile request may carry on the wire.  ``off`` is the
+#: default and is never serialized, so pre-lint request signatures (and
+#: hence coalescing and duplicate-consistency checks) are byte-unchanged.
+LINT_WIRE_POLICIES = ("off", "strict")
+
+#: Schema tag carried inside every ``lint`` result payload (shared with
+#: the CLI's ``--json`` output; see :mod:`repro.lint.engine`).
+LINT_RESULT_SCHEMA = "lint-report/v1"
+
 #: Invocation count assumed for inline-IR requests without a profile.
 DEFAULT_INVOCATIONS = 1000.0
 
@@ -99,6 +108,7 @@ ERROR_CODES = (
     "shutting_down",
     "protocol",
     "internal",
+    "lint_rejected",
 )
 
 
@@ -188,9 +198,17 @@ class CompileRequest:
     techniques: Tuple[str, ...] = TECHNIQUES
     profile: Optional[Mapping[str, Any]] = None
     cache: str = "use"
+    #: ``"off"`` (default) or ``"strict"``; strict requests are answered
+    #: with a ``lint_rejected`` error carrying the structured report when
+    #: the resolved IR has error-severity diagnostics.
+    lint: str = "off"
 
     def to_message(self) -> Dict[str, Any]:
-        """The wire form of this request."""
+        """The wire form of this request.
+
+        ``lint`` is serialized only when non-default so that requests not
+        using the option are byte-identical to protocol-v1 requests.
+        """
 
         message: Dict[str, Any] = {
             "type": "compile",
@@ -203,6 +221,8 @@ class CompileRequest:
         }
         if self.profile is not None:
             message["profile"] = dict(self.profile)
+        if self.lint != "off":
+            message["lint"] = self.lint
         return message
 
     def signature(self) -> str:
@@ -223,7 +243,7 @@ def parse_compile_request(message: Mapping[str, Any]) -> CompileRequest:
 
     _check_fields(
         message,
-        ("id", "program", "target", "cost_model", "techniques", "profile", "cache"),
+        ("id", "program", "target", "cost_model", "techniques", "profile", "cache", "lint"),
         "compile",
     )
     request_id = _require_str(message, "id")
@@ -270,6 +290,12 @@ def parse_compile_request(message: Mapping[str, Any]) -> CompileRequest:
             f"unknown cache policy {cache!r}; expected one of {', '.join(CACHE_POLICIES)}"
         )
 
+    lint = _require_str(message, "lint", "off")
+    if lint not in LINT_WIRE_POLICIES:
+        raise ProtocolError(
+            f"unknown lint policy {lint!r}; expected one of {', '.join(LINT_WIRE_POLICIES)}"
+        )
+
     profile = message.get("profile")
     if profile is not None:
         if "ir" not in program:
@@ -309,6 +335,7 @@ def parse_compile_request(message: Mapping[str, Any]) -> CompileRequest:
         techniques=tuple(techniques),
         profile=dict(profile) if profile is not None else None,
         cache=cache,
+        lint=lint,
     )
 
 
@@ -332,14 +359,24 @@ def hello_message(server_info: Optional[Mapping[str, Any]] = None) -> Dict[str, 
 
 
 def error_message(
-    code: str, message: str, request_id: Optional[str] = None
+    code: str,
+    message: str,
+    request_id: Optional[str] = None,
+    diagnostics: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """Build an ``error`` response."""
+    """Build an ``error`` response.
+
+    ``diagnostics`` attaches a structured payload to the error —
+    ``lint_rejected`` errors carry the full lint report this way, the
+    exact object the CLI's ``--json`` mode prints for the same IR.
+    """
 
     assert code in ERROR_CODES, code
     payload: Dict[str, Any] = {"type": "error", "code": code, "message": message}
     if request_id is not None:
         payload["id"] = request_id
+    if diagnostics is not None:
+        payload["diagnostics"] = dict(diagnostics)
     return payload
 
 
@@ -417,6 +454,55 @@ def _parse_scenario_reference(reference: str) -> Tuple[str, int, int]:
     return family, seed, index
 
 
+def _resolve_program(
+    program: Mapping[str, Any],
+    profile_spec: Optional[Mapping[str, Any]],
+    machine: MachineDescription,
+) -> Tuple[Function, EdgeProfile]:
+    """Resolve a request's ``program`` (+ optional profile) to pipeline inputs.
+
+    Shared by compile and lint resolution so both request types agree
+    byte-for-byte on what a program reference means.
+    """
+
+    if "scenario" in program:
+        family_name, seed, index = _parse_scenario_reference(program["scenario"])
+        generated = get_scenario(family_name).builder(seed, index, machine)
+        return generated.function, generated.profile
+    try:
+        module = parse_module(program["ir"])
+    except IRParseError as exc:
+        raise ProtocolError(f"IR does not parse: {exc}") from None
+    if len(module.functions) != 1:
+        raise ProtocolError(
+            f"program must contain exactly one function, got {len(module.functions)}"
+        )
+    function = module.functions[0]
+    ensure_single_exit(function)
+    try:
+        verify_function(function, require_single_exit=True)
+    except IRVerificationError as exc:
+        raise ProtocolError(f"IR does not verify: {exc}") from None
+    try:
+        if profile_spec is not None:
+            probabilities = {
+                tuple(key.split("->", 1)): float(value)
+                for key, value in profile_spec.get("probabilities", {}).items()
+            }
+            profile = profile_from_branch_probabilities(
+                function,
+                invocations=float(
+                    profile_spec.get("invocations", DEFAULT_INVOCATIONS)
+                ),
+                probabilities=probabilities,
+            )
+        else:
+            profile = uniform_profile(function, invocations=DEFAULT_INVOCATIONS)
+    except ProfileError as exc:
+        raise ProtocolError(f"profile is inconsistent: {exc}") from None
+    return function, profile
+
+
 def resolve_compile_request(request: CompileRequest) -> ResolvedCompile:
     """Turn a validated request into concrete, fingerprinted pipeline inputs.
 
@@ -429,43 +515,7 @@ def resolve_compile_request(request: CompileRequest) -> ResolvedCompile:
     """
 
     machine = resolve_target(request.target)
-    if "scenario" in request.program:
-        family_name, seed, index = _parse_scenario_reference(request.program["scenario"])
-        generated = get_scenario(family_name).builder(seed, index, machine)
-        function, profile = generated.function, generated.profile
-    else:
-        try:
-            module = parse_module(request.program["ir"])
-        except IRParseError as exc:
-            raise ProtocolError(f"IR does not parse: {exc}") from None
-        if len(module.functions) != 1:
-            raise ProtocolError(
-                f"program must contain exactly one function, got {len(module.functions)}"
-            )
-        function = module.functions[0]
-        ensure_single_exit(function)
-        try:
-            verify_function(function, require_single_exit=True)
-        except IRVerificationError as exc:
-            raise ProtocolError(f"IR does not verify: {exc}") from None
-        try:
-            if request.profile is not None:
-                probabilities = {
-                    tuple(key.split("->", 1)): float(value)
-                    for key, value in request.profile.get("probabilities", {}).items()
-                }
-                profile = profile_from_branch_probabilities(
-                    function,
-                    invocations=float(
-                        request.profile.get("invocations", DEFAULT_INVOCATIONS)
-                    ),
-                    probabilities=probabilities,
-                )
-            else:
-                profile = uniform_profile(function, invocations=DEFAULT_INVOCATIONS)
-        except ProfileError as exc:
-            raise ProtocolError(f"profile is inconsistent: {exc}") from None
-
+    function, profile = _resolve_program(request.program, request.profile, machine)
     cost_model = make_cost_model(request.cost_model, machine)
     token = compile_options_token(
         machine, cost_model, request.techniques, True, True
@@ -482,6 +532,197 @@ def resolve_compile_request(request: CompileRequest) -> ResolvedCompile:
         function_fingerprint=fingerprint_function(function),
         profile_fingerprint=fingerprint_profile(profile),
     )
+
+
+# ---------------------------------------------------------------------------
+# Lint requests: same resolution, pure analysis instead of a compile.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LintRequest:
+    """One validated ``lint`` request (wire form).
+
+    Shares the ``program``/``target``/``profile`` vocabulary of compile
+    requests; ``select``/``ignore`` mirror the CLI flags and restrict the
+    rule set.  Lint reports are pure functions of (IR, profile, target,
+    enabled rules), so the request is cacheable and fleet-routable exactly
+    like a compile.
+    """
+
+    id: str
+    program: Mapping[str, Any]
+    target: str = DEFAULT_TARGET
+    profile: Optional[Mapping[str, Any]] = None
+    select: Optional[Tuple[str, ...]] = None
+    ignore: Optional[Tuple[str, ...]] = None
+    cache: str = "use"
+
+    def to_message(self) -> Dict[str, Any]:
+        """The wire form of this request."""
+
+        message: Dict[str, Any] = {
+            "type": "lint",
+            "id": self.id,
+            "program": dict(self.program),
+            "target": self.target,
+            "cache": self.cache,
+        }
+        if self.profile is not None:
+            message["profile"] = dict(self.profile)
+        if self.select is not None:
+            message["select"] = list(self.select)
+        if self.ignore is not None:
+            message["ignore"] = list(self.ignore)
+        return message
+
+    def signature(self) -> str:
+        """Canonical byte-stable identity of the request work (id excluded)."""
+
+        payload = self.to_message()
+        del payload["id"]
+        return json.dumps(payload, sort_keys=True)
+
+
+def _parse_rule_codes(message: Mapping[str, Any], key: str) -> Optional[Tuple[str, ...]]:
+    value = message.get(key)
+    if value is None:
+        return None
+    if (
+        not isinstance(value, (list, tuple))
+        or not value
+        or not all(isinstance(code, str) for code in value)
+    ):
+        raise ProtocolError(f"field {key!r} must be a non-empty list of rule codes")
+    return tuple(value)
+
+
+def parse_lint_request(message: Mapping[str, Any]) -> LintRequest:
+    """Strictly validate a ``lint`` message into a :class:`LintRequest`."""
+
+    _check_fields(
+        message, ("id", "program", "target", "profile", "select", "ignore", "cache"), "lint"
+    )
+    request_id = _require_str(message, "id")
+    program = message.get("program")
+    if not isinstance(program, Mapping):
+        raise ProtocolError("field 'program' must be an object")
+    keys = sorted(program)
+    if keys not in (["ir"], ["scenario"]):
+        raise ProtocolError(
+            "field 'program' must have exactly one of the keys 'ir' or 'scenario'"
+        )
+    if not isinstance(program[keys[0]], str) or not program[keys[0]]:
+        raise ProtocolError(f"program {keys[0]!r} must be a non-empty string")
+    target = _require_str(message, "target", DEFAULT_TARGET)
+    if target not in available_targets():
+        raise ProtocolError(
+            f"unknown target {target!r}; expected one of {', '.join(available_targets())}"
+        )
+    cache = _require_str(message, "cache", "use")
+    if cache not in CACHE_POLICIES:
+        raise ProtocolError(
+            f"unknown cache policy {cache!r}; expected one of {', '.join(CACHE_POLICIES)}"
+        )
+    profile = message.get("profile")
+    if profile is not None and not isinstance(profile, Mapping):
+        raise ProtocolError("field 'profile' must be an object")
+    select = _parse_rule_codes(message, "select")
+    ignore = _parse_rule_codes(message, "ignore")
+    return LintRequest(
+        id=request_id,
+        program=dict(program),
+        target=target,
+        profile=dict(profile) if profile is not None else None,
+        select=select,
+        ignore=ignore,
+        cache=cache,
+    )
+
+
+@dataclass(frozen=True)
+class ResolvedLint:
+    """A lint request resolved to concrete analysis inputs plus its cache key."""
+
+    request: LintRequest
+    function: Function
+    profile: EdgeProfile
+    machine: MachineDescription
+    cache_key: str
+
+    @property
+    def coalesce_key(self) -> str:
+        """In-flight coalescing key (cache key namespaced by cache policy)."""
+
+        return f"{self.request.cache}:{self.cache_key}"
+
+
+def resolve_lint_request(request: LintRequest) -> ResolvedLint:
+    """Resolve a lint request through the same program resolution as compiles.
+
+    Unknown rule codes in ``select``/``ignore`` are ``bad_request``\\ s,
+    reported here (resolution time) rather than from inside the worker.
+    """
+
+    from repro.lint import LintConfigError, lint_cache_key, resolve_rule_codes
+
+    machine = resolve_target(request.target)
+    function, profile = _resolve_program(request.program, request.profile, machine)
+    try:
+        resolve_rule_codes(request.select, request.ignore)
+    except LintConfigError as exc:
+        raise ProtocolError(str(exc)) from None
+    key = lint_cache_key(
+        function, profile, machine, select=request.select, ignore=request.ignore
+    )
+    return ResolvedLint(
+        request=request,
+        function=function,
+        profile=profile,
+        machine=machine,
+        cache_key=key,
+    )
+
+
+def run_lint_request(resolved: ResolvedLint) -> Dict[str, Any]:
+    """Execute a resolved lint request; returns the deterministic payload.
+
+    The payload is exactly :meth:`repro.lint.LintReport.payload` — the
+    same object the CLI's ``--json`` mode emits for the same inputs, which
+    is what the byte-identity service tests compare against.
+    """
+
+    from repro.lint import lint_function
+
+    report = lint_function(
+        resolved.function,
+        profile=resolved.profile,
+        machine=resolved.machine,
+        select=resolved.request.select,
+        ignore=resolved.request.ignore,
+    )
+    return report.payload()
+
+
+def compile_lint_rejection(resolved: ResolvedCompile) -> Optional[Dict[str, Any]]:
+    """Apply a strict compile request's lint gate.
+
+    Returns ``None`` when the procedure passes (or the request did not ask
+    for linting); otherwise the structured rejection payload for a
+    ``lint_rejected`` error — byte-identical to what
+    :class:`repro.lint.LintError` carries for the same IR in the pipeline.
+    """
+
+    if resolved.request.lint != "strict":
+        return None
+    from repro.lint import lint_function, LintError
+
+    report = lint_function(
+        resolved.function, profile=resolved.profile, machine=resolved.machine
+    )
+    if not report.has_errors():
+        return None
+    return LintError([report]).payload()
 
 
 # ---------------------------------------------------------------------------
@@ -565,6 +806,26 @@ class CompileAnswer:
                 "batch_size": self.batch_size,
             },
         }
+
+
+def lint_result_message(
+    request_id: str,
+    payload: Mapping[str, Any],
+    cache_status: str = "miss",
+    coalesced: bool = False,
+) -> Dict[str, Any]:
+    """The wire form of a lint response.
+
+    Mirrors compile responses: the deterministic report under ``result``,
+    service metadata (cache/coalesce status) outside it.
+    """
+
+    return {
+        "type": "result",
+        "id": request_id,
+        "result": dict(payload),
+        "service": {"cache": cache_status, "coalesced": coalesced},
+    }
 
 
 def response_result_bytes(response: Mapping[str, Any]) -> bytes:

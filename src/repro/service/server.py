@@ -54,14 +54,19 @@ from repro.service.protocol import (
     CompileAnswer,
     ProtocolError,
     ResolvedCompile,
+    compile_lint_rejection,
     decode_message,
     encode_message,
     error_message,
     hello_message,
+    lint_result_message,
     parse_compile_request,
     parse_hello,
+    parse_lint_request,
     resolve_compile_request,
+    resolve_lint_request,
     result_payload,
+    run_lint_request,
 )
 
 #: Default bound on admitted-but-undispatched entries.
@@ -159,6 +164,10 @@ class CompileServer:
         self._server: Optional[asyncio.base_events.Server] = None
         self._queue: "asyncio.Queue[Optional[_PendingEntry]]" = asyncio.Queue()
         self._inflight: Dict[str, _PendingEntry] = {}
+        # In-flight lint work, coalesced by (cache policy, lint cache key).
+        # Lint requests never enter the compile queue: they are pure
+        # analysis, answered directly off the event loop.
+        self._lint_inflight: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
         self._connections: set = set()
         self._batcher_task: Optional[asyncio.Task] = None
         self._draining = False
@@ -353,12 +362,13 @@ class CompileServer:
                         break
                     continue
                 kind = message.get("type")
-                if kind == "compile":
+                if kind in ("compile", "lint"):
                     # Handled concurrently so one long compile does not
                     # stall pipelined requests on the same connection.
-                    task = asyncio.ensure_future(
-                        self._handle_compile(connection, message)
+                    handler = (
+                        self._handle_compile if kind == "compile" else self._handle_lint
                     )
+                    task = asyncio.ensure_future(handler(connection, message))
                     tasks.add(task)
                     task.add_done_callback(tasks.discard)
                 elif kind in ("stats", "shutdown"):
@@ -513,6 +523,25 @@ class CompileServer:
                 )
                 return
 
+            # Strict-lint gate: reject IR with error-severity diagnostics
+            # before it consumes a cache lookup, a queue slot or a compile.
+            # The rejection payload is the same structured report the
+            # pipeline's LintError and the CLI's --json mode carry.
+            if request.lint == "strict":
+                rejection = await asyncio.to_thread(compile_lint_rejection, resolved)
+                if rejection is not None:
+                    self.metrics.errors += 1
+                    await self._send(
+                        connection,
+                        error_message(
+                            "lint_rejected",
+                            "lint found error-severity diagnostics",
+                            request_id,
+                            diagnostics=rejection,
+                        ),
+                    )
+                    return
+
             # Cache front: answer admitted-but-already-compiled work
             # immediately, without a queue slot or a batch.  The lookup
             # (a pickle read on a miss-from-memory) runs off the loop; the
@@ -600,6 +629,140 @@ class CompileServer:
                 self.metrics.coalesced += 1
             self._complete(arrived)
             await self._send(connection, answer.to_message(request_id))
+        finally:
+            self._request_finished()
+
+    # -- lint requests ------------------------------------------------------------
+
+    async def _handle_lint(
+        self, connection: _Connection, message: Dict[str, Any]
+    ) -> None:
+        """Answer one ``lint`` request: cache front, coalesce, analyse.
+
+        Lint reports are pure functions of the resolved inputs, so the
+        request reuses the compile machinery's guarantees — shared cache
+        (keys namespaced ``kind="lint"``), in-flight coalescing, and the
+        fleet tier — without ever entering the compile batch queue.
+        """
+
+        self.metrics.received += 1
+        self._request_started()
+        arrived = time.monotonic()
+        request_id = message.get("id") if isinstance(message.get("id"), str) else None
+        try:
+            try:
+                request = parse_lint_request(message)
+                request_id = request.id
+                resolved = await asyncio.to_thread(resolve_lint_request, request)
+            except ProtocolError as exc:
+                self.metrics.protocol_errors += 1
+                self.metrics.errors += 1
+                await self._send(
+                    connection, error_message(exc.code, str(exc), request_id)
+                )
+                return
+            except Exception as exc:
+                self.metrics.errors += 1
+                await self._send(
+                    connection,
+                    error_message(
+                        "internal",
+                        f"request resolution failed: {type(exc).__name__}: {exc}",
+                        request_id,
+                    ),
+                )
+                return
+
+            if self._draining:
+                self.metrics.rejected_shutting_down += 1
+                self.metrics.errors += 1
+                await self._send(
+                    connection,
+                    error_message(
+                        "shutting_down", "server is draining; try another replica",
+                        request_id,
+                    ),
+                )
+                return
+
+            use_cache = request.cache == "use"
+            if use_cache and self.cache is not None:
+                cached = await asyncio.to_thread(self.cache.get, resolved.cache_key)
+                if isinstance(cached, dict):
+                    self.metrics.cache_hits += 1
+                    self._complete(arrived)
+                    await self._send(
+                        connection,
+                        lint_result_message(request_id, cached, cache_status="hit"),
+                    )
+                    return
+            if use_cache and self.peer is not None:
+                entry_payload = await self.peer.get(resolved.cache_key)
+                if entry_payload is not None:
+                    self.metrics.peer_hits += 1
+                    self._complete(arrived)
+                    await self._send(
+                        connection,
+                        lint_result_message(
+                            request_id,
+                            entry_payload["result"],
+                            cache_status="peer",
+                        ),
+                    )
+                    return
+
+            coalesced = False
+            future = self._lint_inflight.get(resolved.coalesce_key)
+            if future is not None:
+                coalesced = True
+            else:
+                future = asyncio.get_running_loop().create_future()
+                self._lint_inflight[resolved.coalesce_key] = future
+                try:
+                    payload = await asyncio.to_thread(run_lint_request, resolved)
+                except Exception as exc:
+                    self._lint_inflight.pop(resolved.coalesce_key, None)
+                    if not future.done():
+                        future.set_exception(
+                            RuntimeError(f"lint failed: {type(exc).__name__}: {exc}")
+                        )
+                        # Awaited below with the waiters; consume the
+                        # exception there.
+                else:
+                    if use_cache and self.cache is not None:
+                        await asyncio.to_thread(
+                            self.cache.put, resolved.cache_key, payload
+                        )
+                    # Publish to the fleet tier before resolving waiters,
+                    # same ordering discipline as compile dispatch.
+                    if use_cache and self.peer is not None:
+                        self.metrics.peer_puts += 1
+                        await self.peer.put(
+                            resolved.cache_key, {"result": payload, "pass_seconds": {}}
+                        )
+                    self._lint_inflight.pop(resolved.coalesce_key, None)
+                    if not future.done():
+                        future.set_result(payload)
+
+            try:
+                payload = await future
+            except Exception as exc:
+                self.metrics.errors += 1
+                await self._send(
+                    connection,
+                    error_message("internal", str(exc), request_id),
+                )
+                return
+            if coalesced:
+                self.metrics.coalesced += 1
+            status = "miss" if use_cache else "bypass"
+            self._complete(arrived)
+            await self._send(
+                connection,
+                lint_result_message(
+                    request_id, payload, cache_status=status, coalesced=coalesced
+                ),
+            )
         finally:
             self._request_finished()
 

@@ -46,6 +46,21 @@ class TestRunStress:
         for row in small_report.rows:
             assert set(row.overheads) == {"baseline", "shrinkwrap", "optimized"}
 
+    def test_every_row_carries_a_lint_fingerprint(self, small_report):
+        """The harness lints every procedure and records the report
+        fingerprint — the purity/determinism sentinel for the whole sweep."""
+
+        for row in small_report.rows:
+            assert row.lint_fingerprint
+            assert len(row.lint_fingerprint) == 64
+            assert all(c in "0123456789abcdef" for c in row.lint_fingerprint)
+
+    def test_lint_fingerprints_are_stable_across_runs(self, small_report):
+        again = run_stress(**SMALL)
+        assert [r.lint_fingerprint for r in again.rows] == [
+            r.lint_fingerprint for r in small_report.rows
+        ]
+
     def test_report_is_deterministic(self, small_report):
         again = run_stress(**SMALL)
         assert again.rows == small_report.rows

@@ -1,0 +1,161 @@
+"""The ``repro-spill lint`` subcommand: sources, gating, baselines, JSON."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint import lint_function
+from repro.target.registry import get_target
+from repro.workloads.scenarios import build_scenario
+
+BAD_IR = """
+func bad() {
+entry:
+  add v1, v0, #1
+  ret v1
+}
+"""
+
+WARN_IR = """
+func warns() {
+entry:
+  li v0, #1
+  li v1, #2
+  ret v1
+}
+"""
+
+CLEAN_IR = """
+func clean(v0) {
+entry:
+  add v1, v0, #1
+  ret v1
+}
+"""
+
+
+@pytest.fixture
+def ir_file(tmp_path):
+    def write(source, name="prog.ir"):
+        path = tmp_path / name
+        path.write_text(source)
+        return str(path)
+
+    return write
+
+
+class TestArgumentValidation:
+    def test_no_sources_is_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+        assert "nothing to lint" in capsys.readouterr().err
+
+    def test_unknown_scenario_is_usage_error(self, capsys):
+        assert main(["lint", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_unknown_rule_code_is_usage_error(self, ir_file, capsys):
+        assert main(["lint", ir_file(CLEAN_IR), "--select", "R999"]) == 2
+        assert "R999" in capsys.readouterr().err
+
+    def test_unparsable_file_is_usage_error(self, ir_file, capsys):
+        assert main(["lint", ir_file("func broken {")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, ir_file, capsys):
+        assert main(["lint", ir_file(CLEAN_IR)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_error_finding_exits_one(self, ir_file, capsys):
+        assert main(["lint", ir_file(BAD_IR)]) == 1
+        out = capsys.readouterr().out
+        assert "R001" in out and "error" in out
+
+    def test_warnings_exit_zero_by_default(self, ir_file):
+        assert main(["lint", ir_file(WARN_IR)]) == 0
+
+    def test_strict_turns_warnings_into_failure(self, ir_file):
+        assert main(["lint", ir_file(WARN_IR), "--strict"]) == 1
+
+    def test_select_can_silence_the_failure(self, ir_file):
+        assert main(["lint", ir_file(BAD_IR), "--select", "R003"]) == 0
+        assert main(["lint", ir_file(BAD_IR), "--ignore", "R001"]) == 0
+
+
+class TestBaseline:
+    def test_write_then_apply_round_trip(self, ir_file, tmp_path, capsys):
+        path = ir_file(WARN_IR)
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["lint", path, "--write-baseline", baseline]) == 0
+        err = capsys.readouterr().err
+        assert "1 finding(s)" in err
+        # Strict + baseline: the known warning is suppressed.
+        assert main(["lint", path, "--strict", "--baseline", baseline]) == 0
+        # A new defect still fails through the baseline.
+        assert (
+            main(["lint", path, ir_file(BAD_IR, "bad.ir"), "--strict",
+                  "--baseline", baseline])
+            == 1
+        )
+
+    def test_bad_baseline_schema_is_usage_error(self, ir_file, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"schema": "wrong/v0", "entries": {}}))
+        assert main(["lint", ir_file(WARN_IR), "--baseline", str(baseline)]) == 2
+        assert "schema" in capsys.readouterr().err
+
+
+class TestJsonOutput:
+    def test_payload_matches_the_library_byte_for_byte(self, capsys):
+        """CLI --json over a scenario equals lint_function on the same
+        procedures — the one-payload-everywhere contract."""
+
+        assert (
+            main(["lint", "--scenario", "classic_mix", "--count", "2",
+                  "--target", "tiny", "--json"]) == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "lint-report/v1"
+        machine = get_target("tiny")
+        expected = [
+            lint_function(p.function, profile=p.profile, machine=machine).payload()
+            for p in build_scenario("classic_mix", seed=0, count=2, machine=machine)
+        ]
+        assert payload["reports"] == expected
+
+    def test_json_is_deterministic(self, ir_file, capsys):
+        path = ir_file(WARN_IR)
+        main(["lint", path, "--json"])
+        first = capsys.readouterr().out
+        main(["lint", path, "--json"])
+        assert capsys.readouterr().out == first
+
+
+class TestCorpusSource:
+    def test_corpus_directory_with_sidecar(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        (corpus / "fix.ir").write_text(CLEAN_IR)
+        (corpus / "fix.profile.json").write_text(
+            json.dumps({"invocations": 10.0, "probabilities": {}})
+        )
+        (corpus / "notes.txt").write_text("ignored")
+        assert main(["lint", "--corpus", str(corpus)]) == 0
+        assert "1 function(s)" in capsys.readouterr().out
+
+    def test_repo_corpus_is_lintable(self):
+        # The real corpus has known (baselined-in-CI) findings; without a
+        # baseline the chaos fixture's R001 findings exit 1.
+        assert main(["lint", "--corpus", "tests/workloads/corpus"]) == 1
+
+
+def test_all_scenarios_smoke(capsys):
+    assert main(["lint", "--all-scenarios", "--count", "1", "--target",
+                 "micro"]) in (0, 1)
+    out = capsys.readouterr().out
+    assert "function(s):" in out

@@ -1,0 +1,84 @@
+"""Pinned diagnostic fingerprints per scenario family × target.
+
+``traces/lint_fingerprints.json`` records, for every scenario family on
+two targets, the SHA-256 fingerprint of each generated procedure's full
+lint report at the time the lint subsystem was built (seed 0, two
+procedures per family).  Mirroring the corpus and loadgen trace patterns,
+the fingerprints are pinned as a *file*: any change to a rule's output —
+message text, ordering, severity, a rule firing more or less — shows up
+as a fingerprint diff and must be an intentional, reviewed regeneration
+(rerun the module docstring's snippet in ``traces/``) rather than drift.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.lint import lint_function
+from repro.target.registry import get_target
+from repro.workloads.scenarios import build_scenario, scenario_names
+
+TRACE_PATH = os.path.join(
+    os.path.dirname(__file__), "traces", "lint_fingerprints.json"
+)
+
+
+def load_trace():
+    """The pinned fingerprint table."""
+
+    with open(TRACE_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def test_trace_schema():
+    trace = load_trace()
+    assert trace["schema"] == "lint-trace/v1"
+    assert trace["entries"], "empty trace"
+
+
+def test_trace_covers_every_family_on_both_targets():
+    trace = load_trace()
+    covered = {tuple(key.split("/")[:2]) for key in trace["entries"]}
+    for family in scenario_names():
+        for target in ("parisc", "tiny"):
+            assert (family, target) in covered, f"{family}/{target} unpinned"
+
+
+@pytest.mark.parametrize("family", scenario_names())
+@pytest.mark.parametrize("target", ("parisc", "tiny"))
+def test_fingerprints_still_reproduce(family, target):
+    """Regenerate every pinned entry and compare byte-identically."""
+
+    trace = load_trace()
+    machine = get_target(target)
+    procedures = build_scenario(
+        family, seed=trace["seed"], count=trace["count"], machine=machine
+    )
+    for procedure in procedures:
+        key = f"{family}/{target}/{procedure.name}"
+        assert key in trace["entries"], f"procedure {key} not pinned"
+        report = lint_function(
+            procedure.function, profile=procedure.profile, machine=machine
+        )
+        pinned = trace["entries"][key]
+        assert report.counts() == pinned["counts"], key
+        assert report.fingerprint() == pinned["fingerprint"], (
+            f"{key}: lint output changed; if intentional, regenerate "
+            "tests/lint/traces/lint_fingerprints.json"
+        )
+
+
+def test_chaos_family_actually_pins_findings():
+    """The chaos draws must carry real diagnostics, or the pin is vacuous."""
+
+    trace = load_trace()
+    chaos_counts = [
+        entry["counts"]
+        for key, entry in trace["entries"].items()
+        if key.startswith("chaos_cfg/")
+    ]
+    assert chaos_counts
+    assert any(sum(c.values()) > 0 for c in chaos_counts)

@@ -1,0 +1,314 @@
+"""Mutation sweep over the rule catalog: every rule fires on a crafted fixture.
+
+Each fixture is the *smallest* program (or program+profile pair) exhibiting
+one defect, so a rule that silently stops firing turns exactly one test red.
+The fixtures are parsed, never verified — several defects (unreachable
+blocks, duplicate switch targets, stuck regions) are ones the structural
+verifier would reject, and lint must diagnose them on raw IR.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.parser import parse_function
+from repro.lint import RULES, Severity, all_rules, lint_function
+from repro.profiling.profile_data import EdgeProfile
+from repro.profiling.synthetic import uniform_profile
+from repro.target.registry import get_target
+
+CLEAN = """
+func clean(v0) {
+entry:
+  add v1, v0, #1
+  ret v1
+}
+"""
+
+R001_UNINIT = """
+func r001() {
+entry:
+  add v1, v0, #1
+  ret v1
+}
+"""
+
+R002_DEAD = """
+func r002() {
+entry:
+  li v0, #1
+  li v1, #2
+  ret v1
+}
+"""
+
+R003_ISLAND = """
+func r003() {
+entry:
+  li v0, #1
+  jmp @out
+island:
+  li v1, #2
+  jmp @out
+out:
+  ret v0
+}
+"""
+
+R004_IRREDUCIBLE = """
+func r004() {
+entry:
+  li v0, #1
+  cmplt v1, v0, #5
+  br v1, @b
+a:
+  add v0, v0, #1
+  cmpge v2, v0, #10
+  br v2, @done
+b:
+  add v0, v0, #2
+  jmp @a
+done:
+  ret v0
+}
+"""
+
+R005_CRITICAL_SWITCH = """
+func r005() {
+entry:
+  li v0, #1
+  cmplt v1, v0, #5
+  br v1, @sw
+pre:
+  jmp @shared
+sw:
+  switch v0, @shared, @other
+other:
+  jmp @shared
+shared:
+  ret v0
+}
+"""
+
+R006_DEGENERATE_SWITCH = """
+func r006() {
+entry:
+  li v0, #1
+  switch v0, @only
+only:
+  ret v0
+}
+"""
+
+R007_SPIN = """
+func r007() {
+entry:
+  li v0, #1
+  cmplt v1, v0, #5
+  br v1, @spin
+out:
+  ret v0
+spin:
+  add v0, v0, #1
+  jmp @spin
+}
+"""
+
+R010_PRESSURE = """
+func r010() {
+entry:
+  li v0, #1
+  li v1, #2
+  li v2, #3
+  call @ext(v0) -> (v3)
+  add v4, v0, v1
+  add v5, v4, v2
+  add v6, v5, v3
+  ret v6
+}
+"""
+
+
+def codes(report):
+    return sorted({d.code for d in report.diagnostics})
+
+
+class TestEveryRuleFires:
+    """One red fixture per rule; the lint must find exactly that defect."""
+
+    def test_clean_function_produces_empty_report(self):
+        report = lint_function(
+            parse_function(CLEAN),
+            profile=None,
+            machine=get_target("parisc"),
+        )
+        assert report.diagnostics == ()
+        assert not report.has_errors()
+
+    def test_r001_uninitialized_read(self):
+        report = lint_function(parse_function(R001_UNINIT))
+        assert codes(report) == ["R001"]
+        (diag,) = report.diagnostics
+        assert diag.severity is Severity.ERROR
+        assert diag.block == "entry" and diag.instruction == 0
+        assert "v0" in diag.message
+
+    def test_r001_exempts_parameters(self):
+        report = lint_function(parse_function(CLEAN))
+        assert "R001" not in codes(report)
+
+    def test_r002_dead_definition(self):
+        report = lint_function(parse_function(R002_DEAD))
+        assert codes(report) == ["R002"]
+        (diag,) = report.diagnostics
+        assert diag.severity is Severity.WARN
+        assert "v0" in diag.message
+
+    def test_r003_unreachable_block(self):
+        report = lint_function(parse_function(R003_ISLAND))
+        assert "R003" in codes(report)
+        diag = next(d for d in report.diagnostics if d.code == "R003")
+        assert diag.block == "island"
+        assert diag.severity is Severity.ERROR
+        assert report.has_errors()
+
+    def test_r004_irreducible_cfg(self):
+        report = lint_function(parse_function(R004_IRREDUCIBLE))
+        assert codes(report) == ["R004"]
+        (diag,) = report.diagnostics
+        assert diag.block is None  # function-level finding
+
+    def test_r005_critical_switch_edge(self):
+        report = lint_function(parse_function(R005_CRITICAL_SWITCH))
+        assert codes(report) == ["R005"]
+        (diag,) = report.diagnostics
+        assert diag.block == "sw"
+        assert "shared" in diag.message
+
+    def test_r006_degenerate_switch(self):
+        report = lint_function(parse_function(R006_DEGENERATE_SWITCH))
+        assert "R006" in codes(report)
+        diag = next(d for d in report.diagnostics if d.code == "R006")
+        assert "use jmp" in diag.message
+
+    def test_r007_side_effect_free_infinite_loop(self):
+        report = lint_function(parse_function(R007_SPIN))
+        assert "R007" in codes(report)
+        diag = next(d for d in report.diagnostics if d.code == "R007")
+        assert diag.block == "spin"
+
+    def test_r007_spares_loops_with_side_effects(self):
+        spinning_call = R007_SPIN.replace(
+            "add v0, v0, #1", "call @effect(v0)"
+        )
+        report = lint_function(parse_function(spinning_call))
+        assert "R007" not in codes(report)
+
+    def test_r008_profile_flow_violation(self):
+        function = parse_function(R004_IRREDUCIBLE)
+        bad = EdgeProfile(
+            function_name=function.name,
+            invocations=100.0,
+            edge_counts={("entry", "a"): 999.0, ("entry", "b"): 1.0},
+        )
+        report = lint_function(function, profile=bad)
+        assert "R008" in codes(report)
+        assert report.has_errors()
+
+    def test_r008_clean_on_conserved_profile(self):
+        function = parse_function(R002_DEAD)
+        report = lint_function(function, profile=uniform_profile(function))
+        assert "R008" not in codes(report)
+
+    def test_r009_profile_for_wrong_function(self):
+        function = parse_function(R002_DEAD)
+        stale = EdgeProfile(function_name="somebody_else", invocations=10.0)
+        report = lint_function(function, profile=stale, select=["R009"])
+        assert codes(report) == ["R009"]
+        assert "somebody_else" in report.diagnostics[0].message
+
+    def test_r009_profile_with_phantom_edge(self):
+        function = parse_function(R002_DEAD)
+        stale = EdgeProfile(
+            function_name=function.name,
+            invocations=10.0,
+            edge_counts={("entry", "nowhere"): 5.0},
+        )
+        report = lint_function(function, profile=stale, select=["R009"])
+        assert codes(report) == ["R009"]
+        assert "nowhere" in report.diagnostics[0].message
+
+    def test_r010_callee_saved_pressure(self):
+        # tiny has 2 callee-saved registers; v0, v1, v2 are live across
+        # the call (v3 is its own def and does not count).
+        report = lint_function(
+            parse_function(R010_PRESSURE), machine=get_target("tiny")
+        )
+        assert codes(report) == ["R010"]
+        (diag,) = report.diagnostics
+        assert diag.severity is Severity.INFO
+        assert "3 virtual registers" in diag.message
+
+    def test_r010_within_budget_is_silent(self):
+        # parisc has 16 callee-saved registers; the same site fits easily.
+        report = lint_function(
+            parse_function(R010_PRESSURE), machine=get_target("parisc")
+        )
+        assert "R010" not in codes(report)
+
+
+class TestGating:
+    """Profile/machine-gated rules drop out exactly when inputs are absent."""
+
+    def test_profile_rules_skipped_without_profile(self):
+        report = lint_function(parse_function(CLEAN))
+        assert "R008" not in report.rules_run
+        assert "R009" not in report.rules_run
+
+    def test_machine_rules_skipped_without_machine(self):
+        report = lint_function(parse_function(R010_PRESSURE))
+        assert "R010" not in report.rules_run
+        assert codes(report) == []
+
+    def test_rules_run_records_the_full_set_when_inputs_present(self):
+        function = parse_function(CLEAN)
+        report = lint_function(
+            function,
+            profile=uniform_profile(function),
+            machine=get_target("parisc"),
+        )
+        assert list(report.rules_run) == sorted(RULES)
+
+
+class TestRegistry:
+    def test_registry_is_complete_and_ordered(self):
+        rules = all_rules()
+        assert [r.code for r in rules] == sorted(RULES)
+        assert len(rules) >= 10
+        for rule in rules:
+            assert rule.code.startswith("R") and len(rule.code) == 4
+            assert rule.summary and rule.name
+
+    def test_every_severity_is_represented(self):
+        severities = {rule.severity for rule in all_rules()}
+        assert severities == set(Severity)
+
+
+@pytest.mark.parametrize(
+    "source, expected",
+    [
+        (R001_UNINIT, "R001"),
+        (R002_DEAD, "R002"),
+        (R003_ISLAND, "R003"),
+        (R004_IRREDUCIBLE, "R004"),
+        (R005_CRITICAL_SWITCH, "R005"),
+        (R006_DEGENERATE_SWITCH, "R006"),
+        (R007_SPIN, "R007"),
+    ],
+)
+def test_mutation_sweep_profileless_rules(source, expected):
+    """The sweep in one table: each fixture trips its rule and only its rule
+    family (R003's island fixture also legitimately reports nothing else)."""
+
+    report = lint_function(parse_function(source))
+    assert expected in codes(report)

@@ -1,0 +1,95 @@
+"""The hot-path hygiene linter: self-test, tree cleanliness, suppression."""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TOOL_PATH = os.path.join(REPO_ROOT, "tools", "check_hotpath.py")
+
+spec = importlib.util.spec_from_file_location("check_hotpath", TOOL_PATH)
+check_hotpath = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_hotpath)
+
+
+class TestRules:
+    def test_h001_catches_per_query_cfg_calls(self):
+        source = "def f(fn, l):\n    return fn.block_out_edges(l)\n"
+        found = check_hotpath.check_source(source, "src/repro/spill/x.py")
+        assert [v.code for v in found] == ["H001"]
+        assert found[0].line == 2
+
+    def test_h002_catches_mask_materialization_in_spill_only(self):
+        source = "def f(ix, m):\n    return ix.set_of(m)\n"
+        assert [
+            v.code
+            for v in check_hotpath.check_source(source, "src/repro/spill/x.py")
+        ] == ["H002"]
+        # The regalloc interference boundary is outside H002's scope.
+        assert (
+            check_hotpath.check_source(source, "src/repro/regalloc/interference.py")
+            == []
+        )
+
+    def test_h003_catches_blocking_calls_in_async_defs(self):
+        source = "import time\nasync def f():\n    time.sleep(0.1)\n"
+        found = check_hotpath.check_source(source, "src/repro/service/x.py")
+        assert [v.code for v in found] == ["H003"]
+
+    def test_h003_spares_sync_helpers_and_nested_sync_defs(self):
+        sync = "import time\ndef f():\n    time.sleep(0.1)\n"
+        assert check_hotpath.check_source(sync, "src/repro/service/x.py") == []
+        nested = (
+            "import time\n"
+            "async def f():\n"
+            "    def helper():\n"
+            "        time.sleep(0.1)\n"
+            "    return helper\n"
+        )
+        assert check_hotpath.check_source(nested, "src/repro/service/x.py") == []
+
+    def test_out_of_scope_paths_are_ignored(self):
+        source = "def f(fn, l):\n    return fn.block_out_edges(l)\n"
+        assert check_hotpath.check_source(source, "src/repro/evaluation/x.py") == []
+
+    def test_suppression_comment_waives_one_line(self):
+        source = (
+            "def f(ix, m):\n"
+            "    a = ix.set_of(m)  # hotpath: ok\n"
+            "    return ix.set_of(m)\n"
+        )
+        found = check_hotpath.check_source(source, "src/repro/spill/x.py")
+        assert [(v.code, v.line) for v in found] == [("H002", 3)]
+
+
+class TestTree:
+    def test_src_tree_is_clean(self):
+        violations = check_hotpath.check_tree([os.path.join(REPO_ROOT, "src", "repro")])
+        assert violations == [], "\n".join(v.render() for v in violations)
+
+    def test_self_test_passes(self):
+        assert check_hotpath.self_test() == 0
+
+    def test_cli_exit_codes(self, tmp_path):
+        planted = tmp_path / "src" / "repro" / "spill"
+        planted.mkdir(parents=True)
+        bad = planted / "bad.py"
+        bad.write_text("def f(ix, m):\n    return ix.set_of(m)\n")
+        completed = subprocess.run(
+            [sys.executable, TOOL_PATH, str(bad)],
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 1
+        assert "H002" in completed.stdout
+        clean = subprocess.run(
+            [sys.executable, TOOL_PATH, "--self-test"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert clean.returncode == 0
+        assert "self-test OK" in clean.stdout

@@ -73,6 +73,25 @@ class TestEveryFixture:
         for technique in ("baseline", "shrinkwrap", "optimized"):
             assert compiled.callee_saved_overhead(technique) >= 0.0
 
+    def test_profile_sidecar_conserves_flow(self, name):
+        """Every recorded (or defaulted) profile satisfies Kirchhoff's law —
+        the R008 lint rule must never fire on the committed corpus."""
+
+        function, profile = load_fixture(name)
+        assert profile.check_flow_conservation(function) == []
+
+    def test_lint_profile_rules_are_clean(self, name):
+        """The profile-shape rules (R008/R009) are silent on the corpus:
+        names match and every counted edge exists in the CFG."""
+
+        from repro.lint import lint_function
+
+        function, profile = load_fixture(name)
+        report = lint_function(
+            function, profile=profile, select=["R008", "R009"]
+        )
+        assert report.diagnostics == (), report.render()
+
 
 class TestFixtureSpecifics:
     def test_jump_blind_execution_count_program(self):

@@ -32,6 +32,7 @@ DEFAULT_PACKAGES = (
     "repro.evaluation",
     "repro.pipeline",
     "repro.service",
+    "repro.lint",
 )
 
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
