@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Observability-plane benchmark: the telemetry hot path must stay cheap.
+
+The rolling-window health core runs on every request (latency
+observation), every health tick (counter feeding + sampling + policy
+step) and every scrape (rendering).  This harness times each leg on an
+injected clock so the numbers are pure CPU cost, then gates the ones
+that sit on the serving path:
+
+* **observe** — one windowed latency observation (per-request cost);
+* **feed** — one ``feed_counters`` delta pass over the live counter set;
+* **sample** — one full ``health-sample/v1`` aggregation (both windows);
+* **policy_step** — one engine step over a sample (all default rules);
+* **render** — one ``metrics-text/v1`` rendering of a realistic
+  service snapshot;
+* **replay** — policy replay throughput over a synthetic 1000-sample
+  trace, reported as samples/second.
+
+Each leg reports the best-of-``--repeat`` mean over ``--iterations``
+runs.  Run from a checkout::
+
+    PYTHONPATH=src python benchmarks/bench_health.py [--iterations 2000]
+                                                     [--repeat 3]
+                                                     [--output FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+SCHEMA = "repro-spill/bench-health/v1"
+
+#: The per-request legs must stay comfortably under a millisecond each —
+#: telemetry that costs more than the work it observes is a bug.
+GATE_SECONDS = {"observe": 1e-3, "feed": 1e-3, "sample": 5e-3, "policy_step": 5e-3}
+
+
+class _Clock:
+    """A manually advanced monotonic clock (keeps the benchmark pure CPU)."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def _best_mean(repeat, iterations, fn):
+    best = None
+    for _ in range(repeat):
+        started = time.perf_counter()
+        for _ in range(iterations):
+            fn()
+        elapsed = (time.perf_counter() - started) / iterations
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--iterations", type=int, default=2000)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument(
+        "--output",
+        default=os.path.join(_REPO_ROOT, "BENCH_health.json"),
+        help="output JSON path (default: BENCH_health.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.service.health import HealthMonitor, render_metrics_text
+    from repro.service.policy import default_engine, replay_decisions
+
+    clock = _Clock()
+    counters = ("received", "completed", "errors", "rejected_overloaded")
+    monitor = HealthMonitor(
+        counters=counters, gauges=("queue_depth",), queue_limit=256, clock=clock
+    )
+
+    # Pre-warm with a realistic minute of traffic so every timed leg works
+    # on populated windows, not empty dicts.
+    totals = {name: 0 for name in counters}
+    for step in range(600):
+        clock.t = step * 0.1
+        totals["received"] += 7
+        totals["completed"] += 6
+        totals["errors"] += 1
+        monitor.feed_counters(totals)
+        monitor.observe_latency(1.0 + (step % 40))
+        monitor.observe_gauge("queue_depth", float(step % 23))
+
+    state = {"i": 0}
+
+    def observe():
+        state["i"] += 1
+        clock.t += 0.001
+        monitor.observe_latency(1.0 + state["i"] % 40)
+
+    def feed():
+        clock.t += 0.001
+        totals["received"] += 1
+        totals["completed"] += 1
+        monitor.feed_counters(totals)
+
+    def sample():
+        clock.t += 0.001
+        monitor.sample()
+
+    engine = default_engine()
+    base_sample = monitor.sample()
+
+    def policy_step():
+        clock.t += 0.001
+        engine.step(monitor.sample())
+
+    snapshot = {
+        "schema": "service-stats/v1",
+        "uptime_seconds": 60.0,
+        "draining": False,
+        "requests": {name: float(totals[name]) for name in counters},
+        "rates": {"qps": 70.0},
+        "batches": {"dispatched": 500, "mean_size": 4.2, "max_size": 16},
+        "queue": {"depth": 3, "peak_depth": 22},
+        "latency_ms": {"count": 4200, "mean": 11.0, "p50": 8.0, "p99": 39.0},
+        "policy": {"enabled": True, "shedding": False, "decisions": 2},
+        "health": base_sample,
+    }
+
+    def render():
+        render_metrics_text(snapshot)
+
+    trace = []
+    for step in range(1000):
+        clock.t += 0.25
+        monitor.observe_latency(1.0 + step % 40)
+        trace.append(monitor.sample())
+
+    legs = {
+        "observe": _best_mean(args.repeat, args.iterations, observe),
+        "feed": _best_mean(args.repeat, args.iterations, feed),
+        "sample": _best_mean(args.repeat, max(1, args.iterations // 10), sample),
+        "policy_step": _best_mean(
+            args.repeat, max(1, args.iterations // 10), policy_step
+        ),
+        "render": _best_mean(args.repeat, max(1, args.iterations // 10), render),
+    }
+
+    started = time.perf_counter()
+    decisions = replay_decisions(trace)
+    replay_elapsed = time.perf_counter() - started
+    replay_rate = len(trace) / replay_elapsed if replay_elapsed > 0 else 0.0
+
+    failures = []
+    for leg, bound in GATE_SECONDS.items():
+        if legs[leg] > bound:
+            failures.append(f"{leg}: {legs[leg]*1e6:.1f}us > {bound*1e6:.0f}us")
+
+    payload = {
+        "schema": SCHEMA,
+        "iterations": args.iterations,
+        "repeat": args.repeat,
+        "seconds_per_call": {leg: round(value, 9) for leg, value in legs.items()},
+        "replay": {
+            "samples": len(trace),
+            "decisions": len(decisions),
+            "samples_per_second": round(replay_rate, 1),
+        },
+        "gates": {leg: bound for leg, bound in GATE_SECONDS.items()},
+        "ok": not failures,
+        "failures": failures,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    for leg in sorted(legs):
+        print(f"{leg:12s}: {legs[leg]*1e6:9.2f} us/call")
+    print(
+        f"replay      : {replay_rate:9.1f} samples/s "
+        f"({len(decisions)} decision(s) over {len(trace)} samples)"
+    )
+    print(f"wrote {args.output}")
+    if failures:
+        print("GATE FAILURES: " + "; ".join(failures))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,20 +36,37 @@ Subcommands::
                                                  # inspect / empty a compile cache
     repro-spill serve     [--host H] [--port P] [--workers N] [--cache-dir DIR]
                           [--max-queue N] [--batch-max N] [--batch-window-ms T]
-                          [--peer HOST:PORT]     # run the compile server (JSON lines
+                          [--peer HOST:PORT] [--health-interval S] [--no-policy]
+                                                 # run the compile server (JSON lines
                                                  # over TCP; graceful drain on SIGTERM;
                                                  # --peer joins a fleet's cache tier)
     repro-spill fleet     [--host H] [--port P] [--peer-port P] [--shards N]
                           [--workers N] [--cache-root DIR] [--batch-max N]
                           [--batch-window-ms T] [--max-queue N]
-                          [--stall-timeout S]    # multi-shard fleet: router + N
-                                                 # shard processes + shared tier
+                          [--stall-timeout S] [--remediate]
+                                                 # multi-shard fleet: router + N
+                                                 # shard processes + shared tier;
+                                                 # --remediate lets the policy engine
+                                                 # quarantine + restart wedged shards
     repro-spill loadgen   [--host H] [--port P | --self-serve | --fleet N]
                           [--mix MIX] [--mode open|closed] [--requests N]
                           [--clients N] [--rate R] [--seed N] [--target NAME ...]
                           [--check] [--expect-coalesced]
+                          [--record-metrics FILE] [--metrics-interval S]
                                                  # deterministic load harness +
-                                                 # serving-invariant checker
+                                                 # serving-invariant checker;
+                                                 # --record-metrics samples stats into
+                                                 # a metrics-trace/v1 JSONL file
+    repro-spill stats     [--host H] [--port P] [--prom | --json]
+                          [--watch] [--interval S] [--count N]
+                                                 # one stats snapshot, or a streaming
+                                                 # --watch feed; --prom prints the
+                                                 # metrics-text/v1 scrape rendering
+    repro-spill policy    replay --trace FILE [--pin FILE]
+                                                 # replay a recorded metric trace
+                                                 # through the policy engine; print
+                                                 # the decision records (JSONL) and
+                                                 # diff them against a --pin file
 
 ``--cache-dir`` (or the ``REPRO_CACHE_DIR`` environment variable) enables
 the persistent compile cache: repeated runs of an unchanged suite reuse
@@ -267,6 +284,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="fleet peering address: consult this shared cache tier after "
         "a local miss and publish fresh compiles to it",
     )
+    serve.add_argument(
+        "--health-interval", type=float, default=None, metavar="SECONDS",
+        help="rolling-window health sampling period (default 1.0)",
+    )
+    serve.add_argument(
+        "--no-policy", action="store_true",
+        help="disable the self-protection policy engine (admission "
+        "shedding under queue pressure stays off)",
+    )
 
     fleet = subparsers.add_parser(
         "fleet",
@@ -310,6 +336,12 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--stall-timeout", type=float, default=None, metavar="SECONDS",
         help="wedged-shard watchdog bound (default 30)",
+    )
+    fleet.add_argument(
+        "--remediate", action="store_true",
+        help="let the policy engine act on fleet health: quarantine "
+        "wedged shards, then drain + restart them (decisions are logged "
+        "as structured [policy] records on stderr)",
     )
 
     loadgen = subparsers.add_parser(
@@ -359,11 +391,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--expect-coalesced", action="store_true",
         help="fail unless the server reports at least one coalesced request",
     )
+    loadgen.add_argument(
+        "--record-metrics", default=None, metavar="FILE",
+        help="sample the server's stats during the run and write them to "
+        "FILE as a metrics-trace/v1 JSONL file (replayable with "
+        "'repro-spill policy replay')",
+    )
+    loadgen.add_argument(
+        "--metrics-interval", type=float, default=0.25, metavar="SECONDS",
+        help="sampling period for --record-metrics (default 0.25)",
+    )
     # Server knobs for --self-serve runs.
     loadgen.add_argument("--workers", type=int, default=1, metavar="N",
                          help="workers of the embedded --self-serve server (default 1)")
     loadgen.add_argument("--cache-dir", default=None, metavar="DIR",
                          help="cache directory of the embedded --self-serve server")
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="fetch a running server's stats snapshot (one shot or --watch)",
+    )
+    stats.add_argument("--host", default="127.0.0.1", help="server address")
+    stats.add_argument("--port", type=int, default=7814, help="server port (default 7814)")
+    stats.add_argument(
+        "--prom", action="store_true",
+        help="print the metrics-text/v1 plaintext scrape rendering "
+        "instead of the human summary",
+    )
+    stats.add_argument(
+        "--json", action="store_true",
+        help="print the raw stats snapshot as JSON",
+    )
+    stats.add_argument(
+        "--watch", action="store_true",
+        help="stream snapshots until interrupted (or --count is reached)",
+    )
+    stats.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="refresh period for --watch (default 1.0)",
+    )
+    stats.add_argument(
+        "--count", type=int, default=None, metavar="N",
+        help="stop --watch after N snapshots (default: until interrupted)",
+    )
+
+    policy = subparsers.add_parser(
+        "policy",
+        help="replay recorded metric traces through the policy engine",
+    )
+    policy_actions = policy.add_subparsers(dest="policy_command", required=True)
+    replay = policy_actions.add_parser(
+        "replay",
+        help="replay a metrics-trace/v1 file; print decision records as JSONL",
+    )
+    replay.add_argument(
+        "--trace", required=True, metavar="FILE",
+        help="metrics-trace/v1 JSONL file (from loadgen --record-metrics)",
+    )
+    replay.add_argument(
+        "--pin", default=None, metavar="FILE",
+        help="expected decision records; exit 1 when the replay differs",
+    )
 
     lint = subparsers.add_parser(
         "lint",
@@ -814,6 +902,7 @@ def _command_serve(args) -> int:
     from repro.service.server import (
         DEFAULT_BATCH_MAX_REQUESTS,
         DEFAULT_BATCH_WINDOW_MS,
+        DEFAULT_HEALTH_INTERVAL,
         DEFAULT_MAX_QUEUE,
         run_server,
     )
@@ -850,6 +939,12 @@ def _command_serve(args) -> int:
                     else DEFAULT_BATCH_WINDOW_MS
                 ),
                 peer=args.peer,
+                health_interval=(
+                    args.health_interval
+                    if args.health_interval is not None
+                    else DEFAULT_HEALTH_INTERVAL
+                ),
+                enable_policy=not args.no_policy,
                 ready_callback=_ready,
             )
         )
@@ -890,6 +985,7 @@ def _command_fleet(args) -> int:
             if args.stall_timeout is not None
             else DEFAULT_STALL_TIMEOUT_SECONDS
         ),
+        remediate=args.remediate,
     ) as fleet:
         # Scripts (the CI fleet job among them) wait for this line.
         print(f"repro-spill fleet: listening on {fleet.host}:{fleet.port}", flush=True)
@@ -930,6 +1026,8 @@ def _command_loadgen(args) -> int:
             rate=args.rate,
             check_oracle=args.check,
             check_fleet=args.fleet is not None,
+            record_metrics=args.record_metrics,
+            metrics_interval=args.metrics_interval,
         )
 
     if args.fleet is not None and args.self_serve:
@@ -950,6 +1048,12 @@ def _command_loadgen(args) -> int:
         report = _run(args.host, args.port)
 
     print(render_load_report(report))
+    if args.record_metrics:
+        print(
+            f"loadgen: {report.metric_samples} metric sample(s) written to "
+            f"{args.record_metrics}",
+            file=sys.stderr,
+        )
     failed = not report.ok
     if args.expect_coalesced:
         server_coalesced = 0
@@ -969,6 +1073,110 @@ def _command_loadgen(args) -> int:
     if failed and not report.ok:
         print("loadgen: FAILED — errors or violated invariants (see above)", file=sys.stderr)
     return 1 if failed else 0
+
+
+def _render_stats_line(stats) -> str:
+    """One human-readable line per snapshot (the ``--watch`` row format)."""
+
+    health = stats.get("health") or {}
+    fast = (health.get("windows") or {}).get("fast", {})
+    latency = fast.get("latency", {})
+    rates = fast.get("rates", {})
+    if stats.get("schema") == "fleet-stats/v1":
+        router = stats.get("router", {})
+        shards = stats.get("shards", [])
+        healthy = sum(1 for shard in shards if shard.get("healthy"))
+        head = (
+            f"fleet completed={router.get('completed', 0)} "
+            f"errors={router.get('errors', 0)} shards={healthy}/{len(shards)}"
+        )
+    else:
+        requests = stats.get("requests", {})
+        head = (
+            f"server completed={requests.get('completed', 0)} "
+            f"errors={requests.get('errors', 0)} "
+            f"queue={stats.get('queue', {}).get('depth', 0)}"
+        )
+    return (
+        f"{head} | fast({fast.get('seconds', 0):g}s) "
+        f"qps={rates.get('qps', 0.0):g} err={rates.get('error_rate', 0.0):g} "
+        f"p50={latency.get('p50', 0.0):g}ms p95={latency.get('p95', 0.0):g}ms "
+        f"p99={latency.get('p99', 0.0):g}ms"
+    )
+
+
+def _command_stats(args) -> int:
+    import json as json_module
+    import time as time_module
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    if args.prom and args.json:
+        print("error: --prom and --json are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.interval <= 0:
+        print(f"error: --interval must be > 0, got {args.interval:g}", file=sys.stderr)
+        return 2
+    snapshots = args.count if args.watch else 1
+    if snapshots is not None and snapshots < 1:
+        print(f"error: --count must be >= 1, got {snapshots}", file=sys.stderr)
+        return 2
+    try:
+        with ServiceClient(host=args.host, port=args.port) as client:
+            emitted = 0
+            while snapshots is None or emitted < snapshots:
+                if args.prom:
+                    print(client.metrics_text(), end="", flush=True)
+                elif args.json:
+                    print(
+                        json_module.dumps(client.stats(), sort_keys=True), flush=True
+                    )
+                else:
+                    print(_render_stats_line(client.stats()), flush=True)
+                emitted += 1
+                if snapshots is not None and emitted >= snapshots:
+                    break
+                time_module.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - operator ^C
+        return 0
+    except (ConnectionError, OSError, ServiceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _command_policy(args) -> int:
+    from repro.service.health import load_metric_trace
+    from repro.service.policy import render_decisions, replay_decisions
+
+    try:
+        samples = load_metric_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    decisions = replay_decisions(samples)
+    rendered = render_decisions(decisions)
+    sys.stdout.write(rendered)
+    sys.stdout.flush()
+    print(
+        f"policy replay: {len(samples)} sample(s), {len(decisions)} decision(s)",
+        file=sys.stderr,
+    )
+    if args.pin:
+        try:
+            with open(args.pin, "r", encoding="utf-8") as handle:
+                expected = handle.read()
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if rendered != expected:
+            print(
+                f"policy replay: decisions DIFFER from the pin {args.pin}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"policy replay: decisions match the pin {args.pin}", file=sys.stderr)
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -1061,6 +1269,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_fleet(args)
     if args.command == "loadgen":
         return _command_loadgen(args)
+    if args.command == "stats":
+        return _command_stats(args)
+    if args.command == "policy":
+        return _command_policy(args)
     return 1
 
 

@@ -312,6 +312,25 @@ class ServiceClient:
         response = _raise_for_error(self._roundtrip({"type": "stats", "id": self._next_id()}))
         return dict(response["stats"])
 
+    def metrics_text(self) -> str:
+        """Fetch the ``metrics-text/v1`` plaintext rendering of the stats.
+
+        The Prometheus-style scrape endpoint: the returned string is
+        byte-deterministic given the server's snapshot (see
+        :func:`repro.service.health.render_metrics_text`).
+        """
+
+        response = _raise_for_error(
+            self._roundtrip({"type": "metrics", "id": self._next_id()})
+        )
+        if response.get("type") != "metrics" or not isinstance(
+            response.get("text"), str
+        ):
+            raise ServiceError(
+                "protocol", f"expected a metrics response, got {response.get('type')!r}"
+            )
+        return response["text"]
+
     def shutdown(self) -> None:
         """Ask the server to drain gracefully."""
 
@@ -470,6 +489,20 @@ class AsyncServiceClient:
             await self._roundtrip({"type": "stats", "id": self._next_id()})
         )
         return dict(response["stats"])
+
+    async def metrics_text(self) -> str:
+        """Fetch the ``metrics-text/v1`` plaintext rendering of the stats."""
+
+        response = _raise_for_error(
+            await self._roundtrip({"type": "metrics", "id": self._next_id()})
+        )
+        if response.get("type") != "metrics" or not isinstance(
+            response.get("text"), str
+        ):
+            raise ServiceError(
+                "protocol", f"expected a metrics response, got {response.get('type')!r}"
+            )
+        return response["text"]
 
     async def shutdown(self) -> None:
         """Ask the server to drain gracefully."""

@@ -43,6 +43,7 @@ shards either as real child processes (``backend="process"``, via
 from __future__ import annotations
 
 import asyncio
+import json
 import os
 import signal
 import subprocess
@@ -53,6 +54,11 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.service.health import (
+    METRICS_TEXT_SCHEMA,
+    HealthMonitor,
+    render_metrics_text,
+)
 from repro.service.metrics import LatencyHistogram
 from repro.service.peering import (
     DEFAULT_TIER_ENTRIES,
@@ -75,8 +81,13 @@ from repro.service.protocol import (
     resolve_compile_request,
     resolve_lint_request,
 )
+from repro.service.policy import Decision, PolicyEngine, default_engine
 from repro.service.ring import HashRing
-from repro.service.server import SEND_TIMEOUT_SECONDS, _check_admin_fields
+from repro.service.server import (
+    DEFAULT_HEALTH_INTERVAL,
+    SEND_TIMEOUT_SECONDS,
+    _check_admin_fields,
+)
 
 #: Seconds of "pending work but no response" after which the stall
 #: watchdog declares a shard wedged and isolates it (tests shrink this).
@@ -125,6 +136,22 @@ class RouterMetrics:
 
     latency_ms: LatencyHistogram = field(default_factory=LatencyHistogram)
     started_at: float = field(default_factory=time.monotonic)
+
+    def counter_values(self) -> Dict[str, int]:
+        """The cumulative counters as a plain dict (health-monitor feed)."""
+
+        return {
+            "received": self.received,
+            "completed": self.completed,
+            "errors": self.errors,
+            "protocol_errors": self.protocol_errors,
+            "rejected_shutting_down": self.rejected_shutting_down,
+            "tier_hits": self.tier_hits,
+            "forwarded": self.forwarded,
+            "rerouted": self.rerouted,
+            "shard_deaths": self.shard_deaths,
+            "wedged": self.wedged,
+        }
 
     def snapshot(self) -> Dict[str, Any]:
         """A JSON-serializable view of the router's counters."""
@@ -325,9 +352,12 @@ class FleetRouter:
         peer_port: int = 0,
         stall_timeout: float = DEFAULT_STALL_TIMEOUT_SECONDS,
         tier_entries: int = DEFAULT_TIER_ENTRIES,
+        health_interval: float = DEFAULT_HEALTH_INTERVAL,
     ):
         if stall_timeout <= 0:
             raise ValueError(f"stall_timeout must be > 0, got {stall_timeout!r}")
+        if health_interval <= 0:
+            raise ValueError(f"health_interval must be > 0, got {health_interval!r}")
         self.host = host
         self.port = port
         self.peer_port = peer_port
@@ -335,6 +365,8 @@ class FleetRouter:
         self.ring = HashRing()
         self.tier = SharedCacheTier(max_entries=tier_entries)
         self.metrics = RouterMetrics()
+        self.health_interval = health_interval
+        self.health = HealthMonitor(counters=tuple(self.metrics.counter_values()))
 
         self._links: Dict[str, _ShardLink] = {}
         self._lost: Dict[str, str] = {}
@@ -343,6 +375,7 @@ class FleetRouter:
         self._peer_server: Optional[asyncio.base_events.Server] = None
         self._connections: set = set()
         self._watchdog_task: Optional[asyncio.Task] = None
+        self._health_task: Optional[asyncio.Task] = None
         self._draining = False
         self._active_requests = 0
         self._idle = asyncio.Event()
@@ -364,6 +397,7 @@ class FleetRouter:
         )
         self.peer_port = self._peer_server.sockets[0].getsockname()[1]
         self._watchdog_task = asyncio.ensure_future(self._watchdog())
+        self._health_task = asyncio.ensure_future(self._health_loop())
 
     async def _handle_peering(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -423,6 +457,63 @@ class FleetRouter:
                         f"for {link.stalled_seconds:.1f}s"
                     )
 
+    async def _health_loop(self) -> None:
+        """Feed the router counters into the rolling window every tick.
+
+        Keeps the windowed rates current even between ``stats`` polls, so
+        a recorded trace attributes counter deltas close to event time.
+        """
+
+        while not self._draining:
+            await asyncio.sleep(self.health_interval)
+            if self._draining:
+                return
+            self.health.feed_counters(self.metrics.counter_values())
+
+    def health_sample(self) -> Dict[str, Any]:
+        """The router's ``health-sample/v1`` payload, with shard link state.
+
+        On top of the windowed counters/latency this folds in the live
+        per-shard link view (``healthy``/``pending``/``stalled_seconds``)
+        and the lost-shard record — the inputs the wedged-shard and
+        restart policy rules consume, live and on replay.
+        """
+
+        self.health.feed_counters(self.metrics.counter_values())
+        sample = self.health.sample()
+        sample["shards"] = [
+            {
+                "id": shard_id,
+                "healthy": link.healthy,
+                "pending": link.pending_count,
+                "stalled_seconds": round(link.stalled_seconds, 3),
+            }
+            for shard_id, link in sorted(self._links.items())
+        ]
+        sample["lost"] = dict(self._lost)
+        return sample
+
+    async def health_sample_async(self) -> Dict[str, Any]:
+        """:meth:`health_sample` as a coroutine (for cross-thread calls)."""
+
+        return self.health_sample()
+
+    async def quarantine_shard(self, shard_id: str, reason: str) -> bool:
+        """Isolate one shard on policy's orders (same path as the watchdog).
+
+        Closes the shard's link with a ``wedged:`` reason, which shrinks
+        the ring, fails its in-flight forwards over to re-routing, and
+        records it in ``lost_shards``.  Returns False when the shard is
+        not attached (already lost or never seen).
+        """
+
+        link = self._links.get(shard_id)
+        if link is None:
+            return False
+        self.metrics.wedged += 1
+        link.close(f"wedged: {reason}")
+        return True
+
     def request_drain(self) -> None:
         """Schedule a graceful fleet drain (signal-handler safe)."""
 
@@ -457,6 +548,12 @@ class FleetRouter:
             self._watchdog_task.cancel()
             try:
                 await self._watchdog_task
+            except asyncio.CancelledError:
+                pass
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
             except asyncio.CancelledError:
                 pass
         for connection in list(self._connections):
@@ -563,7 +660,7 @@ class FleetRouter:
                     )
                     tasks.add(task)
                     task.add_done_callback(tasks.discard)
-                elif kind in ("stats", "shutdown"):
+                elif kind in ("stats", "metrics", "shutdown"):
                     try:
                         _check_admin_fields(message, kind)
                     except ProtocolError as exc:
@@ -581,6 +678,18 @@ class FleetRouter:
                                 "type": "stats",
                                 "id": message.get("id"),
                                 "stats": await self.stats_snapshot_async(),
+                            },
+                        )
+                    elif kind == "metrics":
+                        await self._send(
+                            connection,
+                            {
+                                "type": "metrics",
+                                "id": message.get("id"),
+                                "schema": METRICS_TEXT_SCHEMA,
+                                "text": render_metrics_text(
+                                    await self.stats_snapshot_async()
+                                ),
                             },
                         )
                     else:
@@ -756,9 +865,9 @@ class FleetRouter:
                         )
                     self.metrics.tier_hits += 1
                     self.metrics.completed += 1
-                    self.metrics.latency_ms.record(
-                        (time.monotonic() - arrived) * 1000.0
-                    )
+                    latency_ms = (time.monotonic() - arrived) * 1000.0
+                    self.metrics.latency_ms.record(latency_ms)
+                    self.health.observe_latency(latency_ms)
                     await self._send(connection, answer)
                     return
 
@@ -779,7 +888,9 @@ class FleetRouter:
                 service["shard"] = shard_id
                 relayed["service"] = service
                 self.metrics.completed += 1
-                self.metrics.latency_ms.record((time.monotonic() - arrived) * 1000.0)
+                latency_ms = (time.monotonic() - arrived) * 1000.0
+                self.metrics.latency_ms.record(latency_ms)
+                self.health.observe_latency(latency_ms)
             else:
                 self.metrics.errors += 1
             await self._send(connection, relayed)
@@ -873,12 +984,14 @@ class FleetRouter:
                     "forwarded": link.forwarded,
                     "answered": link.answered,
                     "pending": link.pending_count,
+                    "stalled_seconds": round(link.stalled_seconds, 3),
                     "stats": stats,
                 }
             )
         return {
             "schema": "fleet-stats/v1",
             "draining": self._draining,
+            "health": self.health_sample(),
             "router": self.metrics.snapshot(),
             "ring": {
                 "members": list(self.ring.members),
@@ -1119,11 +1232,16 @@ class Fleet:
         stall_timeout: float = DEFAULT_STALL_TIMEOUT_SECONDS,
         tier_entries: int = DEFAULT_TIER_ENTRIES,
         startup_timeout: float = 60.0,
+        remediate: bool = False,
+        policy: Optional[PolicyEngine] = None,
+        policy_interval: float = 0.5,
     ):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards!r}")
         if backend not in ("process", "thread"):
             raise ValueError(f"backend must be 'process' or 'thread', got {backend!r}")
+        if policy_interval <= 0:
+            raise ValueError(f"policy_interval must be > 0, got {policy_interval!r}")
         self.shard_count = shards
         self.backend = backend
         self.host = host
@@ -1145,6 +1263,16 @@ class Fleet:
         self._thread: Optional[threading.Thread] = None
         self._ready = threading.Event()
         self._failure: Optional[BaseException] = None
+        # Policy-driven remediation (opt-in): a supervisor thread polls the
+        # router's health sample, steps the policy engine, and *executes*
+        # quarantine/restart decisions against the shard handles.  Off by
+        # default so fault tests that pin "a killed shard stays lost" keep
+        # their semantics.
+        self.remediate = remediate
+        self.policy = policy if policy is not None else default_engine()
+        self._policy_interval = policy_interval
+        self._policy_thread: Optional[threading.Thread] = None
+        self._policy_stop = threading.Event()
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -1165,6 +1293,11 @@ class Fleet:
         except BaseException:
             self.stop()
             raise
+        if self.remediate:
+            self._policy_thread = threading.Thread(
+                target=self._policy_loop, name="repro-fleet-policy", daemon=True
+            )
+            self._policy_thread.start()
         return self
 
     def __exit__(self, *_exc) -> None:
@@ -1211,13 +1344,14 @@ class Fleet:
             raise
         return future.result(timeout)
 
-    def _spawn_shard(self, index: int) -> None:
-        shard_id = f"s{index}"
+    def _make_shard(self, shard_id: str):
+        """Construct (but do not start) one shard handle with the fleet's config."""
+
         cache_dir = (
             os.path.join(self._cache_root, shard_id) if self._cache_root else None
         )
         shard_cls = ProcessShard if self.backend == "process" else ThreadShard
-        shard = shard_cls(
+        return shard_cls(
             shard_id,
             peer=f"{self.host}:{self.peer_port}",
             host=self.host,
@@ -1228,14 +1362,98 @@ class Fleet:
             max_queue=self._max_queue,
             startup_timeout=self._startup_timeout,
         )
+
+    def _spawn_shard(self, index: int) -> None:
+        shard_id = f"s{index}"
+        shard = self._make_shard(shard_id)
         shard.start()
         assert self.router is not None and shard.port is not None
         self._call(self.router.attach_shard(shard_id, self.host, shard.port))
         self.shards.append(shard)
 
+    # -- policy-driven remediation ------------------------------------------------
+
+    def _policy_loop(self) -> None:
+        """The remediation thread: sample health, step policy, execute.
+
+        The engine only *decides* (deterministically, from the sample
+        stream); this loop is the executor that turns ``quarantine`` and
+        ``restart`` decisions into link closures and process restarts.
+        """
+
+        while not self._policy_stop.wait(self._policy_interval):
+            if self.router is None:
+                continue
+            try:
+                sample = self._call(self.router.health_sample_async(), timeout=10.0)
+            except Exception:
+                continue
+            for decision in self.policy.step(sample):
+                sys.stderr.write(
+                    "[policy] " + json.dumps(decision.payload(), sort_keys=True) + "\n"
+                )
+                sys.stderr.flush()
+                try:
+                    self._execute_decision(decision)
+                except Exception:  # pragma: no cover - best-effort remediation
+                    pass
+
+    def _execute_decision(self, decision: Decision) -> None:
+        """Carry out one policy decision against the router and shards."""
+
+        if decision.action == "quarantine":
+            self._call(
+                self.router.quarantine_shard(decision.target, decision.reason),
+                timeout=10.0,
+            )
+        elif decision.action == "restart":
+            self._restart_shard(decision.target)
+
+    def _restart_shard(self, shard_id: str) -> None:
+        """Drain+restart one wedged shard and reattach it to the ring.
+
+        The wedged process is resumed first (a SIGSTOPped child cannot
+        act on SIGTERM), drained with a short deadline (escalating to
+        SIGKILL), then replaced by a fresh shard under the same id; the
+        reattach clears the router's lost-shard record, so the ring grows
+        back to full strength.
+        """
+
+        try:
+            old = self.shard(shard_id)
+        except KeyError:
+            return
+        resume = getattr(old, "resume", None)
+        if resume is not None:
+            try:
+                resume()
+            except Exception:  # pragma: no cover - already dead
+                pass
+        try:
+            old.stop(5.0)
+        except Exception:  # pragma: no cover - best-effort reap
+            pass
+        replacement = self._make_shard(shard_id)
+        replacement.start()
+        assert replacement.port is not None
+        self._call(
+            self.router.attach_shard(shard_id, self.host, replacement.port),
+            timeout=30.0,
+        )
+        self.shards[self.shards.index(old)] = replacement
+
+    def decisions(self) -> List[Decision]:
+        """Every decision the remediation policy engine has made so far."""
+
+        return list(self.policy.log)
+
     def stop(self, timeout: float = 60.0) -> None:
         """Drain the router (which drains the shards), then reap everything."""
 
+        self._policy_stop.set()
+        if self._policy_thread is not None:
+            self._policy_thread.join(timeout)
+            self._policy_thread = None
         loop, router = self._loop, self.router
         if loop is not None and router is not None and not loop.is_closed():
             coroutine = router.drain()

@@ -344,6 +344,9 @@ class LoadReport:
     peer_hit_responses: int = 0
     wall_seconds: float = 0.0
     latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    #: Stats snapshots sampled during the run when metric recording was on
+    #: (``record_metrics``); written out as a ``metrics-trace/v1`` file.
+    metric_samples: int = 0
     #: The server's metrics snapshot fetched after the run.  When the
     #: server was already draining (or gone) by fetch time this holds a
     #: partial marker — ``{"schema": "service-stats/partial", "partial":
@@ -393,6 +396,7 @@ class LoadReport:
             "wall_seconds": round(self.wall_seconds, 4),
             "throughput_rps": round(self.throughput_rps, 3),
             "latency_ms": self.latency.summary(),
+            "metric_samples": self.metric_samples,
         }
 
 
@@ -451,6 +455,8 @@ async def _drive(
     backoff: float,
     checker: _Checker,
     report: LoadReport,
+    metric_trace: Optional[List[Dict[str, Any]]] = None,
+    metrics_interval: float = 0.25,
 ) -> None:
     """Replay the plan against the server in the requested mode."""
 
@@ -458,6 +464,31 @@ async def _drive(
         await _PipelinedClient.connect(host, port, timeout) for _ in range(clients)
     ]
     loop = asyncio.get_running_loop()
+
+    sampler_task: Optional[asyncio.Task] = None
+    sampler: Optional[_PipelinedClient] = None
+    if metric_trace is not None:
+        # The sampler rides its own connection so stats polling never
+        # contends with load traffic for a pipelined writer.
+        sampler = await _PipelinedClient.connect(host, port, timeout)
+
+        async def sample_loop(connection: _PipelinedClient) -> None:
+            sequence = 0
+            while True:
+                try:
+                    response = await connection.request(
+                        {"type": "stats", "id": f"mrec{sequence}"}, timeout
+                    )
+                except (ConnectionError, asyncio.TimeoutError):
+                    return
+                sequence += 1
+                if response.get("type") == "stats" and isinstance(
+                    response.get("stats"), dict
+                ):
+                    metric_trace.append(response["stats"])
+                await asyncio.sleep(metrics_interval)
+
+        sampler_task = asyncio.ensure_future(sample_loop(sampler))
 
     async def submit(connection: _PipelinedClient, message: Mapping[str, Any]) -> None:
         started = loop.time()
@@ -508,6 +539,14 @@ async def _drive(
                 *(fire(position, message) for position, message in enumerate(plan))
             )
     finally:
+        if sampler_task is not None:
+            sampler_task.cancel()
+            try:
+                await sampler_task
+            except (asyncio.CancelledError, Exception):  # pragma: no cover
+                pass
+        if sampler is not None:
+            await sampler.close()
         for connection in connections:
             report.protocol_errors += connection.protocol_errors
         # Fetch the server's own view before closing (stats ride the load
@@ -611,6 +650,8 @@ def run_load(
     backoff: float = 0.05,
     check_oracle: bool = False,
     check_fleet: bool = False,
+    record_metrics: Optional[str] = None,
+    metrics_interval: float = 0.25,
 ) -> LoadReport:
     """Replay a request plan against a running server and verify it.
 
@@ -622,7 +663,11 @@ def run_load(
     pollutes the measured window).  With ``check_fleet=True`` (a freshly
     started fleet only — shard counters must belong to this run) the
     end-of-run fleet snapshot is checked for fleet-wide double-compiles
-    (:func:`fleet_invariant_violations`).
+    (:func:`fleet_invariant_violations`).  With ``record_metrics=PATH``
+    a sampler connection polls ``stats`` every ``metrics_interval``
+    seconds during the run and writes the snapshots to ``PATH`` as a
+    ``metrics-trace/v1`` JSONL file — the raw material for replaying the
+    run through the policy engine (``repro-spill policy replay``).
     """
 
     if mode not in MODES:
@@ -631,11 +676,16 @@ def run_load(
         raise ValueError(f"clients must be >= 1, got {clients!r}")
     if mode == "open" and rate <= 0:
         raise ValueError(f"open-loop rate must be > 0, got {rate!r}")
+    if metrics_interval <= 0:
+        raise ValueError(f"metrics_interval must be > 0, got {metrics_interval!r}")
 
     signatures = {message["id"]: plan_signature(message) for message in plan}
     oracle = oracle_results(plan) if check_oracle else None
     report = LoadReport(mode=mode, requests_planned=len(plan))
     checker = _Checker(report, signatures, oracle)
+    metric_trace: Optional[List[Dict[str, Any]]] = (
+        [] if record_metrics is not None else None
+    )
 
     started = time.perf_counter()
     asyncio.run(
@@ -651,6 +701,8 @@ def run_load(
             backoff,
             checker,
             report,
+            metric_trace=metric_trace,
+            metrics_interval=metrics_interval,
         )
     )
     report.wall_seconds = time.perf_counter() - started
@@ -658,6 +710,10 @@ def run_load(
         report.invariant_violations.extend(
             fleet_invariant_violations(report.server_stats, plan)
         )
+    if record_metrics is not None and metric_trace is not None:
+        from repro.service.health import write_metric_trace
+
+        report.metric_samples = write_metric_trace(record_metrics, metric_trace)
     return report
 
 

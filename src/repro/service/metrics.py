@@ -33,6 +33,20 @@ class LatencyHistogram:
     Samples are kept verbatim until :data:`MAX_SAMPLES`; past that the
     histogram decimates (keeps every second sample and doubles its stride),
     so memory stays bounded while min/max/count/sum remain exact.
+
+    .. note:: **Known tail bias after decimation.**  Decimation keeps every
+       k-th sample *in arrival order*, so once the reservoir has decimated,
+       percentile queries answer from a strided subsample of the stream.
+       For time-correlated latency (bursts, warmup, load waves) the stride
+       systematically thins whichever regime arrives while ``_skip`` is
+       counting down, skewing tail percentiles — p99 can land an entire
+       burst away from the true value under sustained load.  Cumulative
+       lifetime stats tolerate this; *windowed* health reporting must not,
+       which is why the rolling-window path in
+       :mod:`repro.service.health` uses fixed-bucket histograms whose
+       quantiles are exact up to bucket resolution regardless of volume.
+       Both behaviours are pinned by
+       ``tests/service/test_reservoir_bias.py``.
     """
 
     def __init__(self) -> None:
@@ -104,6 +118,10 @@ class ServiceMetrics:
     protocol_errors: int = 0
     #: Compile requests rejected by admission control.
     rejected_overloaded: int = 0
+    #: Requests rejected by policy-driven load shedding (subset of
+    #: ``rejected_overloaded`` on the wire: shed rejections reuse the
+    #: ``overloaded`` error code so clients retry transparently).
+    rejected_shed: int = 0
     #: Compile requests rejected because the server was draining.
     rejected_shutting_down: int = 0
     #: Requests that attached to an identical in-flight compile.
@@ -169,6 +187,31 @@ class ServiceMetrics:
 
         return self.batched_entries / self.batches if self.batches else 0.0
 
+    def counter_values(self) -> Dict[str, int]:
+        """The cumulative counters as a plain name → value dict.
+
+        The bridge into the windowed health layer: a
+        :class:`repro.service.health.HealthMonitor` delta-feeds these via
+        ``feed_counters`` each tick, turning lifetime totals into
+        per-window rates without double counting.
+        """
+
+        return {
+            "received": self.received,
+            "completed": self.completed,
+            "errors": self.errors,
+            "protocol_errors": self.protocol_errors,
+            "rejected_overloaded": self.rejected_overloaded,
+            "rejected_shed": self.rejected_shed,
+            "rejected_shutting_down": self.rejected_shutting_down,
+            "coalesced": self.coalesced,
+            "cache_hits": self.cache_hits,
+            "peer_hits": self.peer_hits,
+            "peer_puts": self.peer_puts,
+            "peer_errors": self.peer_errors,
+            "compiled": self.compiled,
+        }
+
     def snapshot(
         self, queue_depth: int = 0, cache_stats: Optional[Dict[str, Any]] = None
     ) -> Dict[str, Any]:
@@ -190,6 +233,7 @@ class ServiceMetrics:
                 "errors": self.errors,
                 "protocol_errors": self.protocol_errors,
                 "rejected_overloaded": self.rejected_overloaded,
+                "rejected_shed": self.rejected_shed,
                 "rejected_shutting_down": self.rejected_shutting_down,
                 "coalesced": self.coalesced,
                 "cache_hits": self.cache_hits,

@@ -1,0 +1,396 @@
+"""Self-protection policy engine: health samples in, decision records out.
+
+The policy layer closes the loop the health layer opens: every tick a
+server (or the fleet supervisor) feeds the current
+``health-sample/v1`` payload from :mod:`repro.service.health` into a
+:class:`PolicyEngine`, and the engine's rules emit zero or more
+:class:`Decision` records — shed-load on/off, SLO alarms, wedged-shard
+quarantine, drain+restart.  The caller *executes* the decisions; the
+engine itself only decides, which is what makes it replayable:
+
+* A decision is a **pure function of the sample stream and the engine
+  configuration**.  No wall clock, no randomness, no ambient state: the
+  decision's ``t`` comes from the sample's own ``t`` field.
+* :func:`replay_decisions` feeds a recorded metric trace (see
+  :func:`repro.service.health.load_metric_trace`) through a fresh
+  engine and returns exactly the decisions a live engine would have
+  made on the same samples.  ``tests/service/test_policy_traces.py``
+  pins that replay byte-for-byte across hash seeds.
+
+Rules are pluggable: subclass :class:`PolicyRule` and pass your list to
+:class:`PolicyEngine`.  The stock catalogue (:func:`default_rules`):
+
+``shed-load``
+    Enter admission-control shedding when the windowed queue-depth peak
+    crosses a fraction of the queue limit, exit when it falls back —
+    rejecting with the existing ``overloaded`` protocol error *before*
+    the queue is full, so clients retry transparently.
+``slo-alarm``
+    Raise/clear one alarm per configured SLO using multi-window
+    burn-rate evaluation (:func:`repro.service.health.evaluate_slos`).
+``wedged-shard``
+    Quarantine a shard whose oldest pending request has stalled past a
+    bound — faster and more targeted than the router watchdog, and
+    feeding the same ``close("wedged: ...")`` plumbing.
+``restart-shard``
+    After a grace period, drain and restart a quarantined
+    ``ProcessShard``; readmit the shard (clearing quarantine state)
+    once it reports healthy again.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .health import SLO, default_slos, evaluate_slos
+
+#: Schema tag of one serialized decision record.
+DECISION_SCHEMA = "policy-decision/v1"
+
+#: Every action a stock rule can emit (custom rules may add their own,
+#: but executors only understand these).
+ACTIONS = (
+    "shed_on",
+    "shed_off",
+    "alarm_on",
+    "alarm_off",
+    "quarantine",
+    "restart",
+    "readmit",
+)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One structured, replayable policy decision.
+
+    ``seq`` is the engine-assigned monotonically increasing sequence
+    number, ``t`` the sample time (seconds since monitor start) the
+    decision was made at, ``rule``/``action`` identify what fired,
+    ``target`` names the object acted on (an SLO name, a shard id, or
+    ``"admission"``), ``window`` the window label that triggered, and
+    ``value``/``threshold`` the measured quantity against its bound.
+    """
+
+    seq: int
+    t: float
+    rule: str
+    action: str
+    target: str
+    window: str
+    value: float
+    threshold: float
+    reason: str
+
+    def payload(self) -> Dict[str, Any]:
+        """The stable JSON form of this decision (all keys, rounded floats)."""
+
+        return {
+            "schema": DECISION_SCHEMA,
+            "seq": self.seq,
+            "t": round(self.t, 6),
+            "rule": self.rule,
+            "action": self.action,
+            "target": self.target,
+            "window": self.window,
+            "value": round(self.value, 6),
+            "threshold": round(self.threshold, 6),
+            "reason": self.reason,
+        }
+
+
+def render_decisions(decisions: Sequence[Decision]) -> str:
+    """Serialize decisions as sorted-key JSON lines (the pinned format)."""
+
+    return "".join(
+        json.dumps(decision.payload(), sort_keys=True) + "\n"
+        for decision in decisions
+    )
+
+
+@dataclass
+class PolicyState:
+    """The mutable state rules share across ticks.
+
+    Rules read and write this to implement hysteresis (shedding), alarm
+    latching, and the quarantine → restart → readmit shard lifecycle.
+    """
+
+    #: Whether admission-control shedding is currently on.
+    shedding: bool = False
+    #: SLO names whose burn-rate alarm is currently raised.
+    alarms: Set[str] = field(default_factory=set)
+    #: Quarantined shard id → the sample time the quarantine fired.
+    quarantined: Dict[str, float] = field(default_factory=dict)
+    #: Shard ids whose restart has been issued and not yet readmitted.
+    restarted: Set[str] = field(default_factory=set)
+
+
+class PolicyRule:
+    """Base class of one pluggable policy rule.
+
+    Subclasses set :attr:`name` and implement :meth:`evaluate`, returning
+    decision *fragments* — ``(action, target, window, value, threshold,
+    reason)`` tuples — for the engine to stamp with ``seq``/``t``.
+    ``evaluate`` must be deterministic given its arguments and the rule's
+    configuration: no clocks, no randomness.
+    """
+
+    name = "rule"
+
+    def evaluate(
+        self,
+        sample: Mapping[str, Any],
+        state: PolicyState,
+        slo_report: Mapping[str, Mapping[str, Any]],
+    ) -> List[Tuple[str, str, str, float, float, str]]:
+        """Return this tick's decision fragments (possibly empty)."""
+
+        raise NotImplementedError
+
+
+class ShedLoadRule(PolicyRule):
+    """Admission-control shedding on windowed queue-depth peaks.
+
+    Enters shedding when the ``window`` queue-depth peak reaches
+    ``enter_fraction`` of the queue limit, exits when it falls to
+    ``exit_fraction`` — the wide hysteresis band prevents flapping.
+    Inert when the sample carries no queue limit.
+    """
+
+    name = "shed-load"
+
+    def __init__(
+        self,
+        window: str = "fast",
+        enter_fraction: float = 0.8,
+        exit_fraction: float = 0.25,
+    ):
+        if not 0.0 < exit_fraction < enter_fraction <= 1.0:
+            raise ValueError(
+                "need 0 < exit_fraction < enter_fraction <= 1, got "
+                f"{exit_fraction!r} / {enter_fraction!r}"
+            )
+        self.window = window
+        self.enter_fraction = enter_fraction
+        self.exit_fraction = exit_fraction
+
+    def evaluate(self, sample, state, slo_report):
+        """Emit ``shed_on``/``shed_off`` on queue-depth hysteresis crossings."""
+
+        limit = sample.get("queue_limit")
+        if not limit:
+            return []
+        window = sample.get("windows", {}).get(self.window, {})
+        depth = float(window.get("gauges", {}).get("queue_depth", 0.0))
+        fraction = depth / float(limit)
+        if not state.shedding and fraction >= self.enter_fraction:
+            state.shedding = True
+            return [(
+                "shed_on", "admission", self.window, fraction, self.enter_fraction,
+                f"queue depth {depth:g}/{limit} crossed {self.enter_fraction:g}",
+            )]
+        if state.shedding and fraction <= self.exit_fraction:
+            state.shedding = False
+            return [(
+                "shed_off", "admission", self.window, fraction, self.exit_fraction,
+                f"queue depth {depth:g}/{limit} fell below {self.exit_fraction:g}",
+            )]
+        return []
+
+
+class SloAlarmRule(PolicyRule):
+    """Raise and clear one burn-rate alarm per configured SLO.
+
+    The multi-window evaluation is done by the engine (fast **and** slow
+    windows must both burn past the SLO's threshold); this rule latches
+    the result into :class:`PolicyState` and emits the edge transitions.
+    """
+
+    name = "slo-alarm"
+
+    def evaluate(self, sample, state, slo_report):
+        """Emit ``alarm_on``/``alarm_off`` on burn-rate edge transitions."""
+
+        fragments = []
+        for slo_name in sorted(slo_report):
+            verdict = slo_report[slo_name]
+            burning = bool(verdict.get("alarm"))
+            fast_burn = float(verdict.get("fast_burn", 0.0))
+            threshold = float(verdict.get("burn_threshold", 0.0))
+            if burning and slo_name not in state.alarms:
+                state.alarms.add(slo_name)
+                fragments.append((
+                    "alarm_on", slo_name, "fast", fast_burn, threshold,
+                    f"SLO {slo_name} burning in both windows "
+                    f"(fast={fast_burn:g}, slow={verdict.get('slow_burn', 0.0):g})",
+                ))
+            elif not burning and slo_name in state.alarms:
+                state.alarms.discard(slo_name)
+                fragments.append((
+                    "alarm_off", slo_name, "fast", fast_burn, threshold,
+                    f"SLO {slo_name} burn back under threshold",
+                ))
+        return fragments
+
+
+class WedgedShardRule(PolicyRule):
+    """Quarantine a shard whose oldest pending request has stalled.
+
+    Reads the per-shard link state the fleet router folds into its
+    health sample (``sample["shards"]``); inert on single-server
+    samples.  A quarantined shard stays in :class:`PolicyState` until
+    :class:`RestartRule` readmits it, so the quarantine fires once.
+    """
+
+    name = "wedged-shard"
+
+    def __init__(self, stall_seconds: float = 4.0):
+        if stall_seconds <= 0:
+            raise ValueError(f"stall_seconds must be > 0, got {stall_seconds!r}")
+        self.stall_seconds = stall_seconds
+
+    def evaluate(self, sample, state, slo_report):
+        """Emit ``quarantine`` for each newly stalled shard."""
+
+        fragments = []
+        for shard in sample.get("shards", []):
+            shard_id = str(shard.get("id"))
+            if shard_id in state.quarantined or shard_id in state.restarted:
+                continue
+            stalled = float(shard.get("stalled_seconds", 0.0))
+            if int(shard.get("pending", 0)) > 0 and stalled >= self.stall_seconds:
+                state.quarantined[shard_id] = float(sample.get("t", 0.0))
+                fragments.append((
+                    "quarantine", shard_id, "fast", stalled, self.stall_seconds,
+                    f"shard {shard_id} stalled {stalled:g}s with pending work",
+                ))
+        return fragments
+
+
+class RestartRule(PolicyRule):
+    """Drain+restart quarantined shards, then readmit them when healthy.
+
+    ``after_seconds`` past a quarantine, emits ``restart`` for the shard
+    (the executor stops the wedged ``ProcessShard`` and spawns a
+    replacement on the same id).  Once a restarted shard shows up
+    healthy in a later sample, emits ``readmit`` and clears the
+    lifecycle state so a future wedge can be handled afresh.
+    """
+
+    name = "restart-shard"
+
+    def __init__(self, after_seconds: float = 2.0):
+        if after_seconds < 0:
+            raise ValueError(f"after_seconds must be >= 0, got {after_seconds!r}")
+        self.after_seconds = after_seconds
+
+    def evaluate(self, sample, state, slo_report):
+        """Emit ``restart`` after the grace period and ``readmit`` on recovery."""
+
+        fragments = []
+        now = float(sample.get("t", 0.0))
+        shards = {str(s.get("id")): s for s in sample.get("shards", [])}
+        for shard_id in sorted(state.quarantined):
+            if shard_id in state.restarted:
+                continue
+            waited = now - state.quarantined[shard_id]
+            if waited >= self.after_seconds:
+                state.restarted.add(shard_id)
+                fragments.append((
+                    "restart", shard_id, "fast", waited, self.after_seconds,
+                    f"shard {shard_id} still quarantined after {waited:g}s; "
+                    "drain and restart",
+                ))
+        for shard_id in sorted(state.restarted):
+            shard = shards.get(shard_id)
+            if shard is not None and shard.get("healthy"):
+                state.restarted.discard(shard_id)
+                state.quarantined.pop(shard_id, None)
+                fragments.append((
+                    "readmit", shard_id, "fast", 0.0, 0.0,
+                    f"shard {shard_id} healthy again after restart",
+                ))
+        return fragments
+
+
+def default_rules() -> List[PolicyRule]:
+    """The stock rule catalogue in evaluation order."""
+
+    return [ShedLoadRule(), SloAlarmRule(), WedgedShardRule(), RestartRule()]
+
+
+class PolicyEngine:
+    """Evaluates rules against each health sample, logging decisions.
+
+    Deterministic by construction: :meth:`step` touches nothing but the
+    sample, the configured rules/SLOs, and the engine's own state — so
+    the same sample sequence always produces the same decision log,
+    which is the property :func:`replay_decisions` and the pinned trace
+    tests rely on.
+    """
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[PolicyRule]] = None,
+        slos: Optional[Sequence[SLO]] = None,
+    ):
+        self.rules = list(rules) if rules is not None else default_rules()
+        self.slos = tuple(slos) if slos is not None else default_slos()
+        self.state = PolicyState()
+        self.log: List[Decision] = []
+        self._seq = 0
+
+    def step(self, sample: Mapping[str, Any]) -> List[Decision]:
+        """Evaluate every rule against one sample; return new decisions."""
+
+        slo_report = evaluate_slos(self.slos, sample)
+        for slo in self.slos:
+            slo_report[slo.name]["burn_threshold"] = slo.burn_threshold
+        decisions: List[Decision] = []
+        t = float(sample.get("t", 0.0))
+        for rule in self.rules:
+            for action, target, window, value, threshold, reason in rule.evaluate(
+                sample, self.state, slo_report
+            ):
+                decision = Decision(
+                    seq=self._seq,
+                    t=t,
+                    rule=rule.name,
+                    action=action,
+                    target=target,
+                    window=window,
+                    value=float(value),
+                    threshold=float(threshold),
+                    reason=reason,
+                )
+                self._seq += 1
+                decisions.append(decision)
+        self.log.extend(decisions)
+        return decisions
+
+
+def default_engine() -> PolicyEngine:
+    """A fresh engine with the stock rules and SLOs (the replay baseline)."""
+
+    return PolicyEngine()
+
+
+def replay_decisions(
+    samples: Sequence[Mapping[str, Any]],
+    engine: Optional[PolicyEngine] = None,
+) -> List[Decision]:
+    """Feed a recorded sample sequence through an engine; return all decisions.
+
+    With the default engine this reproduces exactly what a live default
+    engine would have decided on the same samples — the replay side of
+    the pinned-trace contract.
+    """
+
+    engine = engine if engine is not None else default_engine()
+    decisions: List[Decision] = []
+    for sample in samples:
+        decisions.extend(engine.step(sample))
+    return decisions

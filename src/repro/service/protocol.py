@@ -23,6 +23,10 @@ Message types
     ``error``;
 ``stats``
     fetch the server's metrics snapshot (:mod:`repro.service.metrics`);
+``metrics``
+    fetch the Prometheus-style plaintext rendering of the same snapshot
+    (``metrics-text/v1``; :func:`repro.service.health.render_metrics_text`),
+    answered as ``{"type": "metrics", "schema": ..., "text": ...}``;
 ``shutdown``
     ask the server to drain gracefully (stop admitting, finish queued
     work, close);

@@ -40,13 +40,21 @@ property the serving test suite (``tests/service/``) pins down.
 from __future__ import annotations
 
 import asyncio
+import json
 import signal
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cache.store import CacheSpec, resolve_cache
+from repro.service.health import (
+    METRICS_TEXT_SCHEMA,
+    HealthMonitor,
+    render_metrics_text,
+)
 from repro.service.metrics import ServiceMetrics, cache_stats_payload
+from repro.service.policy import PolicyEngine, default_engine
 from repro.service.peering import PeerCacheClient, parse_peer_address
 from repro.service.protocol import (
     MAX_FRAME_BYTES,
@@ -85,9 +93,12 @@ DEFAULT_BATCH_WINDOW_MS = 10.0
 #: deadline the connection is closed instead.
 SEND_TIMEOUT_SECONDS = 30.0
 
+#: Default seconds between health ticks (rolling-window feed + policy step).
+DEFAULT_HEALTH_INTERVAL = 1.0
+
 
 def _check_admin_fields(message: Dict[str, Any], kind: str) -> None:
-    """Strictly validate a ``stats``/``shutdown`` message (``id`` only)."""
+    """Strictly validate a ``stats``/``metrics``/``shutdown`` message (``id`` only)."""
 
     unknown = sorted(set(message) - {"type", "id"})
     if unknown:
@@ -138,7 +149,12 @@ class CompileServer:
         batch_max_requests: int = DEFAULT_BATCH_MAX_REQUESTS,
         batch_window_ms: float = DEFAULT_BATCH_WINDOW_MS,
         peer: Optional[str] = None,
+        health_interval: float = DEFAULT_HEALTH_INTERVAL,
+        enable_policy: bool = True,
+        policy: Optional[PolicyEngine] = None,
     ):
+        if health_interval <= 0:
+            raise ValueError(f"health_interval must be > 0, got {health_interval!r}")
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue!r}")
         if batch_max_requests < 1:
@@ -160,6 +176,20 @@ class CompileServer:
         self._peer_address = parse_peer_address(peer) if peer else None
         self.peer: Optional[PeerCacheClient] = None
         self.metrics = ServiceMetrics()
+        # The rolling-window health layer and the self-protection policy
+        # engine.  The monitor is delta-fed from ``self.metrics`` every
+        # ``health_interval`` seconds; the engine's decisions are applied
+        # on the spot (shedding) and logged as structured JSON records.
+        self.health_interval = health_interval
+        self.health = HealthMonitor(
+            counters=tuple(self.metrics.counter_values()),
+            gauges=("queue_depth",),
+            queue_limit=max_queue,
+        )
+        self.policy_enabled = enable_policy
+        self.policy = policy if policy is not None else default_engine()
+        self._shedding = False
+        self._health_task: Optional[asyncio.Task] = None
 
         self._server: Optional[asyncio.base_events.Server] = None
         self._queue: "asyncio.Queue[Optional[_PendingEntry]]" = asyncio.Queue()
@@ -190,6 +220,7 @@ class CompileServer:
             # the server's running event loop on every Python version.
             self.peer = PeerCacheClient(*self._peer_address)
         self._batcher_task = asyncio.ensure_future(self._batcher())
+        self._health_task = asyncio.ensure_future(self._health_loop())
 
     async def serve_forever(self) -> None:
         """Block until the server has fully drained and closed."""
@@ -235,6 +266,12 @@ class CompileServer:
         await self._queue.put(None)
         if self._batcher_task is not None:
             await self._batcher_task
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
         if self.peer is not None:
             await self.peer.close()
         for connection in list(self._connections):
@@ -270,6 +307,8 @@ class CompileServer:
             self.metrics.peer_errors = self.peer.errors
         snapshot = self.metrics.snapshot(queue_depth=self._queue.qsize())
         snapshot["draining"] = self._draining
+        snapshot["health"] = self.health.sample()
+        snapshot["policy"] = self._policy_payload()
         if self.cache is not None:
             snapshot["cache"] = cache_stats_payload(self.cache)
         if self.peer is not None:
@@ -283,6 +322,8 @@ class CompileServer:
             self.metrics.peer_errors = self.peer.errors
         snapshot = self.metrics.snapshot(queue_depth=self._queue.qsize())
         snapshot["draining"] = self._draining
+        snapshot["health"] = self.health.sample()
+        snapshot["policy"] = self._policy_payload()
         if self.cache is not None:
             snapshot["cache"] = await asyncio.to_thread(
                 cache_stats_payload, self.cache
@@ -301,6 +342,63 @@ class CompileServer:
             "workers": self.workers if self.workers is not None else 0,
             "cache": self.cache is not None,
             "peer": self._peer_address is not None,
+            "policy": self.policy_enabled,
+        }
+
+    # -- health & policy ----------------------------------------------------------
+
+    async def _health_loop(self) -> None:
+        """Tick the health monitor + policy engine every ``health_interval``."""
+
+        while not self._draining:
+            await asyncio.sleep(self.health_interval)
+            if self._draining:
+                return
+            self.health_tick()
+
+    def health_tick(self, now: Optional[float] = None) -> List[Any]:
+        """One health/policy tick; returns the decisions it produced.
+
+        Delta-feeds the cumulative counters into the rolling window,
+        samples the current queue depth, steps the policy engine on the
+        resulting ``health-sample/v1``, and applies shedding transitions.
+        Every decision is logged to stderr as one structured JSON line
+        (prefix ``[policy]``), the same payload the replay path produces.
+        Public (with an injectable ``now``) so tests drive ticks without
+        sleeping.
+        """
+
+        self.health.feed_counters(self.metrics.counter_values(), now)
+        self.health.observe_gauge("queue_depth", self._queue.qsize(), now)
+        sample = self.health.sample(now)
+        if not self.policy_enabled:
+            return []
+        decisions = self.policy.step(sample)
+        for decision in decisions:
+            if decision.action == "shed_on":
+                self._shedding = True
+            elif decision.action == "shed_off":
+                self._shedding = False
+            sys.stderr.write(
+                "[policy] " + json.dumps(decision.payload(), sort_keys=True) + "\n"
+            )
+            sys.stderr.flush()
+        return decisions
+
+    @property
+    def shedding(self) -> bool:
+        """Whether policy-driven admission shedding is currently active."""
+
+        return self._shedding
+
+    def _policy_payload(self) -> Dict[str, Any]:
+        """The ``policy`` section of a stats snapshot."""
+
+        return {
+            "enabled": self.policy_enabled,
+            "shedding": self._shedding,
+            "decisions": len(self.policy.log),
+            "recent": [decision.payload() for decision in self.policy.log[-5:]],
         }
 
     # -- request bookkeeping ------------------------------------------------------
@@ -371,7 +469,7 @@ class CompileServer:
                     task = asyncio.ensure_future(handler(connection, message))
                     tasks.add(task)
                     task.add_done_callback(tasks.discard)
-                elif kind in ("stats", "shutdown"):
+                elif kind in ("stats", "metrics", "shutdown"):
                     try:
                         _check_admin_fields(message, kind)
                     except ProtocolError as exc:
@@ -389,6 +487,18 @@ class CompileServer:
                                 "type": "stats",
                                 "id": message.get("id"),
                                 "stats": await self.stats_snapshot_async(),
+                            },
+                        )
+                    elif kind == "metrics":
+                        await self._send(
+                            connection,
+                            {
+                                "type": "metrics",
+                                "id": message.get("id"),
+                                "schema": METRICS_TEXT_SCHEMA,
+                                "text": render_metrics_text(
+                                    await self.stats_snapshot_async()
+                                ),
                             },
                         )
                     else:
@@ -518,6 +628,26 @@ class CompileServer:
                     connection,
                     error_message(
                         "shutting_down", "server is draining; try another replica",
+                        request_id,
+                    ),
+                )
+                return
+
+            # Policy-driven load shedding: below the queue-full bound, the
+            # shed-load rule can reject at admission while the windowed
+            # queue-depth peak stays above its threshold.  The rejection
+            # reuses the ``overloaded`` error code, so clients back off
+            # and retry exactly as for a full queue.
+            if self._shedding:
+                self.metrics.rejected_shed += 1
+                self.metrics.rejected_overloaded += 1
+                self.metrics.errors += 1
+                await self._send(
+                    connection,
+                    error_message(
+                        "overloaded",
+                        "admission shedding is active (queue pressure); "
+                        "retry with backoff",
                         request_id,
                     ),
                 )
@@ -770,7 +900,9 @@ class CompileServer:
         """Account a successfully answered compile request."""
 
         self.metrics.completed += 1
-        self.metrics.latency_ms.record((time.monotonic() - arrived) * 1000.0)
+        latency_ms = (time.monotonic() - arrived) * 1000.0
+        self.metrics.latency_ms.record(latency_ms)
+        self.health.observe_latency(latency_ms)
 
     # -- the batch dispatcher -----------------------------------------------------
 
@@ -947,6 +1079,8 @@ async def run_server(
     batch_max_requests: int = DEFAULT_BATCH_MAX_REQUESTS,
     batch_window_ms: float = DEFAULT_BATCH_WINDOW_MS,
     peer: Optional[str] = None,
+    health_interval: float = DEFAULT_HEALTH_INTERVAL,
+    enable_policy: bool = True,
     ready_callback=None,
 ) -> None:
     """Start a :class:`CompileServer` and run it until it drains.
@@ -965,6 +1099,8 @@ async def run_server(
         batch_max_requests=batch_max_requests,
         batch_window_ms=batch_window_ms,
         peer=peer,
+        health_interval=health_interval,
+        enable_policy=enable_policy,
     )
     await server.start()
     server.install_signal_handlers()

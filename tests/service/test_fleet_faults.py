@@ -8,7 +8,11 @@ The satellite battery the ISSUE mandates, on the process backend:
 * **wedge** — SIGSTOP a shard so it stops reading; the stall watchdog's
   bounded-progress check must isolate it (bounded-write backpressure
   never blocks the router loop) and the load must finish green on the
-  healthy shards.
+  healthy shards;
+* **remediation** — SIGSTOP a shard with the watchdog effectively off
+  and the fleet running with ``remediate=True``: the *policy engine* —
+  not the watchdog, not the test — must quarantine the wedged shard,
+  drain+restart it, and readmit the replacement into the ring.
 
 These tests spawn actual ``python -m repro serve`` subprocesses, so they
 are the slowest in the service suite; everything signal-free lives in
@@ -22,6 +26,7 @@ import time
 
 from repro.service.fleet import Fleet
 from repro.service.loadgen import build_request_plan, run_load
+from repro.service.policy import PolicyEngine, RestartRule, WedgedShardRule
 from repro.service.protocol import parse_compile_request, resolve_compile_request
 from repro.service.ring import HashRing
 
@@ -124,6 +129,78 @@ def test_sigstop_wedged_shard_is_isolated_by_the_watchdog():
     assert victim not in stats["ring"]["members"]
     # Isolation was bounded by the stall timeout, not a full send timeout.
     assert elapsed < 60.0
+
+
+def test_policy_engine_quarantines_restarts_and_readmits_a_wedged_shard():
+    """Freeze a shard that owns live keys with the watchdog parked far out
+    of range: the *policy engine* must issue quarantine, then drain+restart
+    the shard process, then readmit the healthy replacement — while the
+    load finishes green on the surviving shards and the ring returns to
+    full strength."""
+
+    plan = build_request_plan(mix="uniform", requests=12, seed=11)
+    members = ["s0", "s1", "s2"]
+    counts = owners_for(plan, members)
+    victim = max(counts, key=lambda member: counts[member])
+    assert counts[victim] > 0
+
+    engine = PolicyEngine(
+        rules=[WedgedShardRule(stall_seconds=1.5), RestartRule(after_seconds=0.5)]
+    )
+    with Fleet(
+        shards=3,
+        backend="process",
+        batch_window_ms=10.0,
+        # The watchdog would win the race at its default bound; park it so
+        # any isolation observed here is attributable to the policy engine.
+        stall_timeout=300.0,
+        remediate=True,
+        policy=engine,
+        policy_interval=0.25,
+    ) as fleet:
+        fleet.suspend_shard(victim)
+        report = run_load(
+            fleet.host, fleet.port, plan, clients=4, check_oracle=True
+        )
+        # The engine acts asynchronously: wait for the full lifecycle to
+        # land in the decision log (restart SIGCONTs and reaps the frozen
+        # process itself — the test never resumes the victim).
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            actions = [(d.action, d.target) for d in fleet.decisions()]
+            if ("readmit", victim) in actions:
+                break
+            time.sleep(0.1)
+        stats = fleet.stats()
+        decisions = fleet.decisions()
+
+    # The load itself stayed green throughout.
+    assert report.ok, report.invariant_violations or report.errors
+    assert report.completed == len(plan)
+    assert report.errors == {}
+    assert report.transport_errors == 0
+
+    # The policy engine — not the watchdog, not the test — ran the whole
+    # lifecycle, in order, against the victim shard.
+    lifecycle = [
+        (d.action, d.target)
+        for d in decisions
+        if d.target == victim and d.action in ("quarantine", "restart", "readmit")
+    ]
+    assert lifecycle == [
+        ("quarantine", victim),
+        ("restart", victim),
+        ("readmit", victim),
+    ]
+    rules = {d.action: d.rule for d in decisions if d.target == victim}
+    assert rules["quarantine"] == "wedged-shard"
+    assert rules["restart"] == "restart-shard"
+
+    # Quarantine is attributed as a wedge, and the restarted replacement
+    # rejoined: the ring is back to full strength with nothing lost.
+    assert stats["router"]["wedged"] == 1
+    assert victim not in stats["lost_shards"]
+    assert sorted(stats["ring"]["members"]) == members
 
 
 def test_killed_shard_does_not_lose_the_tier():

@@ -1,0 +1,151 @@
+"""The trace-driven policy corpus: every decision pinned byte-for-byte.
+
+``tests/service/traces/<name>.trace.jsonl`` are real recordings (made by
+``tools/record_policy_traces.py`` against live servers) and
+``<name>.decisions.jsonl`` are their committed replays through the
+default policy engine.  A replay is a pure function of the sample
+stream, so these tests demand *byte* equality — same trace twice, and
+under different hash seeds in a subprocess — against the committed pin:
+any drift in windowing, burn math, rule ordering or rendering shows up
+here as a diff, not as a flaky prod incident.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.service.health import METRIC_TRACE_SCHEMA, load_metric_trace
+from repro.service.policy import render_decisions, replay_decisions
+
+TRACES_DIR = os.path.join(os.path.dirname(__file__), "traces")
+SCENARIOS = ("steady", "latency_burn", "wedged_shard")
+
+
+def trace_path(name):
+    return os.path.join(TRACES_DIR, f"{name}.trace.jsonl")
+
+
+def pin_path(name):
+    return os.path.join(TRACES_DIR, f"{name}.decisions.jsonl")
+
+
+def read_pin(name):
+    with open(pin_path(name), "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+class TestCorpusShape:
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_trace_is_wellformed(self, name):
+        with open(trace_path(name), "r", encoding="utf-8") as handle:
+            header = json.loads(handle.readline())
+        assert header["schema"] == METRIC_TRACE_SCHEMA
+        samples = load_metric_trace(trace_path(name))
+        assert len(samples) >= 2
+        assert all(sample["schema"] == "health-sample/v1" for sample in samples)
+        # Time flows forward through the recording.
+        ts = [sample["t"] for sample in samples]
+        assert ts == sorted(ts)
+
+
+class TestReplayPins:
+    """Replay each committed trace and diff against the committed pin."""
+
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_replay_matches_pin_byte_for_byte(self, name):
+        samples = load_metric_trace(trace_path(name))
+        first = render_decisions(replay_decisions(samples))
+        second = render_decisions(replay_decisions(samples))
+        assert first == second  # same trace twice: identical bytes
+        assert first == read_pin(name)
+
+    def test_steady_trace_decides_nothing(self):
+        assert read_pin("steady") == ""
+
+    def test_latency_burn_raises_alarms(self):
+        decisions = replay_decisions(load_metric_trace(trace_path("latency_burn")))
+        actions = [(d.action, d.target) for d in decisions]
+        assert ("alarm_on", "availability") in actions
+        assert ("alarm_on", "error-rate") in actions
+        # The tiny queue also crossed the shed threshold in the recording.
+        assert ("shed_on", "admission") in actions
+        for decision in decisions:
+            if decision.action == "alarm_on":
+                assert decision.value >= decision.threshold
+                assert decision.window == "fast"
+
+    def test_wedged_trace_runs_the_shard_lifecycle(self):
+        decisions = replay_decisions(load_metric_trace(trace_path("wedged_shard")))
+        shard_ids = {d.target for d in decisions if d.action == "quarantine"}
+        assert len(shard_ids) == 1
+        (victim,) = shard_ids
+        lifecycle = [
+            (d.action, d.target)
+            for d in decisions
+            if d.action in ("quarantine", "restart", "readmit")
+        ]
+        assert lifecycle == [
+            ("quarantine", victim),
+            ("restart", victim),
+            ("readmit", victim),
+        ]
+        quarantine = next(d for d in decisions if d.action == "quarantine")
+        assert quarantine.rule == "wedged-shard"
+        assert quarantine.value >= quarantine.threshold
+
+
+class TestReplayDeterminismAcrossProcesses:
+    """`repro policy replay` under different hash seeds: identical stdout."""
+
+    def run_replay(self, name, hash_seed):
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = hash_seed
+        env["PYTHONPATH"] = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(__file__))), "src"
+        )
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "policy", "replay",
+             "--trace", trace_path(name)],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=60,
+        )
+
+    @pytest.mark.parametrize("name", ("latency_burn", "wedged_shard"))
+    def test_hash_seed_never_changes_the_decision_bytes(self, name):
+        runs = [self.run_replay(name, seed) for seed in ("0", "42")]
+        for run in runs:
+            assert run.returncode == 0, run.stderr
+        assert runs[0].stdout == runs[1].stdout == read_pin(name)
+
+    def test_pin_flag_verifies_and_fails_on_drift(self, tmp_path):
+        ok = subprocess.run(
+            [sys.executable, "-m", "repro", "policy", "replay",
+             "--trace", trace_path("wedged_shard"),
+             "--pin", pin_path("wedged_shard")],
+            capture_output=True, text=True, timeout=60,
+            env=dict(os.environ, PYTHONPATH=os.path.join(
+                os.path.dirname(os.path.dirname(os.path.dirname(__file__))), "src"
+            )),
+        )
+        assert ok.returncode == 0, ok.stderr
+        assert "match the pin" in ok.stderr
+
+        drifted = tmp_path / "drifted.decisions.jsonl"
+        drifted.write_text(read_pin("wedged_shard") + "{}\n")
+        bad = subprocess.run(
+            [sys.executable, "-m", "repro", "policy", "replay",
+             "--trace", trace_path("wedged_shard"),
+             "--pin", str(drifted)],
+            capture_output=True, text=True, timeout=60,
+            env=dict(os.environ, PYTHONPATH=os.path.join(
+                os.path.dirname(os.path.dirname(os.path.dirname(__file__))), "src"
+            )),
+        )
+        assert bad.returncode == 1
