@@ -232,8 +232,72 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the textual IR of every procedure that violated an invariant",
     )
+    stress.add_argument(
+        "--catalog",
+        action="store_true",
+        help="draw procedures from the versioned workload catalog instead of "
+        "the scenario registry (--scenario then takes combination codes or "
+        "aliases) and differentially check every translated pyfunc against "
+        "CPython",
+    )
 
-    subparsers.add_parser("scenarios", help="list the registered scenario families")
+    scenarios = subparsers.add_parser(
+        "scenarios", help="list the registered scenario families"
+    )
+    scenarios.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output including each family's catalog "
+        "combination codes",
+    )
+
+    catalog = subparsers.add_parser(
+        "catalog", help="inspect the versioned workload catalog"
+    )
+    catalog_actions = catalog.add_subparsers(dest="action", required=True)
+    catalog_list = catalog_actions.add_parser(
+        "list", help="list every catalog entry (combination codes + aliases)"
+    )
+    catalog_list.add_argument(
+        "--kind",
+        choices=("scenario", "pyfunc"),
+        default=None,
+        help="restrict to one entry kind",
+    )
+    catalog_list.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    catalog_show = catalog_actions.add_parser(
+        "show", help="show one entry (resolves aliases)"
+    )
+    catalog_show.add_argument("name", help="combination code or alias")
+    catalog_show.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    catalog_actions.add_parser(
+        "lint",
+        help="deep-validate the catalog: schema, combination codes, alias "
+        "targets, builders, and pyfunc translatability",
+    )
+
+    frontend = subparsers.add_parser(
+        "frontend", help="translate real CPython functions to repro IR"
+    )
+    frontend_actions = frontend.add_subparsers(dest="action", required=True)
+    frontend_translate = frontend_actions.add_parser(
+        "translate", help="translate one function and print its IR"
+    )
+    frontend_translate.add_argument(
+        "spec",
+        metavar="MODULE:FUNC",
+        help="importable module and function, e.g. "
+        "repro.workloads.catalog.pyfuncs.textbook:gcd",
+    )
+    frontend_translate.add_argument(
+        "--fingerprint-only",
+        action="store_true",
+        help="print only the translated function's fingerprint",
+    )
 
     subparsers.add_parser("example", help="walk through the paper's Figure 2/3 example")
 
@@ -362,9 +426,10 @@ def build_parser() -> argparse.ArgumentParser:
         "fleet-wide single-compile invariant (ignores --host/--port)",
     )
     loadgen.add_argument(
-        "--mix", choices=("uniform", "hot", "mixed"), default="mixed",
+        "--mix", choices=("uniform", "hot", "mixed", "catalog"), default="mixed",
         help="request mix (default: mixed — distinct programs plus a "
-        "zipf-skewed hot set with duplicates)",
+        "zipf-skewed hot set with duplicates; catalog — round-robin over "
+        "the workload catalog's entries, translated pyfuncs first)",
     )
     loadgen.add_argument(
         "--mode", choices=("closed", "open"), default="closed",
@@ -640,22 +705,38 @@ def _command_stress(args) -> int:
     if args.count is not None and args.count < 1:
         print(f"error: --count must be >= 1, got {args.count}", file=sys.stderr)
         return 2
-    unknown = [
-        name for name in (args.scenarios or []) if name not in scenario_names()
-    ]
-    if unknown:
-        print(
-            f"error: unknown scenario(s) {', '.join(unknown)}; "
-            f"expected one of {', '.join(scenario_names())}",
-            file=sys.stderr,
-        )
-        return 2
+    use_catalog = getattr(args, "catalog", False)
+    if use_catalog:
+        from repro.workloads.catalog import get_catalog
+
+        catalog = get_catalog()
+        known = set(catalog.names()) | set(catalog.aliases)
+        unknown = [name for name in (args.scenarios or []) if name not in known]
+        if unknown:
+            print(
+                f"error: unknown catalog entr{'y' if len(unknown) == 1 else 'ies'} "
+                f"{', '.join(unknown)}; see 'repro-spill catalog list'",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        unknown = [
+            name for name in (args.scenarios or []) if name not in scenario_names()
+        ]
+        if unknown:
+            print(
+                f"error: unknown scenario(s) {', '.join(unknown)}; "
+                f"expected one of {', '.join(scenario_names())}",
+                file=sys.stderr,
+            )
+            return 2
     targets = [args.target] if args.target else None
     report = run_stress(
         scenarios=args.scenarios,
         targets=targets,
         seed=args.seed,
         count=args.count,
+        catalog=use_catalog,
     )
     print(render_stress(report, show_programs=args.show_programs))
     return 0 if report.ok else 1
@@ -815,12 +896,151 @@ def _command_lint(args) -> int:
     return 0
 
 
-def _command_scenarios() -> int:
+def _command_scenarios(as_json: bool = False) -> int:
+    from repro.workloads.catalog import get_catalog
     from repro.workloads.scenarios import SCENARIO_FAMILIES
 
+    catalog = get_catalog()
+    if as_json:
+        import json
+
+        payload = [
+            {
+                "name": family.name,
+                "tags": list(family.tags),
+                "description": family.description,
+                "catalog_codes": list(catalog.codes_for_family(family.name)),
+            }
+            for family in SCENARIO_FAMILIES
+        ]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     for family in SCENARIO_FAMILIES:
         tags = ",".join(family.tags)
-        print(f"{family.name:18s} [{tags}] {family.description}")
+        codes = ",".join(catalog.codes_for_family(family.name))
+        line = f"{family.name:18s} [{tags}] {family.description}"
+        if codes:
+            line += f" (catalog: {codes})"
+        print(line)
+    return 0
+
+
+def _command_catalog(args) -> int:
+    import json
+
+    from repro.workloads.catalog import CatalogError, get_catalog
+
+    try:
+        catalog = get_catalog()
+    except CatalogError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.action == "list":
+        entries = [
+            catalog.resolve(name) for name in catalog.names(getattr(args, "kind", None))
+        ]
+        if args.json:
+            payload = {
+                "schema": "workload-catalog/v1",
+                "version": catalog.version,
+                "entries": [
+                    {
+                        "name": e.name,
+                        "kind": e.kind,
+                        "family": e.family,
+                        "module": e.module,
+                        "func": e.func,
+                        "pressure": e.pressure,
+                        "cfg": e.cfg,
+                        "description": e.description,
+                    }
+                    for e in entries
+                ],
+                "aliases": dict(sorted(catalog.aliases.items())),
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        for entry in entries:
+            source = entry.family if entry.kind == "scenario" else f"{entry.module}:{entry.func}"
+            print(f"{entry.name:22s} {entry.kind:8s} {source:28s} {entry.description}")
+        if catalog.aliases:
+            print()
+            for alias, target in sorted(catalog.aliases.items()):
+                print(f"{alias:22s} alias -> {target}")
+        return 0
+    if args.action == "show":
+        try:
+            entry = catalog.resolve(args.name)
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
+        if args.json:
+            payload = {
+                "name": entry.name,
+                "kind": entry.kind,
+                "description": entry.description,
+                "stem": entry.stem,
+                "version": entry.version,
+                "pressure": entry.pressure,
+                "pressure_scale": entry.pressure_scale,
+                "cfg": entry.cfg,
+                "family": entry.family,
+                "module": entry.module,
+                "func": entry.func,
+                "inputs": [list(pair) for pair in entry.inputs],
+                "default_count": entry.default_count,
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        print(f"name          : {entry.name}")
+        print(f"kind          : {entry.kind}")
+        print(f"description   : {entry.description}")
+        print(f"pressure      : {entry.pressure} (scale {entry.pressure_scale:g})")
+        print(f"cfg class     : {entry.cfg}")
+        if entry.kind == "scenario":
+            print(f"family        : {entry.family}")
+        else:
+            print(f"function      : {entry.module}:{entry.func}")
+            ranges = ", ".join(f"[{low}, {high}]" for low, high in entry.inputs)
+            print(f"input ranges  : {ranges}")
+        print(f"default count : {entry.default_count}")
+        return 0
+    # lint
+    problems = catalog.lint()
+    if problems:
+        for problem in problems:
+            print(f"PROBLEM: {problem}")
+        return 1
+    print(
+        f"catalog ok: {len(catalog.names())} entries "
+        f"({len(catalog.names('scenario'))} scenario, "
+        f"{len(catalog.names('pyfunc'))} pyfunc), "
+        f"{len(catalog.aliases)} aliases"
+    )
+    return 0
+
+
+def _command_frontend(args) -> int:
+    from repro.frontend import UnsupportedOpcodeError, translate_spec
+    from repro.ir.printer import print_function
+
+    try:
+        translated = translate_spec(args.spec)
+    except UnsupportedOpcodeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except (ImportError, AttributeError, TypeError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.fingerprint_only:
+        print(translated.fingerprint())
+        return 0
+    print(print_function(translated.function))
+    print(f"; python    : {translated.module_name}.{translated.python_name}")
+    print(f"; arguments : {translated.argcount}")
+    if translated.calls:
+        print(f"; calls     : {', '.join(sorted(translated.calls))}")
+    print(f"; fingerprint: {translated.fingerprint()}")
     return 0
 
 
@@ -1252,7 +1472,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "lint":
         return _command_lint(args)
     if args.command == "scenarios":
-        return _command_scenarios()
+        return _command_scenarios(getattr(args, "json", False))
+    if args.command == "catalog":
+        return _command_catalog(args)
+    if args.command == "frontend":
+        return _command_frontend(args)
     if args.command == "example":
         return _command_example()
     if args.command == "targets":

@@ -21,7 +21,18 @@ every registered target × placement technique with ``verify=True`` and then
 * **lint purity and determinism** — every procedure is linted twice with the
   full rule set: the two reports must be byte-identical (their fingerprint is
   recorded on the row, so chaos draws pin their diagnostics), and linting
-  must not mutate the function (its IR fingerprint is unchanged).
+  must not mutate the function (its IR fingerprint is unchanged);
+* **frontend semantics** (catalog mode only) — every ``pyfunc`` catalog
+  entry's translated function, after register allocation and spill insertion
+  under every technique, is executed by the IR interpreter on seeded inputs
+  and must return exactly what calling the original CPython function
+  returns.
+
+``repro-spill stress --catalog`` switches the procedure source from the
+scenario registry to the versioned workload catalog
+(:mod:`repro.workloads.catalog`): names are combination codes or aliases,
+procedures come from :meth:`CatalogEntry.build`, and ``pyfunc`` entries
+additionally run the frontend-semantics differential check.
 
 The harness is deterministic: a given ``(scenarios, targets, seed, count)``
 configuration always compiles the same procedures and reports the same
@@ -251,6 +262,73 @@ def _check_lint(
     return first.fingerprint()
 
 
+#: Seeded argument draws per (pyfunc entry, technique) in catalog mode.
+_SEMANTICS_TRIALS = 4
+
+
+def _check_frontend_semantics(
+    entry,
+    compiled,
+    machine,
+    techniques: Sequence[str],
+    seed: int,
+    index: int,
+    record,
+) -> None:
+    """Differentially check a translated pyfunc against CPython.
+
+    For every placement technique the allocated function plus that
+    technique's spill code is executed by the IR interpreter — with the
+    entry's sibling corpus functions in scope so intra-module calls resolve,
+    and with the machine's calling convention active so caller-saved
+    clobbering is live — on seeded inputs drawn from the entry's declared
+    ranges.  Each run's return value must equal calling the original CPython
+    function on the same arguments.
+    """
+
+    import random
+
+    from repro.ir.module import Module
+    from repro.profiling.interpreter import Interpreter
+    from repro.spill.insertion import apply_placement
+    from repro.workloads.catalog import corpus_functions, corpus_module
+
+    python_func = corpus_functions(entry.module)[entry.func]
+    siblings = corpus_module(entry.module)
+    for technique in techniques:
+        outcome = compiled.outcomes.get(technique)
+        if outcome is None:
+            continue
+        final = compiled.allocation.function.clone()
+        apply_placement(final, outcome.placement)
+        module = Module(f"catalog.{entry.name}")
+        module.add_function(final)
+        for translated in siblings.functions.values():
+            if translated.ir_name != final.name:
+                module.add_function(translated.function.clone())
+        interpreter = Interpreter(module=module, machine=machine)
+        rng = random.Random(f"catalog-semantics/{entry.name}/{seed}/{index}")
+        for _ in range(_SEMANTICS_TRIALS):
+            args = entry.draw_inputs(rng)
+            try:
+                execution = interpreter.run(final, args)
+            except Exception as exc:  # noqa: BLE001 - any failure is a finding
+                record(
+                    "frontend-semantics",
+                    f"{technique} on args {args!r} raised "
+                    f"{type(exc).__name__}: {exc}",
+                )
+                continue
+            expected = int(python_func(*args))
+            got = execution.return_values
+            if got != (expected,):
+                record(
+                    "frontend-semantics",
+                    f"{technique} on args {args!r} returned {got!r}, "
+                    f"CPython returns {expected!r}",
+                )
+
+
 def run_stress(
     scenarios: Optional[Sequence[str]] = None,
     targets: Optional[Sequence[str]] = None,
@@ -259,6 +337,7 @@ def run_stress(
     techniques: Sequence[str] = TECHNIQUES,
     cost_models: Sequence[str] = STRESS_COST_MODELS,
     check_determinism: bool = True,
+    catalog: bool = False,
 ) -> StressReport:
     """Compile scenarios × targets × techniques and diff the invariants.
 
@@ -266,20 +345,40 @@ def run_stress(
     ----------
     scenarios:
         Family names from the registry (default: every registered family).
+        In catalog mode: combination codes or aliases from the workload
+        catalog (default: every catalog entry).
     targets:
         Registered target names (default: every registered target).
     seed / count:
         Passed to each family's builder; ``count=None`` uses the family's
-        default procedure count.
+        default procedure count (the entry's ``default_count`` in catalog
+        mode).
     cost_models:
         Cost models to run the hierarchical technique under; the
         execution-count model additionally activates the optimality bound.
     check_determinism:
         Compile each procedure a second time (under the first cost model)
         and require bit-identical deterministic measurements.
+    catalog:
+        Draw procedures from the versioned workload catalog instead of the
+        scenario registry, and differentially check every ``pyfunc`` entry's
+        translated function against CPython (the *frontend-semantics*
+        invariant).
     """
 
-    scenario_list = tuple(scenarios) if scenarios is not None else scenario_names()
+    catalog_obj = None
+    if catalog:
+        from repro.workloads.catalog import get_catalog
+
+        catalog_obj = get_catalog()
+        if scenarios is not None:
+            scenario_list = tuple(
+                catalog_obj.resolve(name).name for name in scenarios
+            )
+        else:
+            scenario_list = catalog_obj.names()
+    else:
+        scenario_list = tuple(scenarios) if scenarios is not None else scenario_names()
     target_list = tuple(targets) if targets is not None else available_targets()
     report = StressReport(
         scenarios=scenario_list,
@@ -292,8 +391,18 @@ def run_stress(
     for target_name in target_list:
         machine = get_target(target_name)
         for scenario in scenario_list:
-            procedures = build_scenario(scenario, seed=seed, count=count, machine=machine)
-            for procedure in procedures:
+            entry = None
+            if catalog_obj is not None:
+                entry = catalog_obj.resolve(scenario)
+                procedures = [
+                    entry.build(seed, i, machine)
+                    for i in range(count or entry.default_count)
+                ]
+            else:
+                procedures = build_scenario(
+                    scenario, seed=seed, count=count, machine=machine
+                )
+            for index, procedure in enumerate(procedures):
                 program_text = print_function(procedure.function)
                 lint_fingerprint = _check_lint(
                     procedure, machine, scenario, target_name, report, program_text
@@ -326,6 +435,14 @@ def run_stress(
                         record("compile-or-verify", f"{type(exc).__name__}: {exc}")
                         continue
                     _check_compiled(compiled, techniques, cost_model, record)
+                    if (
+                        entry is not None
+                        and entry.kind == "pyfunc"
+                        and cost_model == cost_models[0]
+                    ):
+                        _check_frontend_semantics(
+                            entry, compiled, machine, techniques, seed, index, record
+                        )
                     first_views[cost_model] = _deterministic_view(compiled, techniques)
                     report.rows.append(
                         StressRow(
@@ -387,7 +504,7 @@ def render_stress(report: StressReport, show_programs: bool = False) -> str:
         f"(seed {report.seed})"
     )
     lines.append("")
-    header = f"{'scenario':18s} {'target':8s} {'procs':>5s} " + " ".join(
+    header = f"{'scenario':22s} {'target':8s} {'procs':>5s} " + " ".join(
         f"{t:>11s}" for t in report.techniques if t != "baseline"
     )
     primary = report.cost_models[0] if report.cost_models else "jump_edge"
@@ -407,7 +524,7 @@ def render_stress(report: StressReport, show_programs: bool = False) -> str:
                 for t in report.techniques
                 if t != "baseline"
             )
-            lines.append(f"{scenario:18s} {target:8s} {len(rows):>5d} {ratios}")
+            lines.append(f"{scenario:22s} {target:8s} {len(rows):>5d} {ratios}")
     lines.append("")
     lines.append(
         f"compiled {report.num_procedures()} procedure/target pairs, "

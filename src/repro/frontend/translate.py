@@ -1,0 +1,793 @@
+"""CPython bytecode → repro IR translation.
+
+The translator decodes a function's bytecode with :mod:`dis` and rebuilds it
+as a repro IR :class:`~repro.ir.function.Function`: locals become named
+virtual registers, the evaluation stack is simulated abstractly and flushed
+to canonical per-depth registers at block boundaries, conditional and
+absolute jumps become blocks with explicit ``br``/``jmp`` terminators,
+``for``-over-``range`` loops are lowered to counted loops, and function
+calls become IR ``call`` instructions (clobbering caller-saved registers,
+exactly like every synthetic scenario).  Anything outside the supported
+subset raises :class:`UnsupportedOpcodeError` naming the offending
+instruction.
+
+Supported subset (integer programs):
+
+* arithmetic on ints — ``+ - * // % & | ^ << >>`` (incl. in-place forms),
+  unary ``- ~ not``
+* comparisons — ``< <= > >= == !=`` (including ``and``/``or`` chains)
+* locals and int constants; constant-tuple unpacking (``a, b = b, a + b``)
+* ``if``/``while`` control flow via the 3.11/3.12 jump families
+* ``for`` loops over ``range(...)`` with a compile-time-constant step
+* calls to other translated functions (or opaque externals) — positional
+  int arguments only
+
+Semantics notes (documented divergences from CPython):
+
+* ``return None`` (explicit or implicit) lowers to ``return 0``
+* division by zero yields 0 instead of raising (corpus inputs avoid it)
+* shift counts are clamped to 0..63 by the IR interpreter
+
+Determinism contract: translation touches no hash-ordered container, so the
+same function object produces a bit-identical IR printout — and therefore a
+bit-identical :func:`~repro.ir.fingerprint.fingerprint_function` — across
+processes and ``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+import dis
+import importlib
+import inspect
+import sys
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.ir import instructions as ins
+from repro.ir.builder import FunctionBuilder
+from repro.ir.fingerprint import fingerprint_function, fingerprint_module
+from repro.ir.function import Function
+from repro.ir.instructions import Opcode
+from repro.ir.module import Module
+from repro.ir.passes import ensure_single_exit
+from repro.ir.values import Immediate, Label, Register, VirtualRegister
+from repro.ir.verifier import verify_function
+
+#: Schema version of the translation output.  Bump when the lowering rules
+#: change in a way that alters emitted IR (and therefore fingerprints).
+FRONTEND_SCHEMA_VERSION = 1
+
+#: Prefix every translated function name carries so cache keys, lint
+#: baselines and service logs can tell translated code from synthetic code.
+PYFUNC_NAMESPACE = "pyfunc"
+
+_BINARY_BY_SYMBOL = {
+    "+": Opcode.ADD,
+    "-": Opcode.SUB,
+    "*": Opcode.MUL,
+    "&": Opcode.AND,
+    "|": Opcode.OR,
+    "^": Opcode.XOR,
+    "<<": Opcode.SHL,
+    ">>": Opcode.SHR,
+}
+
+_COMPARE_BY_SYMBOL = {
+    "<": Opcode.CMP_LT,
+    "<=": Opcode.CMP_LE,
+    ">": Opcode.CMP_GT,
+    ">=": Opcode.CMP_GE,
+    "==": Opcode.CMP_EQ,
+    "!=": Opcode.CMP_NE,
+}
+
+_IGNORED_OPNAMES = frozenset({"RESUME", "PRECALL", "NOP", "CACHE", "MAKE_CELL", "COPY_FREE_VARS"})
+
+_JUMP_IF_FALSE = frozenset({
+    "POP_JUMP_FORWARD_IF_FALSE",
+    "POP_JUMP_BACKWARD_IF_FALSE",
+    "POP_JUMP_IF_FALSE",
+})
+_JUMP_IF_TRUE = frozenset({
+    "POP_JUMP_FORWARD_IF_TRUE",
+    "POP_JUMP_BACKWARD_IF_TRUE",
+    "POP_JUMP_IF_TRUE",
+})
+_UNCONDITIONAL_JUMPS = frozenset({"JUMP_FORWARD", "JUMP_BACKWARD", "JUMP_BACKWARD_NO_INTERRUPT", "JUMP_ABSOLUTE"})
+_BLOCK_ENDERS = (
+    _JUMP_IF_FALSE
+    | _JUMP_IF_TRUE
+    | _UNCONDITIONAL_JUMPS
+    | {"JUMP_IF_FALSE_OR_POP", "JUMP_IF_TRUE_OR_POP", "FOR_ITER", "RETURN_VALUE", "RETURN_CONST"}
+)
+
+
+class UnsupportedOpcodeError(Exception):
+    """A bytecode instruction (or operand shape) outside the supported subset.
+
+    Carries the offending :class:`dis.Instruction` as :attr:`instruction`
+    (``None`` for function-level rejections such as ``*args``) so tooling can
+    point at the exact offset.
+    """
+
+    def __init__(self, message: str, instruction: Optional[dis.Instruction] = None):
+        self.instruction = instruction
+        if instruction is not None:
+            message = (
+                f"{message} [offset {instruction.offset}: "
+                f"{instruction.opname} {instruction.argrepr or instruction.arg or ''}".rstrip()
+                + "]"
+            )
+        super().__init__(message)
+
+
+class TranslatedFunction:
+    """The result of translating one Python function.
+
+    Attributes: ``function`` (the verified, single-exit IR function),
+    ``ir_name``/``python_name``/``module_name``, ``argcount``, and ``calls``
+    (python-level names of every function invoked, resolved or external).
+    """
+
+    __slots__ = ("function", "ir_name", "python_name", "module_name", "argcount", "calls")
+
+    def __init__(self, function: Function, ir_name: str, python_name: str,
+                 module_name: str, argcount: int, calls: Tuple[str, ...]):
+        self.function = function
+        self.ir_name = ir_name
+        self.python_name = python_name
+        self.module_name = module_name
+        self.argcount = argcount
+        self.calls = calls
+
+    def fingerprint(self) -> str:
+        """Canonical SHA-256 fingerprint of the translated IR (bit-stable)."""
+
+        return fingerprint_function(self.function)
+
+
+class TranslatedModule:
+    """A closed set of translated functions with intra-module calls resolved.
+
+    ``module`` is an IR :class:`~repro.ir.module.Module` the interpreter can
+    execute directly (sibling calls bind positionally); ``functions`` maps
+    python-level names to :class:`TranslatedFunction` in definition order.
+    """
+
+    __slots__ = ("module", "functions", "module_name")
+
+    def __init__(self, module: Module, functions: "Dict[str, TranslatedFunction]",
+                 module_name: str):
+        self.module = module
+        self.functions = functions
+        self.module_name = module_name
+
+    def fingerprint(self) -> str:
+        """Fingerprint covering every translated function, in order."""
+
+        return fingerprint_module(self.module)
+
+
+def pyfunc_ir_name(module_name: str, python_name: str) -> str:
+    """Namespaced IR function name for a translated python function."""
+
+    return f"{PYFUNC_NAMESPACE}.{module_name}.{python_name}"
+
+
+# --------------------------------------------------------------------------
+# Abstract stack entries.  Each entry is a tuple whose first element is a
+# tag: ("reg", Register), ("const", value), ("null",), ("global", name),
+# ("range", (entries...)), ("iter", counter_reg, stop_reg, step_int).
+# --------------------------------------------------------------------------
+
+
+def _shape_of(stack: Sequence[tuple]) -> Tuple[tuple, ...]:
+    """The block-boundary shape of a flushed stack (structure, not values)."""
+
+    shape: List[tuple] = []
+    for entry in stack:
+        if entry[0] == "reg":
+            shape.append(("reg",))
+        elif entry[0] == "iter":
+            shape.append(entry)
+        else:
+            raise _BoundaryError(entry)
+    return tuple(shape)
+
+
+class _BoundaryError(Exception):
+    """Internal: a non-transferable entry was live at a block boundary."""
+
+    def __init__(self, entry: tuple):
+        self.entry = entry
+        super().__init__(f"stack entry of kind {entry[0]!r} live at a block boundary")
+
+
+def _stack_register(depth: int) -> VirtualRegister:
+    return VirtualRegister(f"stk.{depth}")
+
+
+def _local_register(name: str) -> VirtualRegister:
+    return VirtualRegister(f"loc.{name}")
+
+
+class _Translator:
+    """Single-use translation state for one code object."""
+
+    def __init__(self, func: Callable, ir_name: str, rename: Mapping[str, str]):
+        self.func = func
+        self.code = func.__code__
+        self.ir_name = ir_name
+        self.rename = dict(rename)
+        self.builder: Optional[FunctionBuilder] = None
+        self.calls: List[str] = []
+        self.instructions = list(dis.get_instructions(func, show_caches=False))
+        self.by_offset = {inst.offset: index for index, inst in enumerate(self.instructions)}
+        self.entry_shapes: Dict[int, Tuple[tuple, ...]] = {}
+        self.dead: set = set()
+
+    # -- operand materialization ------------------------------------------------
+
+    def _materialize(self, entry: tuple, inst: dis.Instruction) -> Register:
+        """Return a register holding ``entry``'s value, emitting code if needed."""
+
+        builder = self.builder
+        assert builder is not None
+        if entry[0] == "reg":
+            return entry[1]
+        if entry[0] == "const":
+            value = entry[1]
+            if isinstance(value, bool):
+                value = int(value)
+            if not isinstance(value, int):
+                raise UnsupportedOpcodeError(
+                    f"constant {value!r} is not an int", inst
+                )
+            return builder.const(value)
+        raise UnsupportedOpcodeError(
+            f"cannot use a {entry[0]!r} stack entry as an operand", inst
+        )
+
+    def _flush(self, stack: List[tuple], inst: dis.Instruction) -> None:
+        """Move every transferable entry into its canonical per-depth register.
+
+        After flushing, a stack of depth *d* holds exactly
+        ``stk.0 .. stk.(d-1)`` (iterator markers keep their own registers), so
+        every predecessor of a block agrees on where values live.
+        """
+
+        builder = self.builder
+        assert builder is not None
+        for depth, entry in enumerate(stack):
+            if entry[0] == "iter":
+                continue
+            canonical = _stack_register(depth)
+            if entry[0] == "reg":
+                if entry[1] != canonical:
+                    builder.move(entry[1], canonical)
+            elif entry[0] == "const":
+                value = entry[1]
+                if isinstance(value, bool):
+                    value = int(value)
+                if not isinstance(value, int):
+                    raise UnsupportedOpcodeError(
+                        f"constant {value!r} is not an int", inst
+                    )
+                builder.const(value, canonical)
+            else:
+                raise UnsupportedOpcodeError(
+                    f"cannot carry a {entry[0]!r} stack entry across a block boundary",
+                    inst,
+                )
+            stack[depth] = ("reg", canonical)
+
+    def _record_edge(self, target_offset: int, stack: Sequence[tuple],
+                     inst: dis.Instruction) -> None:
+        """Record (and cross-check) the entry shape of a successor block."""
+
+        try:
+            shape = _shape_of(stack)
+        except _BoundaryError as exc:
+            raise UnsupportedOpcodeError(
+                f"cannot carry a {exc.entry[0]!r} stack entry into offset {target_offset}",
+                inst,
+            ) from exc
+        if target_offset in self.dead:
+            raise UnsupportedOpcodeError(
+                f"jump into unreachable offset {target_offset}", inst
+            )
+        known = self.entry_shapes.get(target_offset)
+        if known is None:
+            self.entry_shapes[target_offset] = shape
+        elif known != shape:
+            raise UnsupportedOpcodeError(
+                f"stack shapes disagree at join offset {target_offset}: "
+                f"{known!r} vs {shape!r}",
+                inst,
+            )
+
+    def _entry_stack(self, shape: Sequence[tuple]) -> List[tuple]:
+        stack: List[tuple] = []
+        for depth, tag in enumerate(shape):
+            if tag == ("reg",):
+                stack.append(("reg", _stack_register(depth)))
+            else:
+                stack.append(tag)
+        return stack
+
+    # -- STORE_FAST aliasing guard ---------------------------------------------
+
+    def _shield_local(self, stack: List[tuple], local: Register) -> None:
+        """Copy stale stack references to ``local`` before it is overwritten."""
+
+        builder = self.builder
+        assert builder is not None
+        for depth, entry in enumerate(stack):
+            if entry[0] == "reg" and entry[1] == local:
+                stack[depth] = ("reg", builder.move(entry[1]))
+
+    # -- leaders ----------------------------------------------------------------
+
+    def _leaders(self) -> List[int]:
+        leaders = {0}
+        for index, inst in enumerate(self.instructions):
+            if inst.opname in _BLOCK_ENDERS:
+                if index + 1 < len(self.instructions):
+                    leaders.add(self.instructions[index + 1].offset)
+            if inst.opname in _BLOCK_ENDERS and inst.opname not in (
+                "RETURN_VALUE",
+                "RETURN_CONST",
+            ):
+                target = inst.argval
+                if isinstance(target, int):
+                    leaders.add(target)
+            if inst.is_jump_target:
+                leaders.add(inst.offset)
+        return sorted(leaders)
+
+    # -- main loop ---------------------------------------------------------------
+
+    def translate(self) -> TranslatedFunction:
+        """Run the translation and return the verified result."""
+
+        code = self.code
+        if code.co_flags & (inspect.CO_VARARGS | inspect.CO_VARKEYWORDS):
+            raise UnsupportedOpcodeError(
+                f"{code.co_name}: *args/**kwargs are not supported"
+            )
+        if code.co_kwonlyargcount:
+            raise UnsupportedOpcodeError(
+                f"{code.co_name}: keyword-only parameters are not supported"
+            )
+        if code.co_freevars or code.co_cellvars:
+            raise UnsupportedOpcodeError(
+                f"{code.co_name}: closures are not supported"
+            )
+
+        params = [_local_register(name) for name in code.co_varnames[: code.co_argcount]]
+        self.builder = FunctionBuilder(self.ir_name, params)
+        builder = self.builder
+
+        leaders = self._leaders()
+        label_for = {offset: f"b{offset}" for offset in leaders}
+        self.entry_shapes[0] = ()
+
+        for position, leader in enumerate(leaders):
+            shape = self.entry_shapes.get(leader)
+            if shape is None:
+                # Never reached by any processed edge: dead code (e.g. the
+                # implicit ``return None`` tail after a returning if/else).
+                self.dead.add(leader)
+                continue
+            builder.block(label_for[leader])
+            stack = self._entry_stack(shape)
+            end = leaders[position + 1] if position + 1 < len(leaders) else None
+            index = self.by_offset[leader]
+            terminated = False
+            while index < len(self.instructions):
+                inst = self.instructions[index]
+                if end is not None and inst.offset >= end:
+                    break
+                terminated = self._emit(inst, stack, label_for)
+                index += 1
+                if terminated:
+                    break
+            if not terminated:
+                # Fell off the end of the block into the next leader.
+                if end is None:
+                    raise UnsupportedOpcodeError(
+                        "code object ends without a return", self.instructions[-1]
+                    )
+                last = self.instructions[index - 1] if index else self.instructions[0]
+                self._flush(stack, last)
+                self._record_edge(end, stack, last)
+                builder.jump(label_for[end])
+
+        function = builder.build()
+        ensure_single_exit(function)
+        verify_function(function, require_single_exit=True)
+        module_name = getattr(self.func, "__module__", "") or ""
+        return TranslatedFunction(
+            function=function,
+            ir_name=self.ir_name,
+            python_name=code.co_name,
+            module_name=module_name.rpartition(".")[2],
+            argcount=code.co_argcount,
+            calls=tuple(self.calls),
+        )
+
+    # -- per-instruction emission -------------------------------------------------
+
+    def _emit(self, inst: dis.Instruction, stack: List[tuple],
+              label_for: Dict[int, str]) -> bool:
+        """Emit IR for one instruction; return True when the block terminated."""
+
+        builder = self.builder
+        assert builder is not None
+        name = inst.opname
+
+        if name in _IGNORED_OPNAMES:
+            return False
+
+        if name == "PUSH_NULL":
+            stack.append(("null",))
+            return False
+
+        if name == "LOAD_CONST":
+            stack.append(("const", inst.argval))
+            return False
+
+        if name == "LOAD_FAST":
+            stack.append(("reg", _local_register(inst.argval)))
+            return False
+
+        if name == "STORE_FAST":
+            entry = stack.pop()
+            local = _local_register(inst.argval)
+            self._shield_local(stack, local)
+            if entry[0] == "reg":
+                if entry[1] != local:
+                    builder.move(entry[1], local)
+            elif entry[0] == "const" and isinstance(entry[1], (bool, int)):
+                builder.const(int(entry[1]), local)
+            else:
+                value = self._materialize(entry, inst)
+                builder.move(value, local)
+            return False
+
+        if name == "LOAD_GLOBAL":
+            if inst.arg is not None and inst.arg & 1:
+                stack.append(("null",))
+            stack.append(("global", inst.argval))
+            return False
+
+        if name == "POP_TOP":
+            stack.pop()
+            return False
+
+        if name == "SWAP":
+            depth = inst.arg or 2
+            stack[-1], stack[-depth] = stack[-depth], stack[-1]
+            return False
+
+        if name == "COPY":
+            depth = inst.arg or 1
+            stack.append(stack[-depth])
+            return False
+
+        if name == "UNPACK_SEQUENCE":
+            entry = stack.pop()
+            if entry[0] != "const" or not isinstance(entry[1], tuple):
+                raise UnsupportedOpcodeError(
+                    "UNPACK_SEQUENCE is only supported on constant tuples", inst
+                )
+            values = entry[1]
+            if len(values) != inst.arg:
+                raise UnsupportedOpcodeError(
+                    f"cannot unpack {len(values)} values into {inst.arg} names", inst
+                )
+            for value in reversed(values):
+                stack.append(("const", value))
+            return False
+
+        if name == "BINARY_OP":
+            symbol = (inst.argrepr or "").rstrip("=") or inst.argrepr
+            rhs_entry = stack.pop()
+            lhs_entry = stack.pop()
+            lhs = self._materialize(lhs_entry, inst)
+            rhs = self._materialize(rhs_entry, inst)
+            stack.append(("reg", self._lower_binary(symbol, lhs, rhs, inst)))
+            return False
+
+        if name == "COMPARE_OP":
+            symbol = inst.argval if isinstance(inst.argval, str) else inst.argrepr
+            opcode = _COMPARE_BY_SYMBOL.get(symbol)
+            if opcode is None:
+                raise UnsupportedOpcodeError(f"comparison {symbol!r} is not supported", inst)
+            rhs_entry = stack.pop()
+            lhs_entry = stack.pop()
+            lhs = self._materialize(lhs_entry, inst)
+            rhs = self._materialize(rhs_entry, inst)
+            stack.append(("reg", builder.binary(opcode, lhs, rhs)))
+            return False
+
+        if name == "UNARY_NEGATIVE":
+            value = self._materialize(stack.pop(), inst)
+            stack.append(("reg", builder.sub(0, value)))
+            return False
+
+        if name == "UNARY_INVERT":
+            value = self._materialize(stack.pop(), inst)
+            stack.append(("reg", builder.sub(-1, value)))
+            return False
+
+        if name == "UNARY_NOT":
+            value = self._materialize(stack.pop(), inst)
+            stack.append(("reg", builder.cmp_eq(value, 0)))
+            return False
+
+        if name in ("CALL", "CALL_FUNCTION"):
+            return self._emit_call(inst, stack)
+
+        if name == "GET_ITER":
+            return self._emit_get_iter(inst, stack)
+
+        if name == "FOR_ITER":
+            return self._emit_for_iter(inst, stack, label_for)
+
+        if name == "END_FOR":
+            # 3.12 epilogue: discard the exhausted iterator (and sentinel).
+            while stack and stack[-1][0] == "iter":
+                stack.pop()
+            return False
+
+        if name in ("RETURN_VALUE", "RETURN_CONST"):
+            entry = ("const", inst.argval) if name == "RETURN_CONST" else stack.pop()
+            if entry[0] == "const" and entry[1] is None:
+                value = builder.const(0)
+            else:
+                value = self._materialize(entry, inst)
+            builder.ret([value])
+            return True
+
+        if name in _UNCONDITIONAL_JUMPS:
+            self._flush(stack, inst)
+            self._record_edge(inst.argval, stack, inst)
+            builder.jump(label_for[inst.argval])
+            return True
+
+        if name in _JUMP_IF_FALSE or name in _JUMP_IF_TRUE:
+            condition = self._materialize(stack.pop(), inst)
+            if name in _JUMP_IF_FALSE:
+                condition = builder.cmp_eq(condition, 0)
+            self._flush(stack, inst)
+            self._record_edge(inst.argval, stack, inst)
+            fall = self._fall_offset(inst)
+            self._record_edge(fall, stack, inst)
+            builder.branch(condition, label_for[inst.argval])
+            return True
+
+        if name in ("JUMP_IF_FALSE_OR_POP", "JUMP_IF_TRUE_OR_POP"):
+            condition = self._materialize(stack.pop(), inst)
+            stack.append(("reg", condition))
+            self._flush(stack, inst)  # taken path keeps the condition
+            canonical = stack[-1][1]
+            self._record_edge(inst.argval, stack, inst)
+            stack.pop()  # fall-through pops it
+            fall = self._fall_offset(inst)
+            self._record_edge(fall, stack, inst)
+            if name == "JUMP_IF_FALSE_OR_POP":
+                test = builder.cmp_eq(canonical, 0)
+            else:
+                test = builder.binary(Opcode.CMP_NE, canonical, 0)
+            builder.branch(test, label_for[inst.argval])
+            return True
+
+        raise UnsupportedOpcodeError("opcode outside the supported subset", inst)
+
+    # -- lowering helpers ---------------------------------------------------------
+
+    def _fall_offset(self, inst: dis.Instruction) -> int:
+        index = self.by_offset[inst.offset]
+        if index + 1 >= len(self.instructions):
+            raise UnsupportedOpcodeError("conditional jump at end of code", inst)
+        return self.instructions[index + 1].offset
+
+    def _lower_binary(self, symbol: Optional[str], lhs: Register, rhs: Register,
+                      inst: dis.Instruction) -> Register:
+        builder = self.builder
+        assert builder is not None
+        if symbol in _BINARY_BY_SYMBOL:
+            return builder.binary(_BINARY_BY_SYMBOL[symbol], lhs, rhs)
+        if symbol == "//":
+            quotient, _, correction = self._floor_parts(lhs, rhs)
+            return builder.sub(quotient, correction)
+        if symbol == "%":
+            _, remainder, correction = self._floor_parts(lhs, rhs)
+            return builder.add(remainder, builder.mul(correction, rhs))
+        raise UnsupportedOpcodeError(f"binary operator {symbol!r} is not supported", inst)
+
+    def _floor_parts(self, lhs: Register, rhs: Register):
+        """Truncating div/rem plus the flooring correction term.
+
+        The IR ``div`` truncates toward zero while Python ``//``/``%`` floor,
+        so the correction ``(rem != 0) & ((rem < 0) != (rhs < 0))`` is
+        subtracted from the quotient / scaled into the remainder.
+        """
+
+        builder = self.builder
+        assert builder is not None
+        quotient = builder.div(lhs, rhs)
+        remainder = builder.sub(lhs, builder.mul(quotient, rhs))
+        nonzero = builder.binary(Opcode.CMP_NE, remainder, 0)
+        rem_neg = builder.cmp_lt(remainder, 0)
+        rhs_neg = builder.cmp_lt(rhs, 0)
+        signs_differ = builder.binary(Opcode.CMP_NE, rem_neg, rhs_neg)
+        correction = builder.binary(Opcode.AND, nonzero, signs_differ)
+        return quotient, remainder, correction
+
+    def _emit_call(self, inst: dis.Instruction, stack: List[tuple]) -> bool:
+        builder = self.builder
+        assert builder is not None
+        argc = inst.arg or 0
+        if len(stack) < argc + 1:
+            raise UnsupportedOpcodeError("call with malformed stack", inst)
+        arg_entries = [stack.pop() for _ in range(argc)][::-1]
+        callee_entry = stack.pop()
+        if stack and stack[-1][0] == "null":
+            stack.pop()
+        if callee_entry[0] != "global":
+            raise UnsupportedOpcodeError(
+                "only direct calls to module-level names are supported", inst
+            )
+        callee = callee_entry[1]
+        if callee == "range":
+            stack.append(("range", tuple(arg_entries)))
+            return False
+        args = [self._materialize(entry, inst) for entry in arg_entries]
+        self.calls.append(callee)
+        target = self.rename.get(callee, callee)
+        result = builder.call(target, args, returns_value=True)
+        stack.append(("reg", result))
+        return False
+
+    def _emit_get_iter(self, inst: dis.Instruction, stack: List[tuple]) -> bool:
+        builder = self.builder
+        assert builder is not None
+        entry = stack.pop()
+        if entry[0] != "range":
+            raise UnsupportedOpcodeError(
+                "only iteration over range(...) is supported", inst
+            )
+        arg_entries = entry[1]
+        if not 1 <= len(arg_entries) <= 3:
+            raise UnsupportedOpcodeError(
+                f"range() with {len(arg_entries)} arguments", inst
+            )
+        if len(arg_entries) == 1:
+            start_entry, stop_entry, step = ("const", 0), arg_entries[0], 1
+        else:
+            start_entry, stop_entry = arg_entries[0], arg_entries[1]
+            if len(arg_entries) == 3:
+                step_entry = arg_entries[2]
+                if step_entry[0] != "const" or not isinstance(step_entry[1], int) \
+                        or isinstance(step_entry[1], bool) or step_entry[1] == 0:
+                    raise UnsupportedOpcodeError(
+                        "range() step must be a non-zero constant int", inst
+                    )
+                step = step_entry[1]
+            else:
+                step = 1
+        # range() captures its bounds at creation time: copy them into
+        # dedicated registers so later writes to the originals are invisible.
+        counter = builder.move(self._materialize(start_entry, inst))
+        stop = builder.move(self._materialize(stop_entry, inst))
+        stack.append(("iter", counter, stop, step))
+        return False
+
+    def _emit_for_iter(self, inst: dis.Instruction, stack: List[tuple],
+                       label_for: Dict[int, str]) -> bool:
+        builder = self.builder
+        assert builder is not None
+        if not stack or stack[-1][0] != "iter":
+            raise UnsupportedOpcodeError(
+                "FOR_ITER without a recognised range iterator", inst
+            )
+        _, counter, stop, step = stack[-1]
+        exhausted = (
+            builder.cmp_ge(counter, stop) if step > 0 else builder.binary(
+                Opcode.CMP_LE, counter, stop
+            )
+        )
+        yielded = builder.move(counter)
+        builder.add(counter, step, counter)
+        # Taken edge: the loop is done — the iterator is popped.
+        taken_stack = stack[:-1]
+        self._flush(taken_stack, inst)
+        stack[: len(taken_stack)] = taken_stack
+        self._record_edge(inst.argval, taken_stack, inst)
+        # Fall-through edge: iterator stays, the yielded value is pushed.
+        stack.append(("reg", yielded))
+        self._flush(stack, inst)
+        fall = self._fall_offset(inst)
+        self._record_edge(fall, stack, inst)
+        builder.branch(exhausted, label_for[inst.argval])
+        return True
+
+
+def translate_function(func: Callable, *, ir_name: Optional[str] = None,
+                       rename: Optional[Mapping[str, str]] = None) -> TranslatedFunction:
+    """Translate one Python function into repro IR.
+
+    ``ir_name`` overrides the namespaced default
+    ``pyfunc.<module>.<name>``; ``rename`` maps python-level callee names to
+    IR function names (used by :func:`translate_callables` so sibling calls
+    resolve inside the translated module).  Raises
+    :class:`UnsupportedOpcodeError` for anything outside the subset.
+    """
+
+    code = getattr(func, "__code__", None)
+    if code is None:
+        raise UnsupportedOpcodeError(f"{func!r} has no __code__ (not a pure-python function)")
+    module_name = (getattr(func, "__module__", "") or "module").rpartition(".")[2]
+    if ir_name is None:
+        ir_name = pyfunc_ir_name(module_name, code.co_name)
+    return _Translator(func, ir_name, rename or {}).translate()
+
+
+def translate_callables(funcs: Mapping[str, Callable], *,
+                        module_name: str = "module") -> TranslatedModule:
+    """Translate a closed set of functions into one executable IR module.
+
+    Calls between members are renamed to their namespaced IR names so the
+    interpreter resolves them; calls to anything else stay external (the
+    interpreter then substitutes its deterministic external-call value, which
+    diverges from CPython — keep differential corpora closed).
+    """
+
+    rename = {
+        python_name: pyfunc_ir_name(module_name, python_name) for python_name in funcs
+    }
+    module = Module()
+    translated: Dict[str, TranslatedFunction] = {}
+    for python_name, func in funcs.items():
+        result = translate_function(
+            func, ir_name=rename[python_name], rename=rename
+        )
+        translated[python_name] = result
+        module.add_function(result.function)
+    return TranslatedModule(module=module, functions=translated, module_name=module_name)
+
+
+def resolve_callable(spec: str) -> Callable:
+    """Resolve a ``module:qualname`` spec (e.g. ``calendar:isleap``).
+
+    The module part is imported (dotted paths allowed); the qualname part is
+    looked up attribute by attribute, so nested names like
+    ``SomeClass.method`` work.
+    """
+
+    module_part, _, attr_part = spec.partition(":")
+    if not module_part or not attr_part:
+        raise ValueError(
+            f"callable spec {spec!r} must look like module:qualname (e.g. calendar:isleap)"
+        )
+    module = importlib.import_module(module_part)
+    target = module
+    for piece in attr_part.split("."):
+        target = getattr(target, piece)
+    if not callable(target):
+        raise ValueError(f"{spec!r} resolved to non-callable {target!r}")
+    return target
+
+
+def translate_spec(spec: str) -> TranslatedFunction:
+    """Resolve ``module:qualname`` and translate it (CLI convenience)."""
+
+    return translate_function(resolve_callable(spec))
+
+
+def python_identity() -> str:
+    """``major.minor`` CPython version tag — bytecode (and therefore
+    translated fingerprints) are only stable within one minor version."""
+
+    return f"{sys.version_info[0]}.{sys.version_info[1]}"

@@ -138,8 +138,11 @@ for _opcode in Opcode:
 del _opcode
 
 #: Purposes a load/store instruction may carry; used by the overhead
-#: accounting to classify memory traffic.
-MEMORY_PURPOSES = ("program", "spill", "callee_save", "callee_restore")
+#: accounting to classify memory traffic.  ``program`` traffic belongs to
+#: the source program, ``spill``/``callee_save``/``callee_restore`` mark
+#: compiler-inserted overhead, and ``arg`` marks entry loads of parameters
+#: the calling convention passed on the stack.
+MEMORY_PURPOSES = ("program", "spill", "callee_save", "callee_restore", "arg")
 
 _instruction_ids = itertools.count()
 

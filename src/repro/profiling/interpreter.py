@@ -87,9 +87,15 @@ class Interpreter:
         self._steps = 0
         result = ExecutionResult(return_values=(), steps=0)
         registers: Dict[Register, int] = dict(initial_registers or {})
-        for param, value in zip(function.params, args):
-            registers[param] = int(value)
         frame = _Frame(registers=registers, stack={})
+        for param, value in zip(function.params, args):
+            # Overflow arguments arrive on the stack (the allocator rewrites
+            # parameters beyond the machine's caller-saved capacity into
+            # stack slots); register arguments are bound directly.
+            if isinstance(param, StackSlot):
+                frame.stack[param.index] = int(value)
+            else:
+                registers[param] = int(value)
         returned = self._run_frame(function, frame, result)
         result.return_values = returned
         result.steps = self._steps
@@ -200,14 +206,18 @@ class Interpreter:
         if self.module is not None and self.module.has_function(callee_name):
             callee = self.module.function(callee_name)
             callee_registers: Dict[Register, int] = {}
+            callee_stack: Dict[int, int] = {}
             for param, arg in zip(callee.params, inst.uses):
-                callee_registers[param] = self._value(arg, frame)
+                if isinstance(param, StackSlot):
+                    callee_stack[param.index] = self._value(arg, frame)
+                else:
+                    callee_registers[param] = self._value(arg, frame)
             # Physical-register arguments are visible to the callee directly
             # (the calling convention passes them in registers).
             for reg, value in frame.registers.items():
                 if isinstance(reg, PhysicalRegister):
                     callee_registers.setdefault(reg, value)
-            callee_frame = _Frame(registers=callee_registers, stack={})
+            callee_frame = _Frame(registers=callee_registers, stack=callee_stack)
             returned = self._run_frame(callee, callee_frame, result)
             # Callee-saved registers keep the callee's final values (a correct
             # callee restores them); caller-saved registers are clobbered.
@@ -310,9 +320,12 @@ def run_with_convention_check(
     # Re-run with an inspection frame to read final register state.
     inspect = Interpreter(module=module, machine=machine)
     frame_registers: Dict[Register, int] = dict(sentinels)
-    for param, value in zip(function.params, args):
-        frame_registers[param] = int(value)
     frame = _Frame(registers=frame_registers, stack={})
+    for param, value in zip(function.params, args):
+        if isinstance(param, StackSlot):
+            frame.stack[param.index] = int(value)
+        else:
+            frame_registers[param] = int(value)
     inspect._steps = 0
     inspect_result = ExecutionResult(return_values=(), steps=0)
     inspect._run_frame(function, frame, inspect_result)

@@ -29,6 +29,7 @@ from repro.regalloc.interference import build_interference_graph
 from repro.regalloc.live_ranges import compute_live_ranges
 from repro.regalloc.rewriter import (
     apply_assignment,
+    demote_overflow_parameters,
     insert_spill_code,
     isolate_parameters,
     unassigned_virtual_registers,
@@ -89,6 +90,7 @@ def allocate_registers(
 
     work = function if in_place else function.clone()
     isolate_parameters(work)
+    demote_overflow_parameters(work, machine)
     total_assignment: Dict[Register, PhysicalRegister] = {}
     all_spilled: List[Register] = []
 

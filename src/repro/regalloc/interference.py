@@ -140,6 +140,22 @@ def build_interference_graph(
                         others &= ~source_bit
                 adjacency[dst_bit] = adjacency.get(dst_bit, 0) | others
 
+    # Parameters are all defined at once by the calling convention on entry,
+    # so each interferes with everything live into the entry block — in
+    # particular with every other live-in parameter, which would otherwise
+    # carry no interference at all (parameters have no defining instruction)
+    # and could be assigned one shared register.
+    params = [r for r in function.params if isinstance(r, VirtualRegister)]
+    if params:
+        entry_live = bits.live_in.get(function.entry.label, 0) & vreg_mask
+        param_mask = 0
+        for param in params:
+            param_mask |= 1 << index.add(param)
+        for param in params:
+            bit = index.add(param)
+            others = (entry_live | param_mask) & ~(1 << bit)
+            adjacency[bit] = adjacency.get(bit, 0) | others
+
     # Symmetrize (edges were recorded from the defining side only), then
     # materialize the masks into the public set-based adjacency.
     for bit, mask in list(adjacency.items()):

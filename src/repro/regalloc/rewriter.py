@@ -41,6 +41,54 @@ def isolate_parameters(function: Function) -> Dict[Register, Register]:
     return mapping
 
 
+def demote_overflow_parameters(function: Function, machine) -> Dict[Register, StackSlot]:
+    """Pass parameters beyond the machine's register capacity on the stack.
+
+    Every virtual parameter is live simultaneously on entry, so each needs
+    its own caller-saved register — a function with more parameters than the
+    machine has caller-saved registers is unallocatable in registers alone.
+    Real conventions pass the overflow on the stack: this rewrite gives each
+    parameter past the capacity a dedicated ``arg`` stack slot, turns its
+    entry copy (inserted by :func:`isolate_parameters`) into a load from
+    that slot, and records the slot in ``function.params`` so the
+    interpreter binds the argument to stack memory.
+
+    Must run after :func:`isolate_parameters`.  Returns the mapping from
+    demoted parameter registers to their slots.
+    """
+
+    capacity = len(machine.caller_saved)
+    register_params = [
+        p for p in function.params if isinstance(p, VirtualRegister)
+    ]
+    overflow = set(register_params[capacity:])
+    if not overflow:
+        return {}
+
+    from repro.ir.instructions import Opcode, load
+
+    slots: Dict[Register, StackSlot] = {}
+    entry = function.entry
+    rewritten: List = []
+    for inst in entry.instructions:
+        if (
+            inst.opcode is Opcode.MOV
+            and inst.uses
+            and inst.uses[0] in overflow
+        ):
+            param = inst.uses[0]
+            slot = function.allocate_stack_slot("arg")
+            slots[param] = slot
+            rewritten.append(load(inst.defs[0], slot, purpose="arg"))
+        else:
+            rewritten.append(inst)
+    entry.instructions = rewritten
+    function.params = tuple(
+        slots.get(param, param) for param in function.params
+    )
+    return slots
+
+
 #: Suffix pattern of the names :func:`insert_spill_code` gives its
 #: reload/store temporaries: ``<base>.s<counter>`` (``v3.s7``, and
 #: ``v3.s7.s12`` after a re-split).  A temporary always *ends* with

@@ -90,6 +90,22 @@ def _raise_for_error(response: Mapping[str, Any]) -> Mapping[str, Any]:
     return response
 
 
+def _program_field(
+    ir: Optional[str], scenario: Optional[str], catalog: Optional[str]
+) -> Dict[str, str]:
+    """The ``program`` object for exactly one of ir/scenario/catalog."""
+
+    given = [
+        (key, value)
+        for key, value in (("ir", ir), ("scenario", scenario), ("catalog", catalog))
+        if value is not None
+    ]
+    if len(given) != 1:
+        raise ValueError("pass exactly one of ir=, scenario= or catalog=")
+    key, value = given[0]
+    return {key: value}
+
+
 def _compile_message(
     request_id: str,
     ir: Optional[str],
@@ -100,14 +116,13 @@ def _compile_message(
     profile: Optional[Mapping[str, Any]],
     cache: str,
     lint: str = "off",
+    catalog: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Build a compile message from keyword convenience arguments."""
 
-    if (ir is None) == (scenario is None):
-        raise ValueError("pass exactly one of ir= or scenario=")
     from repro.pipeline.compiler import TECHNIQUES
 
-    program = {"ir": ir} if ir is not None else {"scenario": scenario}
+    program = _program_field(ir, scenario, catalog)
     request = CompileRequest(
         id=request_id,
         program=program,
@@ -130,14 +145,13 @@ def _lint_message(
     select: Optional[Sequence[str]],
     ignore: Optional[Sequence[str]],
     cache: str,
+    catalog: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Build a lint message from keyword convenience arguments."""
 
-    if (ir is None) == (scenario is None):
-        raise ValueError("pass exactly one of ir= or scenario=")
     from repro.service.protocol import LintRequest
 
-    program = {"ir": ir} if ir is not None else {"scenario": scenario}
+    program = _program_field(ir, scenario, catalog)
     request = LintRequest(
         id=request_id,
         program=program,
@@ -239,6 +253,7 @@ class ServiceClient:
         cache: str = "use",
         lint: str = "off",
         request_id: Optional[str] = None,
+        catalog: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Compile one program; returns the full ``result`` response message.
 
@@ -247,6 +262,9 @@ class ServiceClient:
         error responses raise :class:`ServiceError` immediately —
         ``lint="strict"`` rejections as a ``lint_rejected`` error whose
         ``diagnostics`` attribute carries the structured report.
+        ``catalog=`` takes a workload-catalog reference
+        (``catalog:<name>[:<seed>[:<index>]]``) instead of inline IR or a
+        scenario reference.
         """
 
         message = _compile_message(
@@ -259,6 +277,7 @@ class ServiceClient:
             profile,
             cache,
             lint,
+            catalog,
         )
         return self.send_compile_message(message)
 
@@ -272,6 +291,7 @@ class ServiceClient:
         ignore: Optional[Sequence[str]] = None,
         cache: str = "use",
         request_id: Optional[str] = None,
+        catalog: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Lint one program; returns the full lint ``result`` response.
 
@@ -289,6 +309,7 @@ class ServiceClient:
             select,
             ignore,
             cache,
+            catalog,
         )
         return self.send_compile_message(message)
 
@@ -427,6 +448,7 @@ class AsyncServiceClient:
         cache: str = "use",
         lint: str = "off",
         request_id: Optional[str] = None,
+        catalog: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Compile one program (same semantics as the sync client)."""
 
@@ -440,6 +462,7 @@ class AsyncServiceClient:
             profile,
             cache,
             lint,
+            catalog,
         )
         return await self.send_compile_message(message)
 
@@ -453,6 +476,7 @@ class AsyncServiceClient:
         ignore: Optional[Sequence[str]] = None,
         cache: str = "use",
         request_id: Optional[str] = None,
+        catalog: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Lint one program (same semantics as the sync client)."""
 
@@ -465,6 +489,7 @@ class AsyncServiceClient:
             select,
             ignore,
             cache,
+            catalog,
         )
         return await self.send_compile_message(message)
 

@@ -19,7 +19,13 @@ Request mixes
     cache front (across batches) and in-flight coalescing (within one);
 ``mixed``
     a seeded interleaving of the two, duplicates included — the CI smoke
-    traffic.
+    traffic;
+``catalog``
+    requests round-robin over the workload catalog with the pyfunc
+    (frontend-translated) entries first, so translated real functions and
+    synthetic scenarios share one traffic stream — the duplicate burst
+    lands on a translated function, exercising coalescing on pyfunc cache
+    keys.
 
 The ``hot`` and ``mixed`` plans open with a short **duplicate burst**
 (:data:`WARMUP_BURST` copies of the hottest program at positions 0..2):
@@ -78,10 +84,11 @@ from repro.service.protocol import (
     result_payload,
 )
 from repro.service.client import _check_hello  # shared handshake validation
+from repro.workloads.catalog import get_catalog
 from repro.workloads.scenarios import scenario_names
 
 #: Mix names understood by :func:`build_request_plan`.
-MIXES = ("uniform", "hot", "mixed")
+MIXES = ("uniform", "hot", "mixed", "catalog")
 
 #: Driver modes understood by :func:`run_load`.
 MODES = ("closed", "open")
@@ -143,9 +150,32 @@ def build_request_plan(
         # from hot-pool programs even within the same family.
         return family, seed, pool_size + position // len(families)
 
+    catalog_entries: Tuple[str, ...] = ()
+    if mix == "catalog":
+        catalog = get_catalog()
+        catalog_entries = catalog.names("pyfunc") + catalog.names("scenario")
+
     plan: List[Dict[str, Any]] = []
     uniform_cursor = 0
+    catalog_cursor = 0
     for position in range(requests):
+        if mix == "catalog":
+            if position < min(WARMUP_BURST, requests - 1):
+                name, cycle = catalog_entries[0], 0
+            else:
+                name = catalog_entries[catalog_cursor % len(catalog_entries)]
+                cycle = catalog_cursor // len(catalog_entries)
+                catalog_cursor += 1
+            cache = "bypass" if rng.random() < bypass_fraction else "use"
+            plan.append({
+                "type": "compile",
+                "id": f"q{position}",
+                "program": {"catalog": f"catalog:{name}:{seed}:{cycle}"},
+                "target": targets[position % len(targets)],
+                "cost_model": cost_model,
+                "cache": cache,
+            })
+            continue
         if mix != "uniform" and position < min(WARMUP_BURST, requests - 1):
             # The deterministic duplicate burst (see module docstring).
             family, fam_seed, index = pool[0]

@@ -18,7 +18,8 @@ Message types
     handshake (both directions);
 ``compile``
     compile one procedure — either inline textual IR or a reference into
-    the scenario registry (``scenario:<family>:<seed>[:<index>]``) — on a
+    the scenario registry (``scenario:<family>:<seed>[:<index>]``) or the
+    workload catalog (``catalog:<name>[:<seed>[:<index>]]``) — on a
     named target with a named cost model; answered by ``result`` or
     ``error``;
 ``stats``
@@ -78,6 +79,7 @@ from repro.profiling.synthetic import (
 from repro.spill.cost_models import make_cost_model
 from repro.target.machine import MachineDescription
 from repro.target.registry import DEFAULT_TARGET, available_targets, resolve_target
+from repro.workloads.catalog import get_catalog
 from repro.workloads.scenarios import get_scenario, scenario_names
 
 #: Bump on any incompatible wire-format change; the handshake rejects
@@ -255,9 +257,10 @@ def parse_compile_request(message: Mapping[str, Any]) -> CompileRequest:
     if not isinstance(program, Mapping):
         raise ProtocolError("field 'program' must be an object")
     keys = sorted(program)
-    if keys not in (["ir"], ["scenario"]):
+    if keys not in (["ir"], ["scenario"], ["catalog"]):
         raise ProtocolError(
-            "field 'program' must have exactly one of the keys 'ir' or 'scenario'"
+            "field 'program' must have exactly one of the keys "
+            "'ir', 'scenario' or 'catalog'"
         )
     if not isinstance(program[keys[0]], str) or not program[keys[0]]:
         raise ProtocolError(f"program {keys[0]!r} must be a non-empty string")
@@ -429,33 +432,74 @@ class ResolvedCompile:
         return f"{self.request.cache}:{self.cache_key}"
 
 
+def _reference_error(kind: str, reference: str, detail: str) -> ProtocolError:
+    """The one error shape every program-reference failure uses.
+
+    Mirrors the inline-IR failures (``IR does not parse: <detail>``) so a
+    malformed reference echoes the same context — the full reference plus a
+    specific reason — on the CLI and service paths alike, byte-for-byte.
+    """
+
+    return ProtocolError(f"{kind} reference {reference!r} does not resolve: {detail}")
+
+
+def _parse_program_reference(
+    kind: str, reference: str, grammar: str, names: Sequence[str],
+    seed_required: bool,
+) -> Tuple[str, int, int]:
+    """Split ``<kind>:<name>[:<seed>[:<index>]]`` with unified errors."""
+
+    parts = reference.split(":")
+    if parts and parts[0] == kind:
+        parts = parts[1:]
+    allowed = (2, 3) if seed_required else (1, 2, 3)
+    if len(parts) not in allowed:
+        raise _reference_error(kind, reference, f"expected {grammar!r}")
+    name = parts[0]
+    if name not in names:
+        raise _reference_error(
+            kind,
+            reference,
+            f"unknown {kind} name {name!r}; expected one of " + ", ".join(names),
+        )
+    try:
+        seed = int(parts[1]) if len(parts) >= 2 else 0
+        index = int(parts[2]) if len(parts) == 3 else 0
+    except ValueError:
+        raise _reference_error(kind, reference, "non-integer seed/index") from None
+    if index < 0:
+        raise _reference_error(kind, reference, f"index must be >= 0, got {index}")
+    return name, seed, index
+
+
 def _parse_scenario_reference(reference: str) -> Tuple[str, int, int]:
     """Split ``scenario:<family>:<seed>[:<index>]`` (prefix optional)."""
 
-    parts = reference.split(":")
-    if parts and parts[0] == "scenario":
-        parts = parts[1:]
-    if len(parts) not in (2, 3):
-        raise ProtocolError(
-            f"scenario reference {reference!r} must look like "
-            "'scenario:<family>:<seed>[:<index>]'"
-        )
-    family = parts[0]
-    if family not in scenario_names():
-        raise ProtocolError(
-            f"unknown scenario family {family!r}; expected one of "
-            + ", ".join(scenario_names())
-        )
-    try:
-        seed = int(parts[1])
-        index = int(parts[2]) if len(parts) == 3 else 0
-    except ValueError:
-        raise ProtocolError(
-            f"scenario reference {reference!r} has a non-integer seed/index"
-        ) from None
-    if index < 0:
-        raise ProtocolError(f"scenario index must be >= 0, got {index}")
-    return family, seed, index
+    return _parse_program_reference(
+        "scenario",
+        reference,
+        "scenario:<family>:<seed>[:<index>]",
+        scenario_names(),
+        seed_required=True,
+    )
+
+
+def _parse_catalog_reference(reference: str) -> Tuple[str, int, int]:
+    """Split ``catalog:<name>[:<seed>[:<index>]]`` (prefix optional).
+
+    ``<name>`` is a combination code or a legacy alias; unlike scenario
+    references the seed defaults to 0, so ``catalog:gcd1_MD_RED`` alone is a
+    complete reference.
+    """
+
+    catalog = get_catalog()
+    return _parse_program_reference(
+        "catalog",
+        reference,
+        "catalog:<name>[:<seed>[:<index>]]",
+        tuple(catalog.names()) + tuple(sorted(catalog.aliases)),
+        seed_required=False,
+    )
 
 
 def _resolve_program(
@@ -472,6 +516,12 @@ def _resolve_program(
     if "scenario" in program:
         family_name, seed, index = _parse_scenario_reference(program["scenario"])
         generated = get_scenario(family_name).builder(seed, index, machine)
+        return generated.function, generated.profile
+    if "catalog" in program:
+        reference = program["catalog"]
+        name, seed, index = _parse_catalog_reference(reference)
+        entry = get_catalog().resolve(name)
+        generated = entry.build(seed, index, machine)
         return generated.function, generated.profile
     try:
         module = parse_module(program["ir"])
@@ -612,9 +662,10 @@ def parse_lint_request(message: Mapping[str, Any]) -> LintRequest:
     if not isinstance(program, Mapping):
         raise ProtocolError("field 'program' must be an object")
     keys = sorted(program)
-    if keys not in (["ir"], ["scenario"]):
+    if keys not in (["ir"], ["scenario"], ["catalog"]):
         raise ProtocolError(
-            "field 'program' must have exactly one of the keys 'ir' or 'scenario'"
+            "field 'program' must have exactly one of the keys "
+            "'ir', 'scenario' or 'catalog'"
         )
     if not isinstance(program[keys[0]], str) or not program[keys[0]]:
         raise ProtocolError(f"program {keys[0]!r} must be a non-empty string")

@@ -16,8 +16,20 @@ the synthetic SPEC CPU2000-integer-like benchmark suite.
   does not (switch dispatch tables with critical multiway edges,
   irreducible two-entry loops, deep loop nests, call webs, pressure sweeps,
   seeded chaos CFGs).  See ``docs/workloads.md`` for the catalogue.
+* :mod:`repro.workloads.catalog` — the versioned workload catalog: TOML
+  specs naming every scenario variant with a combination code
+  (``switch1_HI_RED``) plus ``pyfunc`` entries that bind real CPython
+  functions translated by :mod:`repro.frontend`, with back-compat aliases
+  for the legacy family names.
 """
 
+from repro.workloads.catalog import (
+    CatalogEntry,
+    CatalogError,
+    WorkloadCatalog,
+    get_catalog,
+    load_catalog,
+)
 from repro.workloads.generator import (
     GeneratedProcedure,
     GeneratorConfig,
@@ -54,8 +66,11 @@ from repro.workloads.spec_like import (
 
 __all__ = [
     "BenchmarkSpec",
+    "CatalogEntry",
+    "CatalogError",
     "SCENARIO_FAMILIES",
     "ScenarioFamily",
+    "WorkloadCatalog",
     "GeneratedProcedure",
     "GeneratorConfig",
     "PaperExample",
@@ -71,6 +86,8 @@ __all__ = [
     "config_for_target",
     "diamond_function",
     "figure1_function",
+    "get_catalog",
+    "load_catalog",
     "generate_procedure",
     "generate_procedures",
     "loop_function",

@@ -1,0 +1,74 @@
+"""Stdlib-derived routines for the pyfunc corpus.
+
+Faithful ports of CPython standard-library functions (semantics preserved,
+sources noted per function), restated where necessary without builtins the
+frontend does not translate (``min``, ``divmod``, table lookups).  Like the
+textbook module, the set is closed: the only calls are to siblings, so the
+translated IR module is differentially comparable against CPython.
+"""
+
+
+def isleap(year):
+    """``calendar.isleap``: 1 for leap years, 0 otherwise."""
+
+    return year % 4 == 0 and (year % 100 != 0 or year % 400 == 0)
+
+
+def leapdays(y1, y2):
+    """``calendar.leapdays``: leap years in range(y1, y2) exclusive of y2."""
+
+    y1 -= 1
+    y2 -= 1
+    return y2 // 4 - y1 // 4 - (y2 // 100 - y1 // 100) + (y2 // 400 - y1 // 400)
+
+
+def days_before_year(year):
+    """``datetime._days_before_year``: days before January 1st of ``year``."""
+
+    y = year - 1
+    return y * 365 + y // 4 - y // 100 + y // 400
+
+
+def euclid_gcd(a, b):
+    """``math.gcd`` for non-negative ints: the classic Euclid loop
+    (the pure-python ``fractions.gcd`` of CPython 2 era, sign handling
+    restricted to ``a, b >= 0``)."""
+
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def bit_count(n):
+    """``int.bit_count`` for ``n >= 0``: population count via Kernighan's
+    trick (each step clears the lowest set bit)."""
+
+    count = 0
+    while n:
+        n &= n - 1
+        count += 1
+    return count
+
+
+def bit_length(n):
+    """``int.bit_length`` for ``n >= 0``: position of the highest set bit."""
+
+    length = 0
+    while n > 0:
+        n >>= 1
+        length += 1
+    return length
+
+
+def comb_small(n, k):
+    """``math.comb`` for small non-negative ints: multiplicative formula
+    with the ``k = min(k, n - k)`` symmetry reduction written out."""
+
+    if k < 0 or k > n:
+        return 0
+    if n - k < k:
+        k = n - k
+    result = 1
+    for i in range(k):
+        result = result * (n - i) // (i + 1)
+    return result

@@ -1,0 +1,172 @@
+"""Textbook integer algorithms for the pyfunc corpus.
+
+Every function is a pure function of its int arguments, uses only the
+frontend's supported subset, and calls nothing outside this module — so the
+module translates as a closed IR module whose interpreter results must match
+CPython exactly on the catalog's seeded inputs.
+"""
+
+
+def gcd(a, b):
+    """Euclid's greatest common divisor."""
+
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def lcm(a, b):
+    """Least common multiple via :func:`gcd` (an intra-module call)."""
+
+    if a == 0 or b == 0:
+        return 0
+    product = a * b
+    if product < 0:
+        product = -product
+    return product // gcd(a, b)
+
+
+def fib_iter(n):
+    """The n-th Fibonacci number, iteratively."""
+
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+def collatz_steps(n):
+    """Number of Collatz steps from ``n`` (>= 1) down to 1."""
+
+    steps = 0
+    while n != 1:
+        if n % 2 == 0:
+            n //= 2
+        else:
+            n = 3 * n + 1
+        steps += 1
+    return steps
+
+
+def ipow(base, exponent):
+    """``base ** exponent`` for ``exponent >= 0`` by binary exponentiation."""
+
+    result = 1
+    while exponent > 0:
+        if exponent & 1:
+            result *= base
+        base *= base
+        exponent >>= 1
+    return result
+
+
+def isqrt_newton(n):
+    """Integer square root of ``n >= 0`` by Newton's method."""
+
+    if n < 2:
+        return n
+    x = n
+    y = (x + 1) // 2
+    while y < x:
+        x = y
+        y = (x + n // x) // 2
+    return x
+
+
+def digit_sum(n):
+    """Sum of the decimal digits of ``n >= 0``."""
+
+    total = 0
+    while n > 0:
+        total += n % 10
+        n //= 10
+    return total
+
+
+def count_divisors(n):
+    """Number of divisors of ``n >= 1`` (trial division up to sqrt)."""
+
+    count = 0
+    i = 1
+    while i * i <= n:
+        if n % i == 0:
+            count += 2
+            if i * i == n:
+                count -= 1
+        i += 1
+    return count
+
+
+def is_prime(n):
+    """1 when ``n`` is prime, else 0 (trial division)."""
+
+    if n < 2:
+        return 0
+    if n < 4:
+        return 1
+    if n % 2 == 0:
+        return 0
+    i = 3
+    while i * i <= n:
+        if n % i == 0:
+            return 0
+        i += 2
+    return 1
+
+
+def sum_of_squares(n):
+    """``1^2 + 2^2 + ... + n^2`` by an explicit loop."""
+
+    total = 0
+    for i in range(1, n + 1):
+        total += i * i
+    return total
+
+
+def triangular(n):
+    """The n-th triangular number by an explicit loop."""
+
+    total = 0
+    for i in range(n + 1):
+        total += i
+    return total
+
+
+def factorial_iter(n):
+    """``n!`` for ``n >= 0``, iteratively."""
+
+    result = 1
+    for i in range(2, n + 1):
+        result *= i
+    return result
+
+
+def clamp(x, lo, hi):
+    """``x`` clamped into ``[lo, hi]``."""
+
+    if x < lo:
+        return lo
+    if x > hi:
+        return hi
+    return x
+
+
+def sign(x):
+    """-1, 0 or 1 according to the sign of ``x``."""
+
+    if x > 0:
+        return 1
+    if x < 0:
+        return -1
+    return 0
+
+
+def maxof(a, b, c):
+    """The largest of three ints (without the ``max`` builtin)."""
+
+    best = a
+    if b > best:
+        best = b
+    if c > best:
+        best = c
+    return best

@@ -135,12 +135,18 @@ def _finish(
     )
 
 
-def _callee_saved_pressure(machine: Optional[MachineDescription]) -> int:
-    """How many call-crossing locals saturate (but don't overload) ``machine``."""
+def _callee_saved_pressure(
+    machine: Optional[MachineDescription], scale: float = 1.0
+) -> int:
+    """How many call-crossing locals saturate (but don't overload) ``machine``.
 
-    if machine is None:
-        return 2
-    return max(1, machine.num_callee_saved // 4)
+    ``scale`` is the catalog's pressure knob (LO/MD/HI map to 0.5/1.0/2.0);
+    at the default 1.0 the result is bit-identical to the pre-catalog
+    builders, which the trace-pinned fingerprints rely on.
+    """
+
+    base = 2 if machine is None else max(1, machine.num_callee_saved // 4)
+    return max(1, int(round(base * scale)))
 
 
 def _occupy_block(builder: FunctionBuilder, rng: random.Random, locals_count: int = 1) -> None:
@@ -167,7 +173,8 @@ def _occupy_block(builder: FunctionBuilder, rng: random.Random, locals_count: in
 
 
 def build_switch_dispatch(
-    seed: int, index: int, machine: Optional[MachineDescription] = None
+    seed: int, index: int, machine: Optional[MachineDescription] = None,
+    *, pressure_scale: float = 1.0
 ) -> GeneratedProcedure:
     """A dispatch loop whose two switches share one set of case blocks.
 
@@ -181,7 +188,7 @@ def build_switch_dispatch(
     rng = random.Random(f"switch_dispatch/{seed}/{index}")
     cases = rng.randrange(3, 6)
     trips = float(rng.randrange(6, 14))
-    locals_count = _callee_saved_pressure(machine)
+    locals_count = _callee_saved_pressure(machine, pressure_scale)
     probabilities: Dict[EdgeKey, float] = {}
 
     builder = FunctionBuilder(f"switch_dispatch_s{seed}_{index}")
@@ -258,7 +265,8 @@ def build_switch_dispatch(
 
 
 def build_irreducible_loop(
-    seed: int, index: int, machine: Optional[MachineDescription] = None
+    seed: int, index: int, machine: Optional[MachineDescription] = None,
+    *, pressure_scale: float = 1.0
 ) -> GeneratedProcedure:
     """The classic two-entry loop plus a callee-saved-occupied cycle body.
 
@@ -270,7 +278,7 @@ def build_irreducible_loop(
     """
 
     rng = random.Random(f"irreducible_loop/{seed}/{index}")
-    locals_count = _callee_saved_pressure(machine)
+    locals_count = _callee_saved_pressure(machine, pressure_scale)
     exit_probability = rng.uniform(0.2, 0.4)
     enter_b = rng.uniform(0.3, 0.7)
     probabilities: Dict[EdgeKey, float] = {}
@@ -305,7 +313,8 @@ def build_irreducible_loop(
 
 
 def build_deep_loop_nest(
-    seed: int, index: int, machine: Optional[MachineDescription] = None
+    seed: int, index: int, machine: Optional[MachineDescription] = None,
+    *, pressure_scale: float = 1.0
 ) -> GeneratedProcedure:
     """Counted loops nested 3–4 deep with a call in the innermost body.
 
@@ -317,7 +326,7 @@ def build_deep_loop_nest(
     rng = random.Random(f"deep_loop_nest/{seed}/{index}")
     depth = rng.randrange(3, 5)
     trips = [float(rng.randrange(3, 7)) for _ in range(depth)]
-    locals_count = _callee_saved_pressure(machine)
+    locals_count = _callee_saved_pressure(machine, pressure_scale)
     probabilities: Dict[EdgeKey, float] = {}
 
     builder = FunctionBuilder(f"deep_loop_nest_s{seed}_{index}")
@@ -363,7 +372,8 @@ def build_deep_loop_nest(
 
 
 def build_call_web(
-    seed: int, index: int, machine: Optional[MachineDescription] = None
+    seed: int, index: int, machine: Optional[MachineDescription] = None,
+    *, pressure_scale: float = 1.0
 ) -> GeneratedProcedure:
     """A web of call sites whose results feed later calls.
 
@@ -374,7 +384,7 @@ def build_call_web(
     """
 
     rng = random.Random(f"call_web/{seed}/{index}")
-    width = max(2, _callee_saved_pressure(machine) * 2)
+    width = max(2, _callee_saved_pressure(machine, pressure_scale) * 2)
     calls = rng.randrange(3, 3 + width)
     probabilities: Dict[EdgeKey, float] = {}
 
@@ -408,7 +418,8 @@ def build_call_web(
 
 
 def build_pressure_sweep(
-    seed: int, index: int, machine: Optional[MachineDescription] = None
+    seed: int, index: int, machine: Optional[MachineDescription] = None,
+    *, pressure_scale: float = 1.0
 ) -> GeneratedProcedure:
     """Register pressure swept by procedure index.
 
@@ -420,7 +431,10 @@ def build_pressure_sweep(
 
     rng = random.Random(f"pressure_sweep/{seed}/{index}")
     ceiling = machine.num_callee_saved if machine is not None else 8
-    live_values = min(index + 1, max(2, (ceiling * 3) // 2))
+    live_values = min(
+        max(1, int(round((index + 1) * pressure_scale))),
+        max(2, (ceiling * 3) // 2),
+    )
     cold_probability = 0.05
     probabilities: Dict[EdgeKey, float] = {}
 
@@ -453,14 +467,15 @@ def build_pressure_sweep(
 
 
 def build_classic_mix(
-    seed: int, index: int, machine: Optional[MachineDescription] = None
+    seed: int, index: int, machine: Optional[MachineDescription] = None,
+    *, pressure_scale: float = 1.0
 ) -> GeneratedProcedure:
     """The paper-era archetype mix via the parameterized generator."""
 
     config = GeneratorConfig(
         name=f"classic_mix_s{seed}_{index}",
         seed=seed * 1009 + index,
-        num_segments=4 + index % 4,
+        num_segments=max(1, int(round((4 + index % 4) * pressure_scale))),
     )
     if machine is not None:
         config = config_for_target(machine, config)
@@ -472,7 +487,9 @@ def build_classic_mix(
 # ---------------------------------------------------------------------------
 
 
-def _random_function(rng: random.Random, name: str) -> Optional[Function]:
+def _random_function(
+    rng: random.Random, name: str, locals_count: int = 1
+) -> Optional[Function]:
     """One attempt at a random CFG; ``None`` when the draw is malformed.
 
     Terminators are drawn freely (conditional branch, unconditional jump,
@@ -494,7 +511,7 @@ def _random_function(rng: random.Random, name: str) -> Optional[Function]:
         if position > 0:
             builder.block(label)
         if rng.random() < 0.35:
-            _occupy_block(builder, rng, 1)
+            _occupy_block(builder, rng, locals_count)
         else:
             values.append(builder.add(values[-1], rng.randrange(1, 9)))
         other_labels = [l for l in labels if l != label]
@@ -526,7 +543,8 @@ def _random_function(rng: random.Random, name: str) -> Optional[Function]:
 
 
 def build_chaos_cfg(
-    seed: int, index: int, machine: Optional[MachineDescription] = None
+    seed: int, index: int, machine: Optional[MachineDescription] = None,
+    *, pressure_scale: float = 1.0
 ) -> GeneratedProcedure:
     """A seeded arbitrary flowgraph (reducible or not) with a uniform profile.
 
@@ -537,7 +555,10 @@ def build_chaos_cfg(
 
     for attempt in range(64):
         rng = random.Random(f"chaos_cfg/{seed}/{index}/{attempt}")
-        function = _random_function(rng, f"chaos_cfg_s{seed}_{index}")
+        function = _random_function(
+            rng, f"chaos_cfg_s{seed}_{index}",
+            locals_count=max(1, int(round(pressure_scale))),
+        )
         if function is None:
             continue
         try:

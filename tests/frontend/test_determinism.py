@@ -1,0 +1,159 @@
+"""Pinned translation fingerprints and cross-process determinism.
+
+``traces/pyfunc_fingerprints.json`` records the translation fingerprint of
+every corpus function at the time the frontend was built.  Mirroring the
+lint/corpus/loadgen trace patterns, the fingerprints are pinned as a
+*file*: any change to the lowering — different register names, block
+order, instruction selection — shows up as a fingerprint diff and must be
+an intentional, reviewed regeneration (rerun the snippet below from the
+repository root) rather than drift::
+
+    PYTHONPATH=src python - <<'PY'
+    import json
+    from repro.frontend import python_identity
+    from repro.workloads.catalog import corpus_module
+    from repro.workloads.catalog.pyfuncs import CORPUS_MODULES
+    trace = {"schema": "pyfunc-fingerprint-trace/v1",
+             "python": python_identity(), "modules": {}, "entries": {}}
+    for mod in CORPUS_MODULES:
+        short = mod.__name__.rsplit(".", 1)[-1]
+        tm = corpus_module(short)
+        trace["modules"][short] = tm.fingerprint()
+        for tf in tm.functions.values():
+            trace["entries"][f"{short}.{tf.python_name}"] = {
+                "ir_name": tf.ir_name, "argcount": tf.argcount,
+                "fingerprint": tf.fingerprint()}
+    with open("tests/frontend/traces/pyfunc_fingerprints.json", "w") as fh:
+        json.dump(trace, fh, indent=2, sort_keys=True); fh.write("\n")
+    PY
+
+Bytecode differs across CPython minor versions, so the reproduction tests
+skip when the running interpreter does not match the trace's recorded
+``python`` identity.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.frontend import python_identity, translate_function
+from repro.workloads.catalog import corpus_module
+from repro.workloads.catalog.pyfuncs import CORPUS_MODULES, textbook
+
+TRACE_PATH = os.path.join(
+    os.path.dirname(__file__), "traces", "pyfunc_fingerprints.json"
+)
+
+SRC_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "src",
+)
+
+
+def load_trace():
+    """The pinned fingerprint table."""
+
+    with open(TRACE_PATH, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def module_shortnames():
+    return [mod.__name__.rsplit(".", 1)[-1] for mod in CORPUS_MODULES]
+
+
+def test_trace_schema():
+    trace = load_trace()
+    assert trace["schema"] == "pyfunc-fingerprint-trace/v1"
+    assert trace["entries"], "empty trace"
+    assert len(trace["entries"]) >= 15
+
+
+def test_trace_covers_every_corpus_function():
+    trace = load_trace()
+    for mod in CORPUS_MODULES:
+        short = mod.__name__.rsplit(".", 1)[-1]
+        translated = corpus_module(short)
+        assert short in trace["modules"]
+        for name in translated.functions:
+            assert f"{short}.{name}" in trace["entries"], f"{short}.{name} unpinned"
+
+
+@pytest.mark.parametrize("short", module_shortnames())
+def test_fingerprints_still_reproduce(short):
+    """Re-translate every pinned function and compare byte-identically."""
+
+    trace = load_trace()
+    if trace["python"] != python_identity():
+        pytest.skip(
+            f"trace pinned on Python {trace['python']}, "
+            f"running {python_identity()}"
+        )
+    translated = corpus_module(short)
+    assert translated.fingerprint() == trace["modules"][short], (
+        f"module {short} translation changed; if intentional, regenerate "
+        "tests/frontend/traces/pyfunc_fingerprints.json"
+    )
+    for name, function in translated.functions.items():
+        pinned = trace["entries"][f"{short}.{name}"]
+        assert function.ir_name == pinned["ir_name"]
+        assert function.argcount == pinned["argcount"]
+        assert function.fingerprint() == pinned["fingerprint"], (
+            f"{short}.{name}: translation changed; if intentional, regenerate "
+            "tests/frontend/traces/pyfunc_fingerprints.json"
+        )
+
+
+def test_translation_is_deterministic_in_process():
+    first = translate_function(textbook.gcd).fingerprint()
+    second = translate_function(textbook.gcd).fingerprint()
+    assert first == second
+
+
+_SUBPROCESS_SNIPPET = """
+import json, sys
+from repro.workloads.catalog import corpus_module
+from repro.workloads.catalog.pyfuncs import CORPUS_MODULES
+out = {}
+for mod in CORPUS_MODULES:
+    short = mod.__name__.rsplit(".", 1)[-1]
+    out[short] = corpus_module(short).fingerprint()
+print(json.dumps(out, sort_keys=True))
+"""
+
+
+def _fingerprints_under_hashseed(seed):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, "-c", _SUBPROCESS_SNIPPET],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return completed.stdout.strip()
+
+
+def test_fingerprints_identical_across_hash_seeds():
+    """Fresh interpreters under different PYTHONHASHSEED values produce
+    byte-identical module fingerprints — the determinism contract the
+    compile cache and the pinned trace both rely on."""
+
+    zero = _fingerprints_under_hashseed("0")
+    forty_two = _fingerprints_under_hashseed("42")
+    assert zero == forty_two
+    assert zero  # non-empty payload
+    in_process = json.dumps(
+        {
+            short: corpus_module(short).fingerprint()
+            for short in module_shortnames()
+        },
+        sort_keys=True,
+    )
+    assert zero == in_process

@@ -1,0 +1,186 @@
+"""Unit tests for the CPython-bytecode-to-IR translator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import (
+    TranslatedFunction,
+    TranslatedModule,
+    UnsupportedOpcodeError,
+    pyfunc_ir_name,
+    resolve_callable,
+    translate_callables,
+    translate_function,
+    translate_spec,
+)
+from repro.ir.verifier import verify_function
+from repro.profiling.interpreter import Interpreter
+from repro.workloads.catalog.pyfuncs import stdlib_derived, textbook
+
+
+def run_translated(func, args, module=None):
+    """Interpret the translated form of ``func`` on ``args``."""
+
+    translated = translate_function(func) if module is None else module
+    if isinstance(translated, TranslatedModule):
+        target = translated.functions[func.__name__]
+        return Interpreter(module=translated.module).run(
+            target.function, args
+        ).return_values[0]
+    return Interpreter().run(translated.function, args).return_values[0]
+
+
+class TestBasics:
+    def test_simple_arithmetic(self):
+        def poly(x, y):
+            return 3 * x + y * y - 7
+
+        assert run_translated(poly, [5, 4]) == poly(5, 4)
+
+    def test_params_become_named_locals(self):
+        def add(a, b):
+            return a + b
+
+        translated = translate_function(add)
+        names = [p.name for p in translated.function.params]
+        assert names == ["loc.a", "loc.b"]
+        assert translated.argcount == 2
+
+    def test_ir_name_namespacing(self):
+        translated = translate_function(textbook.gcd)
+        assert translated.ir_name == pyfunc_ir_name("textbook", "gcd")
+        assert translated.ir_name.startswith("pyfunc.")
+
+    def test_translated_function_verifies_single_exit(self):
+        translated = translate_function(textbook.collatz_steps)
+        assert verify_function(translated.function, require_single_exit=True) in (
+            None,
+            [],
+        )
+
+    def test_return_none_translates_to_zero(self):
+        def nothing(x):
+            x + 1
+
+        assert run_translated(nothing, [5]) == 0
+
+    def test_floor_division_matches_python_on_negatives(self):
+        def floordiv(a, b):
+            return a // b
+
+        def remainder(a, b):
+            return a % b
+
+        for a in (-7, -1, 0, 1, 7, 13):
+            for b in (-3, -2, 2, 3, 5):
+                assert run_translated(floordiv, [a, b]) == a // b
+                assert run_translated(remainder, [a, b]) == a % b
+
+    def test_while_loop_and_compare(self):
+        assert run_translated(textbook.digit_sum, [98765]) == 35
+
+    def test_for_range_all_shapes(self):
+        def up(n):
+            total = 0
+            for i in range(n):
+                total += i
+            return total
+
+        def stepped(n):
+            total = 0
+            for i in range(2, n, 3):
+                total += i
+            return total
+
+        def down(n):
+            total = 0
+            for i in range(n, 0, -1):
+                total += i
+            return total
+
+        for n in (0, 1, 5, 11):
+            assert run_translated(up, [n]) == up(n)
+            assert run_translated(stepped, [n]) == stepped(n)
+            assert run_translated(down, [n]) == down(n)
+
+    def test_tuple_swap_assignment(self):
+        assert run_translated(textbook.fib_iter, [10]) == 55
+
+    def test_boolean_operators_short_circuit(self):
+        assert run_translated(stdlib_derived.isleap, [2000]) == 1
+        assert run_translated(stdlib_derived.isleap, [1900]) == 0
+        assert run_translated(stdlib_derived.isleap, [2024]) == 1
+
+    def test_unary_operators(self):
+        def ops(x):
+            return -x + ~x + (not x)
+
+        for x in (-3, 0, 4):
+            assert run_translated(ops, [x]) == ops(x)
+
+
+class TestCalls:
+    def test_intra_module_call_resolves(self):
+        module = translate_callables(
+            {"gcd": textbook.gcd, "lcm": textbook.lcm}, module_name="textbook"
+        )
+        assert run_translated(textbook.lcm, [12, 18], module=module) == 36
+
+    def test_call_records_callee(self):
+        module = translate_callables(
+            {"gcd": textbook.gcd, "lcm": textbook.lcm}, module_name="textbook"
+        )
+        lcm = module.functions["lcm"]
+        assert "gcd" in lcm.calls
+
+    def test_leaf_function_has_no_calls(self):
+        module = translate_callables({"gcd": textbook.gcd}, module_name="m")
+        gcd = module.functions["gcd"]
+        assert gcd.calls == ()
+
+
+class TestRejection:
+    def test_unsupported_opcode_names_the_instruction(self):
+        def makes_a_list(n):
+            return [n]
+
+        with pytest.raises(UnsupportedOpcodeError) as excinfo:
+            translate_function(makes_a_list)
+        assert "BUILD_LIST" in str(excinfo.value)
+        assert excinfo.value.instruction is not None
+
+    def test_closures_rejected(self):
+        y = 3
+
+        def closure(x):
+            return x + y
+
+        with pytest.raises((UnsupportedOpcodeError, ValueError)):
+            translate_function(closure)
+
+    def test_varargs_rejected(self):
+        def star(*xs):
+            return 0
+
+        with pytest.raises((UnsupportedOpcodeError, ValueError)):
+            translate_function(star)
+
+
+class TestSpecs:
+    def test_resolve_callable_dotted_spec(self):
+        func = resolve_callable("repro.workloads.catalog.pyfuncs.textbook:gcd")
+        assert func is textbook.gcd
+
+    def test_translate_spec_round_trip(self):
+        translated = translate_spec(
+            "repro.workloads.catalog.pyfuncs.textbook:gcd"
+        )
+        assert isinstance(translated, TranslatedFunction)
+        assert translated.python_name == "gcd"
+
+    def test_bad_spec_raises(self):
+        with pytest.raises((ValueError, ImportError, AttributeError)):
+            resolve_callable("no-colon-here")
+        with pytest.raises((ValueError, ImportError, AttributeError)):
+            resolve_callable("repro.workloads.catalog.pyfuncs.textbook:nope")

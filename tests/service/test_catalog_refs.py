@@ -1,0 +1,198 @@
+"""``catalog:`` program references through the protocol and the live server.
+
+Three contracts under test:
+
+1. catalog references resolve deterministically (same fingerprints and
+   cache key every time), with the ``catalog:`` prefix, the seed and the
+   index all optional, and aliases resolving exactly like their target
+   combination codes;
+2. a served catalog compile is byte-identical to the serial
+   ``compile_many`` oracle, and an MD scenario-kind entry answers
+   byte-identically to the legacy ``scenario:`` reference it wraps;
+3. malformed catalog *and* scenario references fail with the one unified
+   error shape (``<kind> reference <ref> does not resolve: <detail>``),
+   and the served error payload's message is byte-identical to the local
+   :class:`ProtocolError` string for the same request.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import (
+    ProtocolError,
+    parse_compile_request,
+    resolve_compile_request,
+)
+
+from tests.service.conftest import oracle_result_bytes
+
+
+def compile_message(**overrides):
+    """A valid baseline catalog compile message, with overrides."""
+
+    message = {
+        "type": "compile",
+        "id": "c1",
+        "program": {"catalog": "catalog:gcd1_MD_RED"},
+    }
+    message.update(overrides)
+    return message
+
+
+def resolve(message):
+    return resolve_compile_request(parse_compile_request(message))
+
+
+def identity(resolved):
+    """What deterministic resolution must pin: fingerprints + cache key."""
+
+    return (
+        resolved.function_fingerprint,
+        resolved.profile_fingerprint,
+        resolved.cache_key,
+    )
+
+
+class TestResolution:
+    def test_catalog_reference_resolves_deterministically(self):
+        first = resolve(compile_message())
+        second = resolve(compile_message())
+        assert identity(first) == identity(second)
+
+    def test_prefix_is_optional(self):
+        bare = resolve(compile_message(program={"catalog": "gcd1_MD_RED:3:1"}))
+        prefixed = resolve(
+            compile_message(program={"catalog": "catalog:gcd1_MD_RED:3:1"})
+        )
+        assert identity(bare) == identity(prefixed)
+
+    def test_seed_and_index_default_to_zero(self):
+        short = resolve(compile_message(program={"catalog": "gcd1_MD_RED"}))
+        seeded = resolve(compile_message(program={"catalog": "gcd1_MD_RED:0"}))
+        full = resolve(compile_message(program={"catalog": "gcd1_MD_RED:0:0"}))
+        assert identity(short) == identity(seeded) == identity(full)
+
+    def test_alias_resolves_like_its_combination_code(self):
+        via_alias = resolve(
+            compile_message(program={"catalog": "catalog:switch_dispatch:5:1"})
+        )
+        via_code = resolve(
+            compile_message(program={"catalog": "catalog:switch1_MD_RED:5:1"})
+        )
+        assert identity(via_alias) == identity(via_code)
+
+    def test_pyfunc_entry_resolves_to_namespaced_function(self):
+        resolved = resolve(compile_message())
+        assert resolved.function.name == "pyfunc.textbook.gcd"
+
+    def test_md_scenario_entry_matches_legacy_scenario_reference(self):
+        """An MD catalog entry wraps the registry builder bit-for-bit, so
+        the two reference grammars must resolve to the same function."""
+
+        via_catalog = resolve(
+            compile_message(program={"catalog": "catalog:switch1_MD_RED:0:0"})
+        )
+        via_scenario = resolve(
+            compile_message(program={"scenario": "scenario:switch_dispatch:0:0"})
+        )
+        assert via_catalog.function_fingerprint == via_scenario.function_fingerprint
+        assert via_catalog.profile_fingerprint == via_scenario.profile_fingerprint
+
+    def test_pyfunc_cache_keys_are_distinct_from_scenarios(self):
+        pyfunc = resolve(compile_message(program={"catalog": "gcd1_MD_RED"}))
+        scenario = resolve(
+            compile_message(program={"scenario": "switch_dispatch:0:0"})
+        )
+        assert pyfunc.cache_key != scenario.cache_key
+
+
+BAD_CATALOG_REFS = [
+    "catalog:nonesuch99_MD_RED",  # unknown combination code
+    "catalog:gcd1_MD_RED:0:0:9",  # too many parts
+    "catalog:gcd1_MD_RED:banana",  # non-integer seed
+    "catalog:gcd1_MD_RED:0:-1",  # negative index
+]
+
+BAD_SCENARIO_REFS = [
+    "scenario:classic_mix",  # seed required for scenario refs
+    "scenario:no_such_family:0:0",  # unknown family
+    "scenario:classic_mix:x:0",  # non-integer seed
+]
+
+
+class TestUnifiedErrors:
+    @pytest.mark.parametrize("reference", BAD_CATALOG_REFS)
+    def test_malformed_catalog_reference_shape(self, reference):
+        message = compile_message(program={"catalog": reference})
+        with pytest.raises(ProtocolError) as excinfo:
+            resolve(message)
+        text = str(excinfo.value)
+        assert text.startswith(f"catalog reference {reference!r} does not resolve: ")
+
+    @pytest.mark.parametrize("reference", BAD_SCENARIO_REFS)
+    def test_malformed_scenario_reference_shape(self, reference):
+        message = compile_message(program={"scenario": reference})
+        with pytest.raises(ProtocolError) as excinfo:
+            resolve(message)
+        text = str(excinfo.value)
+        assert text.startswith(f"scenario reference {reference!r} does not resolve: ")
+
+    def test_unknown_catalog_name_lists_expectations(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            resolve(compile_message(program={"catalog": "catalog:bogus1_MD_RED"}))
+        text = str(excinfo.value)
+        assert "unknown catalog name" in text
+        assert "gcd1_MD_RED" in text  # the expected-names list is spelled out
+
+
+class TestServedCatalog:
+    def test_served_result_byte_identical_to_oracle(self, embedded_server):
+        message = compile_message(program={"catalog": "catalog:gcd1_MD_RED:0:0"})
+        with embedded_server(workers=1) as emb:
+            with ServiceClient(port=emb.port) as client:
+                response = client.send_compile_message(message)
+        assert response["type"] == "result"
+        served = json.dumps(response["result"], sort_keys=True).encode("utf-8")
+        assert served == oracle_result_bytes(message)
+
+    def test_client_catalog_kwarg_round_trips(self, embedded_server):
+        with embedded_server(workers=1) as emb:
+            with ServiceClient(port=emb.port) as client:
+                response = client.compile(catalog="catalog:fibiter1_MD_RED")
+        assert response["type"] == "result"
+        assert response["result"]["name"] == "pyfunc.textbook.fib_iter"
+
+    def test_client_rejects_ambiguous_program_kwargs(self):
+        from repro.service.client import _compile_message
+
+        with pytest.raises(ValueError):
+            _compile_message(
+                "r1", None, "classic_mix:0:0", "parisc", "jump_edge",
+                None, None, "use", "off", "catalog:gcd1_MD_RED",
+            )
+
+    @pytest.mark.parametrize(
+        "program",
+        [{"catalog": reference} for reference in BAD_CATALOG_REFS]
+        + [{"scenario": reference} for reference in BAD_SCENARIO_REFS],
+    )
+    def test_served_error_byte_identical_to_local_error(
+        self, embedded_server, program
+    ):
+        """The server's ``bad_request`` message for a malformed reference is
+        the local :class:`ProtocolError` string, byte for byte — the same
+        one-payload-everywhere contract the result path already keeps."""
+
+        message = compile_message(program=program)
+        with pytest.raises(ProtocolError) as local:
+            resolve(message)
+        with embedded_server(workers=1) as emb:
+            with ServiceClient(port=emb.port) as client:
+                with pytest.raises(ServiceError) as served:
+                    client.send_compile_message(message)
+        assert served.value.code == "bad_request"
+        assert served.value.detail.encode("utf-8") == str(local.value).encode("utf-8")

@@ -63,6 +63,51 @@ class TestPlanDeterminism:
             build_request_plan(targets=())
 
 
+class TestCatalogMix:
+    def test_same_seed_same_plan(self):
+        a = build_request_plan(mix="catalog", requests=24, seed=5)
+        b = build_request_plan(mix="catalog", requests=24, seed=5)
+        assert a == b
+
+    def test_warmup_burst_is_a_pyfunc(self):
+        """The duplicate burst opens on the catalog's first *pyfunc* entry —
+        translated functions lead the mix by construction."""
+
+        from repro.workloads.catalog import get_catalog
+
+        first_pyfunc = get_catalog().names("pyfunc")[0]
+        plan = build_request_plan(mix="catalog", requests=12, seed=0)
+        head = {plan_signature(m) for m in plan[:WARMUP_BURST]}
+        assert len(head) == 1
+        for message in plan[:WARMUP_BURST]:
+            assert message["program"]["catalog"] == f"catalog:{first_pyfunc}:0:0"
+
+    def test_round_robin_covers_the_whole_catalog(self):
+        from repro.workloads.catalog import get_catalog
+
+        catalog = get_catalog()
+        entries = catalog.names("pyfunc") + catalog.names("scenario")
+        plan = build_request_plan(
+            mix="catalog", requests=len(entries) + WARMUP_BURST, seed=0
+        )
+        names = {
+            m["program"]["catalog"].split(":")[1] for m in plan
+        }
+        assert names == set(entries)
+
+    def test_catalog_plan_entries_are_protocol_valid(self):
+        for message in build_request_plan(mix="catalog", requests=10, seed=3):
+            plan_signature(message)  # parse_compile_request under the hood
+
+    def test_legacy_mixes_never_emit_catalog_references(self):
+        """Adding the catalog mix must not perturb the existing plans."""
+
+        for mix in ("uniform", "hot", "mixed"):
+            for message in build_request_plan(mix=mix, requests=16, seed=1):
+                assert "catalog" not in message["program"]
+                assert "scenario" in message["program"]
+
+
 class TestOracle:
     def test_oracle_computed_once_per_unique_signature(self):
         plan = build_request_plan(mix="hot", requests=12, seed=1)

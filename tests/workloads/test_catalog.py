@@ -1,0 +1,216 @@
+"""The versioned workload catalog: loading, validation, aliases, pressure."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.ir.fingerprint import fingerprint_function
+from repro.target.registry import get_target
+from repro.workloads.catalog import (
+    COMBINATION_CODE,
+    CatalogError,
+    catalog_directory,
+    get_catalog,
+    load_catalog,
+)
+from repro.workloads.scenarios import build_scenario, scenario_names
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return get_catalog()
+
+
+class TestLoading:
+    def test_loads_and_lints_clean(self, catalog):
+        assert catalog.lint() == []
+
+    def test_every_name_is_a_combination_code(self, catalog):
+        for name in catalog.names():
+            assert COMBINATION_CODE.match(name), name
+
+    def test_every_scenario_family_has_codes(self, catalog):
+        for family in scenario_names():
+            assert catalog.codes_for_family(family), f"{family} uncatalogued"
+
+    def test_reload_is_deterministic(self, catalog):
+        again = load_catalog(catalog_directory())
+        assert again.names() == catalog.names()
+        assert again.aliases == catalog.aliases
+
+    def test_kind_filter(self, catalog):
+        scenario_entries = catalog.names("scenario")
+        pyfunc_entries = catalog.names("pyfunc")
+        assert scenario_entries and pyfunc_entries
+        assert set(scenario_entries) | set(pyfunc_entries) == set(catalog.names())
+        assert not set(scenario_entries) & set(pyfunc_entries)
+
+
+class TestAliases:
+    def test_legacy_family_names_are_aliases(self, catalog):
+        for family in scenario_names():
+            assert family in catalog.aliases, f"{family} has no back-compat alias"
+
+    def test_alias_resolves_to_md_entry(self, catalog):
+        entry = catalog.resolve("switch_dispatch")
+        assert entry.name == "switch1_MD_RED"
+        assert entry.pressure == "MD"
+
+    def test_alias_and_code_resolve_identically(self, catalog):
+        via_alias = catalog.resolve("switch_dispatch")
+        via_code = catalog.resolve("switch1_MD_RED")
+        assert via_alias is via_code
+
+    def test_unknown_name_raises_with_expectations(self, catalog):
+        with pytest.raises(KeyError) as excinfo:
+            catalog.resolve("nonesuch99_MD_RED")
+        assert "unknown catalog entry" in excinfo.value.args[0]
+
+
+class TestScenarioEntries:
+    def test_md_entry_is_bit_identical_to_legacy_builder(self, catalog):
+        """MD (scale 1.0) must regenerate the registry's exact procedures —
+        the back-compat contract that lets aliases stand in for family names."""
+
+        machine = get_target("parisc")
+        for family in scenario_names():
+            entry = catalog.resolve(family)  # alias -> MD entry
+            legacy = build_scenario(family, seed=5, count=2, machine=machine)
+            for index, expected in enumerate(legacy):
+                generated = entry.build(5, index, machine)
+                assert fingerprint_function(generated.function) == (
+                    fingerprint_function(expected.function)
+                ), f"{family}[{index}] diverged from the registry"
+
+    def test_pressure_variants_change_the_program(self, catalog):
+        machine = get_target("parisc")
+        differing = 0
+        for family in scenario_names():
+            codes = catalog.codes_for_family(family)
+            fingerprints = {
+                code: fingerprint_function(
+                    catalog.resolve(code).build(5, 0, machine).function
+                )
+                for code in codes
+            }
+            if len(set(fingerprints.values())) > 1:
+                differing += 1
+        assert differing >= 5, "pressure scaling is inert for most families"
+
+    def test_build_is_deterministic(self, catalog):
+        entry = catalog.resolve("irloop1_HI_IRR")
+        machine = get_target("riscish")
+        first = entry.build(9, 1, machine)
+        second = entry.build(9, 1, machine)
+        assert fingerprint_function(first.function) == (
+            fingerprint_function(second.function)
+        )
+
+
+class TestPyfuncEntries:
+    def test_build_produces_translated_procedure(self, catalog):
+        entry = catalog.resolve("gcd1_MD_RED")
+        generated = entry.build(0, 0, get_target("parisc"))
+        assert generated.function.name == "pyfunc.textbook.gcd"
+        assert generated.profile.invocations > 0
+        assert generated.segments[0] == "pyfunc"
+
+    def test_profile_is_execution_derived(self, catalog):
+        """The attached profile must carry real edge counts from running the
+        translated function, not a uniform guess."""
+
+        entry = catalog.resolve("gcd1_MD_RED")
+        generated = entry.build(0, 0, get_target("parisc"))
+        counts = set(generated.profile.edge_counts.values())
+        assert len(counts) > 1, "profile looks uniform"
+
+    def test_inputs_match_python_signature(self, catalog):
+        from repro.workloads.catalog import corpus_functions
+
+        for name in catalog.names("pyfunc"):
+            entry = catalog.resolve(name)
+            func = corpus_functions(entry.module)[entry.func]
+            assert len(entry.inputs) == func.__code__.co_argcount, name
+
+    def test_pressure_scales_input_spans(self, catalog):
+        import random
+
+        lo = catalog.resolve("gcd1_LO_RED")
+        hi = catalog.resolve("gcd1_HI_RED")
+        lo_args = lo.draw_inputs(random.Random("x"))
+        hi_args = hi.draw_inputs(random.Random("x"))
+        assert len(lo_args) == len(hi_args) == 2
+
+
+class TestSchemaValidation:
+    def write(self, tmp_path, body):
+        path = tmp_path / "bad.toml"
+        path.write_text(body, encoding="utf-8")
+        return str(tmp_path)
+
+    def header(self):
+        return '[catalog]\nschema = "workload-catalog/v1"\nversion = 1\n\n'
+
+    def test_missing_header_rejected(self, tmp_path):
+        directory = self.write(tmp_path, '[[entry]]\nname = "x1_MD_RED"\n')
+        with pytest.raises(CatalogError):
+            load_catalog(directory)
+
+    def test_bad_combination_code_rejected(self, tmp_path):
+        directory = self.write(
+            tmp_path,
+            self.header()
+            + '[[entry]]\nname = "Bad_Name"\nkind = "scenario"\n'
+            + 'description = "d"\nfamily = "switch_dispatch"\n',
+        )
+        with pytest.raises(CatalogError) as excinfo:
+            load_catalog(directory)
+        assert "combination code" in str(excinfo.value)
+
+    def test_unknown_family_rejected(self, tmp_path):
+        directory = self.write(
+            tmp_path,
+            self.header()
+            + '[[entry]]\nname = "x1_MD_RED"\nkind = "scenario"\n'
+            + 'description = "d"\nfamily = "no_such_family"\n',
+        )
+        with pytest.raises(CatalogError):
+            load_catalog(directory)
+
+    def test_duplicate_names_rejected(self, tmp_path):
+        entry = (
+            '[[entry]]\nname = "x1_MD_RED"\nkind = "scenario"\n'
+            'description = "d"\nfamily = "switch_dispatch"\n\n'
+        )
+        directory = self.write(tmp_path, self.header() + entry + entry)
+        with pytest.raises(CatalogError) as excinfo:
+            load_catalog(directory)
+        assert "duplicate" in str(excinfo.value)
+
+    def test_alias_must_target_existing_entry(self, tmp_path):
+        directory = self.write(
+            tmp_path,
+            self.header()
+            + '[[entry]]\nname = "x1_MD_RED"\nkind = "scenario"\n'
+            + 'description = "d"\nfamily = "switch_dispatch"\n\n'
+            + '[alias]\nghost = "y1_MD_RED"\n',
+        )
+        with pytest.raises(CatalogError):
+            load_catalog(directory)
+
+    def test_pyfunc_requires_inputs(self, tmp_path):
+        directory = self.write(
+            tmp_path,
+            self.header()
+            + '[[entry]]\nname = "x1_MD_RED"\nkind = "pyfunc"\n'
+            + 'description = "d"\nmodule = "textbook"\nfunc = "gcd"\n',
+        )
+        with pytest.raises(CatalogError):
+            load_catalog(directory)
+
+    def test_checked_in_catalog_directory_exists(self):
+        directory = catalog_directory()
+        assert os.path.isdir(directory)
+        assert any(name.endswith(".toml") for name in os.listdir(directory))

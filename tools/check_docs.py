@@ -33,6 +33,7 @@ DEFAULT_PACKAGES = (
     "repro.pipeline",
     "repro.service",
     "repro.lint",
+    "repro.frontend",
 )
 
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
